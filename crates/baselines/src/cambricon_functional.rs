@@ -1,0 +1,154 @@
+//! A functional Cambricon-X-style engine (Zhang et al., MICRO 2016):
+//! PEs hold *compressed weights* with step indexes; a central indexing
+//! module selects, per cycle, the activations matching each PE's next
+//! weight group. Weight zeros are skipped; activations are fetched
+//! densely (no activation-sparsity support — the design's Table III
+//! limitation).
+//!
+//! Per output neuron (column of `B`), the PE walks its compressed weight
+//! list in groups of `lanes` (the 16-wide synapse selectors of the real
+//! design); each group costs one cycle plus the indexing overhead.
+
+use sigma_matrix::Matrix;
+
+/// The outcome of a functional Cambricon-X-style run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CambriconRun {
+    /// The computed product.
+    pub result: Matrix,
+    /// Total cycles across the PE array.
+    pub cycles: u64,
+    /// Multiply-accumulates issued (weight-sparse, activation-dense).
+    pub issued_macs: u64,
+}
+
+/// A functional Cambricon-X-style weight-sparse engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CambriconSim {
+    pes: usize,
+    /// Synapse-selector width: weights consumed per PE per cycle.
+    lanes: usize,
+}
+
+impl CambriconSim {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn new(pes: usize, lanes: usize) -> Self {
+        assert!(pes > 0 && lanes > 0, "parameters must be non-zero");
+        Self { pes, lanes }
+    }
+
+    /// Runs `C = A[MxK] x B[KxN]`: output columns stripe across PEs; each
+    /// PE holds its columns' non-zero weights (with step indexes) and,
+    /// for every activation row `m`, walks them `lanes` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    #[must_use]
+    pub fn run_gemm(&self, a: &Matrix, b: &Matrix) -> CambriconRun {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+
+        // Compress each output column's weights: (k, w) pairs.
+        let compressed: Vec<Vec<(usize, f32)>> = (0..n)
+            .map(|nn| {
+                (0..k)
+                    .filter_map(|kk| {
+                        let w = b.get(kk, nn);
+                        (w != 0.0).then_some((kk, w))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut out = Matrix::zeros(m, n);
+        let mut issued = 0u64;
+        // Per activation row, every PE walks its columns' weight lists;
+        // the busiest PE paces the array.
+        let mut per_pe_cycles = vec![0u64; self.pes];
+        for (nn, weights) in compressed.iter().enumerate() {
+            let pe = nn % self.pes;
+            let groups = weights.len().div_ceil(self.lanes) as u64;
+            per_pe_cycles[pe] += groups * m as u64;
+            issued += (weights.len() * m) as u64;
+            for mm in 0..m {
+                let mut acc = 0.0f32;
+                for &(kk, w) in weights {
+                    acc += a.get(mm, kk) * w;
+                }
+                out.set(mm, nn, acc);
+            }
+        }
+        let cycles = per_pe_cycles.into_iter().max().unwrap_or(0);
+        CambriconRun { result: out, cycles, issued_macs: issued }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_matrix::gen::{sparse_uniform, Density};
+
+    #[test]
+    fn computes_correct_product() {
+        let sim = CambriconSim::new(4, 4);
+        let a = sparse_uniform(6, 10, Density::new(0.6).unwrap(), 1).to_dense();
+        let b = sparse_uniform(10, 7, Density::new(0.3).unwrap(), 2).to_dense();
+        let run = sim.run_gemm(&a, &b);
+        assert!(run.result.approx_eq(&a.matmul(&b), 1e-4));
+    }
+
+    #[test]
+    fn weight_sparsity_cuts_cycles() {
+        let a = sparse_uniform(8, 16, Density::DENSE, 3).to_dense();
+        let dense_w = sparse_uniform(16, 8, Density::DENSE, 4).to_dense();
+        let sparse_w = sparse_uniform(16, 8, Density::new(0.25).unwrap(), 5).to_dense();
+        let sim = CambriconSim::new(4, 4);
+        let d = sim.run_gemm(&a, &dense_w);
+        let s = sim.run_gemm(&a, &sparse_w);
+        assert!(s.cycles < d.cycles);
+        assert!(s.issued_macs < d.issued_macs);
+    }
+
+    #[test]
+    fn activation_sparsity_is_ignored() {
+        // Same weights, sparser activations: identical cycle count (the
+        // design cannot skip activation zeros).
+        let w = sparse_uniform(12, 6, Density::new(0.5).unwrap(), 6).to_dense();
+        let dense_a = sparse_uniform(8, 12, Density::DENSE, 7).to_dense();
+        let sparse_a = sparse_uniform(8, 12, Density::new(0.2).unwrap(), 8).to_dense();
+        let sim = CambriconSim::new(4, 4);
+        assert_eq!(sim.run_gemm(&dense_a, &w).cycles, sim.run_gemm(&sparse_a, &w).cycles);
+    }
+
+    #[test]
+    fn lane_width_amortizes_weight_walks() {
+        let a = sparse_uniform(4, 32, Density::DENSE, 9).to_dense();
+        let w = sparse_uniform(32, 4, Density::DENSE, 10).to_dense();
+        let narrow = CambriconSim::new(2, 4).run_gemm(&a, &w);
+        let wide = CambriconSim::new(2, 16).run_gemm(&a, &w);
+        assert!(wide.cycles < narrow.cycles);
+        assert!(wide.result.approx_eq(&narrow.result, 1e-5));
+    }
+
+    #[test]
+    fn striping_imbalance_paces_the_array() {
+        // One heavy column among light ones: the PE owning it dominates.
+        let mut b = Matrix::zeros(16, 4);
+        for kk in 0..16 {
+            b.set(kk, 0, 1.0); // column 0: 16 weights
+        }
+        b.set(0, 1, 1.0); // others: 1 weight
+        b.set(0, 2, 1.0);
+        b.set(0, 3, 1.0);
+        let a = sparse_uniform(4, 16, Density::DENSE, 11).to_dense();
+        let run = CambriconSim::new(4, 4).run_gemm(&a, &b);
+        // PE 0 walks ceil(16/4)=4 groups x 4 rows = 16 cycles; others 4.
+        assert_eq!(run.cycles, 16);
+    }
+}

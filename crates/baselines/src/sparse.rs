@@ -1,0 +1,317 @@
+//! Analytic models of the sparse accelerators compared in Fig. 14 /
+//! Table III, normalized to a common PE count.
+//!
+//! Each model charges the latency terms implied by the design's published
+//! microarchitecture. The coefficients are coarse by necessity (the paper
+//! itself models these designs analytically after extending them from
+//! convolution to GEMM), but each design's *distinguishing bottleneck* —
+//! the row of Table III — is structural, not a fudge factor:
+//!
+//! | Design | exploits | bottleneck modeled |
+//! |---|---|---|
+//! | EIE | act + weight sparsity | serial activation broadcast; inter-PE output network |
+//! | SCNN | act + weight sparsity | cartesian-product scatter: output-crossbar bank conflicts, conv-shaped mapping overhead |
+//! | OuterSPACE | act + weight sparsity | outer-product merge phase dominates |
+//! | Eyeriss v2 | act + weight sparsity | wins when both operands fit its SRAM; heavy re-fetch otherwise |
+//! | Packed Systolic | weight sparsity (structured packing) | column-combining caps at 4x; activations dense |
+//! | Cambricon-X | weight sparsity only | activations dense; per-PE indexing overhead |
+
+use crate::GemmAccelerator;
+use sigma_core::model::GemmProblem;
+use sigma_core::CycleStats;
+
+/// The sparse-accelerator baselines of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparseAcceleratorKind {
+    /// EIE (Han et al., ISCA 2016).
+    Eie,
+    /// SCNN (Parashar et al., ISCA 2017).
+    Scnn,
+    /// OuterSPACE (Pal et al., HPCA 2018).
+    OuterSpace,
+    /// Eyeriss v2 (Chen et al., JETCAS 2019).
+    EyerissV2,
+    /// Packed systolic / column combining (Kung et al., ASPLOS 2019).
+    PackedSystolic,
+    /// Cambricon-X (Zhang et al., MICRO 2016).
+    CambriconX,
+}
+
+impl SparseAcceleratorKind {
+    /// All baselines in Fig. 14's order.
+    pub const ALL: [SparseAcceleratorKind; 6] = [
+        SparseAcceleratorKind::Eie,
+        SparseAcceleratorKind::Scnn,
+        SparseAcceleratorKind::OuterSpace,
+        SparseAcceleratorKind::EyerissV2,
+        SparseAcceleratorKind::PackedSystolic,
+        SparseAcceleratorKind::CambriconX,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SparseAcceleratorKind::Eie => "EIE",
+            SparseAcceleratorKind::Scnn => "SCNN",
+            SparseAcceleratorKind::OuterSpace => "OuterSPACE",
+            SparseAcceleratorKind::EyerissV2 => "Eyeriss v2",
+            SparseAcceleratorKind::PackedSystolic => "Packed Systolic",
+            SparseAcceleratorKind::CambriconX => "Cambricon-X",
+        }
+    }
+
+    /// `true` if the design can skip zeros in *both* operands.
+    #[must_use]
+    pub fn exploits_both_sparsities(&self) -> bool {
+        !matches!(
+            self,
+            SparseAcceleratorKind::PackedSystolic | SparseAcceleratorKind::CambriconX
+        )
+    }
+}
+
+impl std::fmt::Display for SparseAcceleratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sparse accelerator instance with a fixed PE budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseAccelerator {
+    kind: SparseAcceleratorKind,
+    pes: usize,
+}
+
+impl SparseAccelerator {
+    /// On-chip operand capacity (words) assumed for Eyeriss v2's win
+    /// condition: its per-PE scratchpads plus global buffers can pin both
+    /// operands of modest GEMMs.
+    pub const EYERISS_BUFFER_WORDS: usize = 1 << 20;
+
+    /// Creates an instance with the given PE count (the paper uses 16384
+    /// everywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    #[must_use]
+    pub fn new(kind: SparseAcceleratorKind, pes: usize) -> Self {
+        assert!(pes > 0, "PE count must be non-zero");
+        Self { kind, pes }
+    }
+
+    /// The design kind.
+    #[must_use]
+    pub fn kind(&self) -> SparseAcceleratorKind {
+        self.kind
+    }
+
+    fn simulate_cycles(&self, p: &GemmProblem) -> (f64, f64, f64) {
+        let pes = self.pes as f64;
+        let (m, n, k) = (p.shape.m as f64, p.shape.n as f64, p.shape.k as f64);
+        let (da, db) = (p.density_a, p.density_b);
+        let useful = p.useful_macs();
+        match self.kind {
+            SparseAcceleratorKind::Eie => {
+                // Non-zero activations broadcast over a 64-lane bus; PEs
+                // holding matching CSC weight columns work in parallel
+                // with ~1.25x static-partitioning imbalance. Every output
+                // then funnels through the inter-PE accumulation network
+                // (8 results/cycle at this scale) — the bottleneck the
+                // paper calls out ("inter-PE communication overshadows
+                // the memory benefits").
+                let broadcast = da * m * k / 64.0;
+                let compute = useful * 1.25 / pes;
+                let output_net = m * n / 8.0;
+                (0.0, broadcast.max(compute) + output_net, 0.0)
+            }
+            SparseAcceleratorKind::Scnn => {
+                // Cartesian-product multiplies are perfectly sparse, but
+                // every partial product crosses the output crossbar into
+                // accumulator banks. On GEMM (= 1x1 conv with FP32
+                // outputs) bank conflicts and the conv-shaped front end
+                // sustain ~15% of the multiplier pool (the paper:
+                // "designed for conv... extended to GEMM").
+                let multiplies = useful / (pes * 0.5);
+                let scatter = useful / (pes * 0.15);
+                (0.0, multiplies.max(scatter), 0.0)
+            }
+            SparseAcceleratorKind::OuterSpace => {
+                // Outer-product: multiply phase is sparse-perfect; the
+                // merge (sort + accumulate partial products) phase
+                // sustains ~1/4 of the multiply throughput.
+                let multiply = useful / pes;
+                let merge = useful / (pes * 0.25);
+                (0.0, multiply, merge)
+            }
+            SparseAcceleratorKind::EyerissV2 => {
+                // Hierarchical-mesh row-stationary+: both operands sparse,
+                // ~70% sustained efficiency when both operands fit on
+                // chip; otherwise repeated DRAM refetch of the streamed
+                // operand costs ~3x.
+                let fits = (m * k + k * n) <= Self::EYERISS_BUFFER_WORDS as f64;
+                let eff = if fits { 0.70 } else { 0.70 / 3.0 };
+                (0.0, useful / (pes * eff), 0.0)
+            }
+            SparseAcceleratorKind::PackedSystolic => {
+                // Column combining packs sparse weight columns, removing
+                // at most 4x of the zeros; activations stay dense. The
+                // packed array still pays systolic fill/drain per fold.
+                let packed_density = db.max(0.25);
+                let issued = m * n * k * packed_density;
+                let side = pes.sqrt();
+                let folds = ((k * packed_density / side).ceil() * (n / side).ceil()).max(1.0);
+                (folds * side, issued / pes, folds * side)
+            }
+            SparseAcceleratorKind::CambriconX => {
+                // Weight sparsity only: zero weights are skipped via
+                // per-PE indexing (~15% overhead); dense activations are
+                // all fetched and multiplied.
+                let issued = m * n * k * db;
+                (0.0, issued * 1.15 / pes, 0.0)
+            }
+        }
+    }
+}
+
+impl GemmAccelerator for SparseAccelerator {
+    fn name(&self) -> String {
+        self.kind.name().to_string()
+    }
+
+    fn pes(&self) -> usize {
+        self.pes
+    }
+
+    fn simulate(&self, p: &GemmProblem) -> CycleStats {
+        let (load, stream, drain) = self.simulate_cycles(p);
+        let useful = p.useful_macs().round() as u128;
+        let issued = match self.kind {
+            SparseAcceleratorKind::PackedSystolic => {
+                (p.shape.macs() as f64 * p.density_b.max(0.25)) as u128
+            }
+            SparseAcceleratorKind::CambriconX => {
+                (p.shape.macs() as f64 * p.density_b) as u128
+            }
+            _ => useful,
+        };
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        CycleStats {
+            loading_cycles: load.round() as u64,
+            streaming_cycles: stream.round().max(1.0) as u64,
+            add_cycles: drain.round() as u64,
+            folds: 1,
+            useful_macs: useful,
+            issued_macs: issued,
+            mapped_nonzeros: 0,
+            occupied_slots: 0,
+            pes: self.pes as u64,
+            sram_reads: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_matrix::GemmShape;
+
+    fn sparse_problem() -> GemmProblem {
+        // Fig. 14's regime: 80% sparsity on one matrix, 30% on the other.
+        GemmProblem::sparse(GemmShape::new(1024, 1024, 1024), 0.7, 0.2)
+    }
+
+    #[test]
+    fn all_kinds_produce_positive_latency() {
+        for kind in SparseAcceleratorKind::ALL {
+            let acc = SparseAccelerator::new(kind, 16384);
+            let s = acc.simulate(&sparse_problem());
+            assert!(s.total_cycles() > 0, "{kind}");
+            assert_eq!(acc.pes(), 16384);
+        }
+    }
+
+    #[test]
+    fn weight_only_designs_ignore_activation_sparsity() {
+        let shape = GemmShape::new(512, 512, 512);
+        for kind in [SparseAcceleratorKind::PackedSystolic, SparseAcceleratorKind::CambriconX] {
+            let acc = SparseAccelerator::new(kind, 16384);
+            let dense_act = acc.simulate(&GemmProblem::sparse(shape, 1.0, 0.3));
+            let sparse_act = acc.simulate(&GemmProblem::sparse(shape, 0.2, 0.3));
+            assert_eq!(
+                dense_act.total_cycles(),
+                sparse_act.total_cycles(),
+                "{kind} should not speed up from activation sparsity"
+            );
+            assert!(!kind.exploits_both_sparsities());
+        }
+    }
+
+    #[test]
+    fn both_sparsity_designs_speed_up_with_either() {
+        let shape = GemmShape::new(512, 512, 512);
+        for kind in [
+            SparseAcceleratorKind::Scnn,
+            SparseAcceleratorKind::OuterSpace,
+            SparseAcceleratorKind::EyerissV2,
+        ] {
+            let acc = SparseAccelerator::new(kind, 16384);
+            let denser = acc.simulate(&GemmProblem::sparse(shape, 0.8, 0.8));
+            let sparser = acc.simulate(&GemmProblem::sparse(shape, 0.2, 0.8));
+            assert!(
+                sparser.total_cycles() < denser.total_cycles(),
+                "{kind} should exploit activation sparsity"
+            );
+            assert!(kind.exploits_both_sparsities());
+        }
+    }
+
+    #[test]
+    fn eie_broadcast_bound_on_large_activations() {
+        let acc = SparseAccelerator::new(SparseAcceleratorKind::Eie, 16384);
+        // Large M*K with modest N: the 64-lane activation broadcast floor
+        // dominates the parallel compute term.
+        let p = GemmProblem::sparse(GemmShape::new(4096, 64, 4096), 0.5, 0.5);
+        let s = acc.simulate(&p);
+        let broadcast = (0.5 * 4096.0 * 4096.0 / 64.0) as u64;
+        assert!(s.total_cycles() >= broadcast);
+        // And the broadcast term exceeds what pure compute would need.
+        let compute = (p.useful_macs() * 1.25 / 16384.0) as u64;
+        assert!(broadcast > compute);
+    }
+
+    #[test]
+    fn eyeriss_buffer_cliff() {
+        let acc = SparseAccelerator::new(SparseAcceleratorKind::EyerissV2, 16384);
+        let small = GemmProblem::sparse(GemmShape::new(512, 512, 512), 0.5, 0.5);
+        let big = GemmProblem::sparse(GemmShape::new(4096, 4096, 4096), 0.5, 0.5);
+        let s_small = acc.simulate(&small);
+        let s_big = acc.simulate(&big);
+        // Per-MAC cost triples when operands no longer fit.
+        let per_small = s_small.total_cycles() as f64 / small.useful_macs();
+        let per_big = s_big.total_cycles() as f64 / big.useful_macs();
+        assert!(per_big > 2.5 * per_small, "{per_small} vs {per_big}");
+    }
+
+    #[test]
+    fn outerspace_merge_dominates() {
+        let acc = SparseAccelerator::new(SparseAcceleratorKind::OuterSpace, 16384);
+        let s = acc.simulate(&sparse_problem());
+        assert!(s.add_cycles > s.streaming_cycles, "merge phase should dominate");
+    }
+
+    #[test]
+    fn names_and_order() {
+        assert_eq!(SparseAcceleratorKind::ALL.len(), 6);
+        assert_eq!(SparseAcceleratorKind::Eie.to_string(), "EIE");
+        assert_eq!(SparseAccelerator::new(SparseAcceleratorKind::Scnn, 4).name(), "SCNN");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_pes_panics() {
+        let _ = SparseAccelerator::new(SparseAcceleratorKind::Eie, 0);
+    }
+}

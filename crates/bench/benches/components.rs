@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the simulator's hot components: Benes
+//! routing, FAN reduction, the sparsity controller, and a full functional
+//! GEMM on a small SIGMA instance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_core::{ControllerPlan, Dataflow, SigmaConfig, SigmaSim};
+use sigma_interconnect::{BenesNetwork, Fan};
+use sigma_matrix::gen::{sparse_uniform, Density};
+
+fn bench_benes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    for n in [32usize, 128, 512] {
+        let net = BenesNetwork::new(n).unwrap();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        g.bench_with_input(BenchmarkId::new("permutation", n), &n, |b, _| {
+            b.iter(|| net.route_permutation(black_box(&perm)).unwrap())
+        });
+        let mc: Vec<Option<usize>> = (0..n).map(|o| Some(o / 4)).collect();
+        g.bench_with_input(BenchmarkId::new("multicast", n), &n, |b, _| {
+            b.iter(|| net.route_monotone_multicast(black_box(&mc)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fan_reduce");
+    for n in [32usize, 128, 512] {
+        let fan = Fan::new(n).unwrap();
+        let values: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 + 1.0).collect();
+        let ids: Vec<Option<u32>> = (0..n).map(|i| Some((i / 5) as u32)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fan.reduce(black_box(&values), black_box(&ids)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let a = sparse_uniform(128, 128, Density::new(0.2).unwrap(), 3);
+    let b = sparse_uniform(128, 128, Density::new(0.5).unwrap(), 4);
+    c.bench_function("controller_plan_128x128", |bn| {
+        bn.iter(|| ControllerPlan::build(black_box(&a), black_box(b.bitmap()), 1024))
+    });
+}
+
+fn bench_full_gemm(c: &mut Criterion) {
+    let sim = SigmaSim::new(
+        SigmaConfig::new(4, 32, 128, Dataflow::WeightStationary).unwrap(),
+    )
+    .unwrap();
+    let a = sparse_uniform(48, 48, Density::new(0.5).unwrap(), 5);
+    let b = sparse_uniform(48, 48, Density::new(0.2).unwrap(), 6);
+    c.bench_function("sigma_functional_gemm_48", |bn| {
+        bn.iter(|| sim.run_gemm(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_functional_baselines(c: &mut Criterion) {
+    use sigma_baselines::{EieSim, OuterProductSim, SystolicSim};
+    let a = sparse_uniform(32, 32, Density::new(0.4).unwrap(), 7).to_dense();
+    let b = sparse_uniform(32, 32, Density::new(0.4).unwrap(), 8).to_dense();
+    c.bench_function("systolic_functional_ws_32", |bn| {
+        let sim = SystolicSim::new(8, 8);
+        bn.iter(|| sim.run_gemm(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("systolic_functional_os_32", |bn| {
+        let sim = SystolicSim::new(8, 8);
+        bn.iter(|| sim.run_gemm_output_stationary(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("eie_functional_32", |bn| {
+        let sim = EieSim::new(16, 2);
+        bn.iter(|| sim.run_gemm(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("outerspace_functional_32", |bn| {
+        let sim = OuterProductSim::new(64, 16);
+        bn.iter(|| sim.run_gemm(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_butterfly_blocking(c: &mut Criterion) {
+    use sigma_interconnect::Butterfly;
+    let bf = Butterfly::new(64).unwrap();
+    c.bench_function("butterfly_random_waves_64", |bn| {
+        bn.iter(|| bf.average_random_waves(black_box(4)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_benes,
+    bench_fan,
+    bench_controller,
+    bench_full_gemm,
+    bench_functional_baselines,
+    bench_butterfly_blocking
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches that exercise every figure regenerator end-to-end,
+//! so `cargo bench --workspace` covers each experiment path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_bench::figs;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig01_workloads", |b| b.iter(figs::fig01::table));
+    g.bench_function("fig02_op_breakdown", |b| b.iter(figs::fig02::table));
+    g.bench_function("fig03_gpu_efficiency", |b| {
+        b.iter(|| (figs::fig03::table_dense(), figs::fig03::table_sparse()))
+    });
+    g.bench_function("fig04_mapping_examples", |b| b.iter(figs::fig04::table));
+    g.bench_function("fig06_fan_comparison", |b| b.iter(figs::fig06::table));
+    g.bench_function("fig07_compression", |b| b.iter(figs::fig07::table));
+    g.bench_function("fig08_area_power", |b| b.iter(figs::fig08::table));
+    g.bench_function("fig09_dse", |b| b.iter(figs::fig09::table));
+    g.bench_function("fig10_dataflows", |b| b.iter(figs::fig10::table));
+    g.bench_function("fig11_progressive", |b| b.iter(figs::fig11::table));
+    g.bench_function("fig12_dense_and_sparse", |b| {
+        b.iter(|| (figs::fig12::table_dense(), figs::fig12::table_sparse()))
+    });
+    g.bench_function("fig13_energy", |b| b.iter(figs::fig13::table));
+    g.bench_function("fig14_sparse_accels", |b| b.iter(figs::fig14::table));
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

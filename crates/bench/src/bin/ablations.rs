@@ -1,0 +1,10 @@
+//! Prints the design-choice ablation studies (distribution network,
+//! reduction network, loading bandwidth, compression format).
+fn main() {
+    println!("{}", sigma_bench::figs::ablations::table_distribution());
+    println!("{}", sigma_bench::figs::ablations::table_reduction());
+    println!("{}", sigma_bench::figs::ablations::table_bandwidth());
+    println!("{}", sigma_bench::figs::ablations::table_format());
+    println!("{}", sigma_bench::figs::ablations::table_packing());
+    println!("{}", sigma_bench::figs::ablations::table_functional_engines());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1b (workload GEMM dimensions).
+fn main() {
+    println!("{}", sigma_bench::figs::fig01::table());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (V100 efficiency, dense and cuSPARSE).
+fn main() {
+    println!("{}", sigma_bench::figs::fig03::table_dense());
+    println!("{}", sigma_bench::figs::fig03::table_sparse());
+}

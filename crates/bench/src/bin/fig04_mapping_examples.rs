@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (systolic vs Flex-DPE mapping micro-examples).
+fn main() {
+    println!("{}", sigma_bench::figs::fig04::table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6b (FAN vs ART vs linear reduction).
+fn main() {
+    println!("{}", sigma_bench::figs::fig06::table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (compression-format metadata overhead).
+fn main() {
+    println!("{}", sigma_bench::figs::fig07::table());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (energy reduction and perf/area vs the TPU).
+fn main() {
+    println!("{}", sigma_bench::figs::fig13::table());
+    println!("{}", sigma_bench::figs::fig13::breakdown_table());
+}

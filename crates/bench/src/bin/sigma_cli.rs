@@ -1,0 +1,189 @@
+//! `sigma_cli` — run an arbitrary GEMM through the SIGMA models from the
+//! command line.
+//!
+//! ```sh
+//! cargo run -p sigma-bench --bin sigma_cli -- \
+//!     --m 1024 --n 1024 --k 1024 --input-sparsity 0.5 --weight-sparsity 0.8 \
+//!     --dpes 128 --dpe-size 128 --bandwidth 128 [--functional] [--energy]
+//! ```
+//!
+//! Prints per-dataflow Table-II stats, the best-dataflow choice, the TPU
+//! baseline, and (optionally) the activity-based energy breakdown. With
+//! `--functional` the GEMM is also executed through the functional
+//! simulator on scaled-down operands and verified against the reference.
+
+use sigma_baselines::{GemmAccelerator, SystolicArray};
+use sigma_core::model::{estimate, estimate_best, GemmProblem};
+use sigma_core::{Dataflow, SigmaConfig, SigmaSim};
+use sigma_energy::EnergyBreakdown;
+use sigma_matrix::gen::{sparse_uniform, Density};
+use sigma_matrix::GemmShape;
+
+#[derive(Debug)]
+struct Args {
+    m: usize,
+    n: usize,
+    k: usize,
+    input_sparsity: f64,
+    weight_sparsity: f64,
+    dpes: usize,
+    dpe_size: usize,
+    bandwidth: usize,
+    functional: bool,
+    energy: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            m: 1024,
+            n: 1024,
+            k: 1024,
+            input_sparsity: 0.0,
+            weight_sparsity: 0.0,
+            dpes: 128,
+            dpe_size: 128,
+            bandwidth: 128,
+            functional: false,
+            energy: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let mut take = |field: &mut dyn FnMut(&str) -> Result<(), String>| {
+                i += 1;
+                let v = argv.get(i).ok_or_else(|| format!("{flag} needs a value"))?;
+                field(v)
+            };
+            match flag {
+                "--m" => take(&mut |v| {
+                    args.m = v.parse().map_err(|e| format!("--m: {e}"))?;
+                    Ok(())
+                })?,
+                "--n" => take(&mut |v| {
+                    args.n = v.parse().map_err(|e| format!("--n: {e}"))?;
+                    Ok(())
+                })?,
+                "--k" => take(&mut |v| {
+                    args.k = v.parse().map_err(|e| format!("--k: {e}"))?;
+                    Ok(())
+                })?,
+                "--input-sparsity" => take(&mut |v| {
+                    args.input_sparsity = v.parse().map_err(|e| format!("--input-sparsity: {e}"))?;
+                    Ok(())
+                })?,
+                "--weight-sparsity" => take(&mut |v| {
+                    args.weight_sparsity =
+                        v.parse().map_err(|e| format!("--weight-sparsity: {e}"))?;
+                    Ok(())
+                })?,
+                "--dpes" => take(&mut |v| {
+                    args.dpes = v.parse().map_err(|e| format!("--dpes: {e}"))?;
+                    Ok(())
+                })?,
+                "--dpe-size" => take(&mut |v| {
+                    args.dpe_size = v.parse().map_err(|e| format!("--dpe-size: {e}"))?;
+                    Ok(())
+                })?,
+                "--bandwidth" => take(&mut |v| {
+                    args.bandwidth = v.parse().map_err(|e| format!("--bandwidth: {e}"))?;
+                    Ok(())
+                })?,
+                "--functional" => args.functional = true,
+                "--energy" => args.energy = true,
+                "--help" | "-h" => {
+                    return Err("usage: sigma_cli --m M --n N --k K \
+                        [--input-sparsity S] [--weight-sparsity S] \
+                        [--dpes D] [--dpe-size P] [--bandwidth W] \
+                        [--functional] [--energy]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag {other} (try --help)")),
+            }
+            i += 1;
+        }
+        if !(0.0..1.0).contains(&args.input_sparsity)
+            || !(0.0..1.0).contains(&args.weight_sparsity)
+        {
+            return Err("sparsities must be in [0, 1)".to_string());
+        }
+        Ok(args)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let shape = GemmShape::new(args.m, args.n, args.k);
+    let p = GemmProblem::sparse(shape, 1.0 - args.input_sparsity, 1.0 - args.weight_sparsity);
+    let cfg = match SigmaConfig::new(args.dpes, args.dpe_size, args.bandwidth, Dataflow::WeightStationary)
+        .and_then(|c| c.with_stream_bandwidth(args.dpes * args.dpe_size))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "GEMM {shape} | input sparsity {:.0}% | weight sparsity {:.0}% | SIGMA {} x Flex-DPE-{}",
+        args.input_sparsity * 100.0,
+        args.weight_sparsity * 100.0,
+        args.dpes,
+        args.dpe_size
+    );
+    println!();
+    for df in Dataflow::ALL {
+        let s = estimate(&cfg.with_dataflow(df), &p);
+        println!("  {df:>14}: {s}");
+    }
+    let (best_df, best) = estimate_best(&cfg, &p);
+    println!("\n  best dataflow: {best_df} ({} cycles)", best.total_cycles());
+
+    let tpu = SystolicArray::new(128, 128);
+    let t = tpu.simulate(&p);
+    println!(
+        "  TPU 128x128  : {} cycles -> SIGMA speedup {:.2}x",
+        t.total_cycles(),
+        t.total_cycles() as f64 / best.total_cycles() as f64
+    );
+
+    if args.energy {
+        let b = EnergyBreakdown::from_stats(&best, args.dpe_size);
+        println!("\n  energy breakdown ({:.3} mJ total):", b.total_j() * 1e3);
+        for (label, j) in b.rows() {
+            println!("    {label:>10}: {:>8.3} mJ ({:>4.1}%)", j * 1e3, 100.0 * j / b.total_j());
+        }
+    }
+
+    if args.functional {
+        let cap = 64usize;
+        let fm = args.m.min(cap);
+        let fn_ = args.n.min(cap);
+        let fk = args.k.min(cap);
+        let a = sparse_uniform(fm, fk, Density::new(1.0 - args.input_sparsity).unwrap(), 1);
+        let b = sparse_uniform(fk, fn_, Density::new(1.0 - args.weight_sparsity).unwrap(), 2);
+        let sim = SigmaSim::new(
+            SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).unwrap(),
+        )
+        .unwrap();
+        let (df, run) = sim.run_best_stationary(&a, &b).unwrap();
+        let reference = a.to_dense().matmul(&b.to_dense());
+        let ok = run.result.approx_eq(&reference, 1e-3 * fk as f32);
+        println!(
+            "\n  functional check on {fm}x{fk}x{fn_} (4 x Flex-DPE-16, {df}): {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

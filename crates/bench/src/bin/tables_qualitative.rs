@@ -1,0 +1,6 @@
+//! Prints Tables I and III (the paper's qualitative comparisons, derived
+//! from the live models where machine-checkable).
+fn main() {
+    println!("{}", sigma_bench::figs::tables::table01());
+    println!("{}", sigma_bench::figs::tables::table03());
+}

@@ -1,0 +1,36 @@
+//! Fig. 1b: example GEMM dimensions from common deep-learning workloads.
+
+use crate::util::Table;
+use sigma_workloads::fig1b_suite;
+
+/// Renders the workload GEMM dimension table.
+#[must_use]
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "Fig. 1b — GEMM dimensions (M, N, K) in DL training workloads",
+        &["workload", "layer", "M", "N", "K", "aspect max/min"],
+    );
+    for g in fig1b_suite() {
+        t.push(vec![
+            g.workload.to_string(),
+            g.layer.to_string(),
+            g.shape.m.to_string(),
+            g.shape.n.to_string(),
+            g.shape.k.to_string(),
+            format!("{:.0}", g.shape.irregularity()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers_all_four_workloads() {
+        let t = super::table();
+        let body = t.render();
+        for w in ["Transformer", "GNMT", "NCF", "DeepBench"] {
+            assert!(body.contains(w), "missing {w}");
+        }
+    }
+}

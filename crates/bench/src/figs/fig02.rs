@@ -1,0 +1,49 @@
+//! Fig. 2: time breakdown of one training step on the modeled V100.
+//! The paper's headline: MatMul-shaped work is ~70% of the step.
+
+use crate::util::{fmt_pct, Table};
+use sigma_baselines::gpu::GpuModel;
+use sigma_workloads::training::{step_breakdown, TrainingModel};
+
+/// Renders the op-class breakdown for Transformer and GNMT.
+#[must_use]
+pub fn table() -> Table {
+    let gpu = GpuModel::v100();
+    let mut t = Table::new(
+        "Fig. 2 — training-step time breakdown on V100 (modeled)",
+        &["model", "op class", "time (ms)", "share"],
+    );
+    for model in [TrainingModel::Transformer, TrainingModel::Gnmt] {
+        let breakdown = step_breakdown(model, &gpu);
+        let total: f64 = breakdown.iter().map(|(_, s)| s).sum();
+        for (class, secs) in breakdown {
+            t.push(vec![
+                model.to_string(),
+                class.to_string(),
+                format!("{:.2}", secs * 1e3),
+                fmt_pct(secs / total),
+            ]);
+        }
+    }
+    t
+}
+
+/// The MatMul share per model, for shape assertions.
+#[must_use]
+pub fn matmul_shares() -> Vec<(TrainingModel, f64)> {
+    let gpu = GpuModel::v100();
+    [TrainingModel::Transformer, TrainingModel::Gnmt]
+        .into_iter()
+        .map(|m| (m, sigma_workloads::training::matmul_fraction(m, &gpu)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matmul_share_is_about_70_percent() {
+        for (model, share) in super::matmul_shares() {
+            assert!((0.55..=0.85).contains(&share), "{model}: {share}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 3: V100 compute efficiency on (a) dense irregular GEMMs at
+//! FP32/FP16 and (b) cuSPARSE with 50%/80% unstructured sparsity.
+
+use crate::util::{fmt_pct, Table};
+use sigma_baselines::gpu::{GpuModel, GpuPrecision};
+use sigma_matrix::GemmShape;
+use sigma_workloads::fig1b_suite;
+
+fn kernels() -> Vec<(String, GemmShape)> {
+    let mut v: Vec<(String, GemmShape)> = fig1b_suite()
+        .into_iter()
+        .filter(|g| g.shape.mk_elems() > 1 << 16) // measurable kernels
+        .map(|g| (g.to_string(), g.shape))
+        .collect();
+    v.push(("dense regular 2048-2048-2048".to_string(), GemmShape::new(2048, 2048, 2048)));
+    v
+}
+
+/// Fig. 3a: dense GEMM efficiency, FP32 vs FP16 tensor cores.
+#[must_use]
+pub fn table_dense() -> Table {
+    let gpu = GpuModel::v100();
+    let mut t = Table::new(
+        "Fig. 3a — V100 efficiency on dense DL GEMMs (modeled)",
+        &["kernel", "FP32 eff", "FP16-TC eff"],
+    );
+    for (name, shape) in kernels() {
+        t.push(vec![
+            name,
+            fmt_pct(gpu.dense_efficiency(shape, GpuPrecision::Fp32)),
+            fmt_pct(gpu.dense_efficiency(shape, GpuPrecision::Fp16Tensor)),
+        ]);
+    }
+    t
+}
+
+/// Fig. 3b: cuSPARSE efficiency with one sparse operand.
+#[must_use]
+pub fn table_sparse() -> Table {
+    let gpu = GpuModel::v100();
+    let mut t = Table::new(
+        "Fig. 3b — V100 cuSPARSE efficiency, one sparse operand (modeled)",
+        &["kernel", "dense FP32 eff", "50% sparse eff", "80% sparse eff"],
+    );
+    for (name, shape) in kernels() {
+        t.push(vec![
+            name,
+            fmt_pct(gpu.dense_efficiency(shape, GpuPrecision::Fp32)),
+            fmt_pct(gpu.cusparse_efficiency(shape, 0.5)),
+            fmt_pct(gpu.cusparse_efficiency(shape, 0.2)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_efficiency_is_a_fraction_of_dense() {
+        // The paper observes ~4x average efficiency reduction vs dense FP32.
+        let gpu = GpuModel::v100();
+        let mut ratios = Vec::new();
+        for (_, shape) in kernels() {
+            let dense = gpu.dense_efficiency(shape, GpuPrecision::Fp32);
+            let sparse = gpu.cusparse_efficiency(shape, 0.5);
+            ratios.push(dense / sparse);
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((2.0..=8.0).contains(&avg), "avg dense/sparse ratio {avg} (paper ~4x)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 6b: spatial FP32 reduction comparison — post-layout area, power,
+//! speedup and EDP for linear reduction, MAERI's ART, and FAN, across PE
+//! counts, on the paper's experiment (100 stationary folds, stream
+//! dimension 1000).
+
+use crate::util::{fmt_x, Table};
+use sigma_energy::{reduction_report, EnergyDelay};
+use sigma_interconnect::{ReductionKind, ReductionNetwork};
+
+/// The Fig. 6b experiment parameters.
+pub const FOLDS: u64 = 100;
+/// Stream dimension per fold.
+pub const STREAM: u64 = 1000;
+
+/// PE counts swept in the figure.
+pub const SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+/// Renders area/power/speedup/EDP rows per (size, kind).
+#[must_use]
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "Fig. 6b — reduction networks: area, power, speedup, EDP (100 folds x 1000 stream)",
+        &["PEs", "network", "area mm2", "power W", "speedup vs linear", "EDP vs linear"],
+    );
+    for size in SIZES {
+        let lin_edp =
+            EnergyDelay::of_fold_experiment(ReductionKind::Linear, size, FOLDS, STREAM).edp();
+        for kind in ReductionKind::ALL {
+            let rep = reduction_report(kind, size);
+            let net = ReductionNetwork::new(kind, size);
+            let edp = EnergyDelay::of_fold_experiment(kind, size, FOLDS, STREAM).edp();
+            t.push(vec![
+                size.to_string(),
+                kind.to_string(),
+                format!("{:.4}", rep.area_mm2),
+                format!("{:.4}", rep.power_w),
+                fmt_x(net.speedup_vs_linear(FOLDS, STREAM)),
+                format!("{:.3}", edp / lin_edp),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_overheads_match_paper_at_512() {
+        let lin = reduction_report(ReductionKind::Linear, 512);
+        let fan = reduction_report(ReductionKind::Fan, 512);
+        assert!((fan.area_mm2 / lin.area_mm2 - 1.10).abs() < 0.03);
+        assert!((fan.power_w / lin.power_w - 1.31).abs() < 0.05);
+    }
+
+    #[test]
+    fn fan_edp_crossover_exists() {
+        // Linear wins EDP at small sizes; FAN wins at large sizes.
+        let edp_ratio = |size| {
+            EnergyDelay::of_fold_experiment(ReductionKind::Fan, size, FOLDS, STREAM).edp()
+                / EnergyDelay::of_fold_experiment(ReductionKind::Linear, size, FOLDS, STREAM)
+                    .edp()
+        };
+        assert!(edp_ratio(16) > 1.0, "linear should win at 16 PEs");
+        assert!(edp_ratio(512) < 0.7, "FAN should win big at 512 PEs");
+    }
+
+    #[test]
+    fn speedup_grows_monotonically_with_size() {
+        let mut last = 0.0;
+        for size in SIZES {
+            let s = ReductionNetwork::new(ReductionKind::Fan, size).speedup_vs_linear(FOLDS, STREAM);
+            assert!(s >= last);
+            last = s;
+        }
+        assert!(last > 1.4);
+    }
+}

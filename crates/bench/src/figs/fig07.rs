@@ -1,0 +1,79 @@
+//! Fig. 7: matrix memory (metadata) overhead by compression format, for
+//! the paper's M=1632, K=36548 matrix across sparsity levels.
+
+use crate::util::Table;
+use sigma_matrix::formats::{expected_metadata_bits, CompressionKind};
+
+/// The matrix dimensions of Fig. 7.
+pub const ROWS: usize = 1632;
+/// Columns of the Fig. 7 matrix.
+pub const COLS: usize = 36548;
+
+/// Sparsity levels swept (fraction of zeros).
+pub const SPARSITIES: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Metadata megabits for one format at one sparsity.
+#[must_use]
+pub fn metadata_mbits(kind: CompressionKind, sparsity: f64) -> f64 {
+    expected_metadata_bits(kind, ROWS, COLS, 1.0 - sparsity) / 1e6
+}
+
+/// Renders metadata size per format across the sparsity sweep.
+#[must_use]
+pub fn table() -> Table {
+    let mut headers: Vec<String> = vec!["sparsity".to_string()];
+    headers.extend(CompressionKind::ALL.iter().map(|k| format!("{k} (Mb)")));
+    let href: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 7 — metadata overhead, M=1632 x K=36548 (megabits)",
+        &href,
+    );
+    for s in SPARSITIES {
+        let mut row = vec![format!("{:.0}%", s * 100.0)];
+        for kind in CompressionKind::ALL {
+            row.push(format!("{:.1}", metadata_mbits(kind, s)));
+        }
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_is_flat_across_sparsity() {
+        let lo = metadata_mbits(CompressionKind::Bitmap, 0.1);
+        let hi = metadata_mbits(CompressionKind::Bitmap, 0.9);
+        assert_eq!(lo, hi);
+        assert!((lo - (ROWS * COLS) as f64 / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossovers_match_paper() {
+        // Bitmap beats COO/CSR/CSC below ~30% sparsity.
+        for kind in [CompressionKind::Coo, CompressionKind::Csr, CompressionKind::Csc] {
+            assert!(
+                metadata_mbits(CompressionKind::Bitmap, 0.1) < metadata_mbits(kind, 0.1),
+                "{kind} should be worse than bitmap at 10% sparsity"
+            );
+        }
+        // RLC-4 beats bitmap above ~70% sparsity, loses below ~30%.
+        assert!(
+            metadata_mbits(CompressionKind::Rlc4, 0.9)
+                < metadata_mbits(CompressionKind::Bitmap, 0.9)
+        );
+        assert!(
+            metadata_mbits(CompressionKind::Rlc4, 0.1)
+                > metadata_mbits(CompressionKind::Bitmap, 0.1)
+        );
+    }
+
+    #[test]
+    fn index_formats_shrink_with_sparsity() {
+        for kind in [CompressionKind::Coo, CompressionKind::Csr] {
+            assert!(metadata_mbits(kind, 0.9) < metadata_mbits(kind, 0.1));
+        }
+    }
+}

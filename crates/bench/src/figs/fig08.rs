@@ -1,0 +1,119 @@
+//! Fig. 8: post-layout comparison of a 128x128 TPU-like systolic array vs
+//! SIGMA (128 Flex-DPE-128) — area, power, and effective TFLOPS from the
+//! average efficiencies measured across the evaluation GEMMs.
+
+use crate::util::{fmt_pct, Table};
+use sigma_baselines::{GemmAccelerator, SystolicArray};
+use sigma_core::model::estimate_best;
+use sigma_core::SigmaConfig;
+use sigma_energy::{sigma_report, systolic_report};
+use sigma_workloads::{evaluation_suite, SparsityProfile};
+
+/// Average overall efficiencies across the evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvgEff {
+    /// Average over dense runs.
+    pub dense: f64,
+    /// Average over the paper-sparse runs (the Fig. 8 headline workload).
+    pub sparse: f64,
+    /// Average over both.
+    pub all: f64,
+}
+
+/// Average overall efficiency of (TPU, SIGMA) across the evaluation suite,
+/// dense and paper-sparse.
+#[must_use]
+pub fn average_efficiencies() -> (AvgEff, AvgEff) {
+    let tpu = SystolicArray::new(128, 128);
+    let cfg = SigmaConfig::paper();
+    let mut tpu_eff: Vec<(f64, bool)> = Vec::new();
+    let mut sigma_eff: Vec<(f64, bool)> = Vec::new();
+    for g in evaluation_suite() {
+        for (profile, sparse) in
+            [(SparsityProfile::DENSE, false), (SparsityProfile::PAPER_SPARSE, true)]
+        {
+            let p = profile.problem(g.shape);
+            tpu_eff.push((tpu.simulate(&p).overall_efficiency(), sparse));
+            sigma_eff.push((estimate_best(&cfg, &p).1.overall_efficiency(), sparse));
+        }
+    }
+    let avg = |xs: &[(f64, bool)]| -> AvgEff {
+        let pick = |want: Option<bool>| {
+            let v: Vec<f64> = xs
+                .iter()
+                .filter(|(_, s)| want.is_none() || Some(*s) == want)
+                .map(|(e, _)| *e)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        AvgEff { dense: pick(Some(false)), sparse: pick(Some(true)), all: pick(None) }
+    };
+    (avg(&tpu_eff), avg(&sigma_eff))
+}
+
+/// Renders the Fig. 8 comparison table.
+#[must_use]
+pub fn table() -> Table {
+    let (tpu_eff, sigma_eff) = average_efficiencies();
+    let tpu = systolic_report(128, 128);
+    let sigma = sigma_report(128, 128);
+    let mut t = Table::new(
+        "Fig. 8 — compute-array area/power and effective TFLOPS (28 nm)",
+        &[
+            "design",
+            "area mm2",
+            "power W",
+            "avg eff (all)",
+            "eff TFLOPS (all)",
+            "sparse eff",
+            "sparse TFLOPS/W",
+        ],
+    );
+    for (rep, eff) in [(tpu, tpu_eff), (sigma, sigma_eff)] {
+        t.push(vec![
+            rep.name.to_string(),
+            format!("{:.2}", rep.area_mm2),
+            format!("{:.2}", rep.power_w),
+            fmt_pct(eff.all),
+            format!("{:.2}", rep.effective_tflops(eff.all)),
+            fmt_pct(eff.sparse),
+            format!("{:.3}", rep.effective_tflops_per_watt(eff.sparse)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_totals_and_overheads() {
+        let tpu = systolic_report(128, 128);
+        let sigma = sigma_report(128, 128);
+        assert!((sigma.area_mm2 - 65.10).abs() / 65.10 < 0.05);
+        assert!((sigma.power_w - 22.33).abs() / 22.33 < 0.05);
+        assert!((sigma.area_mm2 / tpu.area_mm2 - 1.377).abs() < 0.08);
+    }
+
+    #[test]
+    fn effective_tflops_per_watt_ratio_is_about_3x() {
+        // Paper Sec. V: "average 3.2x improvement in Effective TFLOPs/Watt"
+        // on its (sparse) target workloads.
+        let (tpu_eff, sigma_eff) = average_efficiencies();
+        let tpu = systolic_report(128, 128);
+        let sigma = sigma_report(128, 128);
+        let ratio = sigma.effective_tflops_per_watt(sigma_eff.sparse)
+            / tpu.effective_tflops_per_watt(tpu_eff.sparse);
+        assert!((1.8..=4.5).contains(&ratio), "TFLOPS/W ratio {ratio} (paper 3.2x)");
+    }
+
+    #[test]
+    fn sigma_effective_tflops_near_paper_headline() {
+        // Abstract: "10.8 TFLOPS efficiency" for the 16384-PE instance,
+        // averaged across the evaluated GEMMs.
+        let (_, sigma_eff) = average_efficiencies();
+        let eff_tflops = sigma_report(128, 128).effective_tflops(sigma_eff.all);
+        assert!((6.0..=16.4).contains(&eff_tflops), "effective TFLOPS {eff_tflops}");
+    }
+}

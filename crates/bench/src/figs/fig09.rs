@@ -1,0 +1,154 @@
+//! Fig. 9: design-space exploration of Flex-DPE size at a fixed 16384-PE
+//! budget — aggregate energy across the workloads and performance/area.
+//!
+//! On top of the core analytic model, the DSE charges the one latency
+//! term that *depends on DPE size*: partial dot-products that span
+//! Flex-DPE boundaries must merge over the inter-DPE NoC, serialized per
+//! fold across the active DPEs. Small DPEs fragment clusters across many
+//! boundaries; large DPEs pay more Benes area/power per PE — that tension
+//! is the figure.
+
+use crate::util::Table;
+use sigma_core::model::estimate_best;
+use sigma_core::{CycleStats, SigmaConfig};
+use sigma_energy::{sigma_report, DesignReport, CLOCK_HZ};
+use sigma_workloads::{evaluation_suite, SparsityProfile};
+
+/// The (num_dpes, dpe_size) sweep at 16384 total PEs.
+pub const CONFIGS: [(usize, usize); 7] =
+    [(1024, 16), (512, 32), (256, 64), (128, 128), (64, 256), (32, 512), (16, 1024)];
+
+/// Total cycles for the workload suite on one configuration, including
+/// the cross-DPE merge term.
+#[must_use]
+pub fn suite_cycles(num_dpes: usize, dpe_size: usize) -> u64 {
+    let cfg = SigmaConfig::new(num_dpes, dpe_size, 128, sigma_core::Dataflow::WeightStationary)
+        .unwrap()
+        .with_stream_bandwidth(num_dpes * dpe_size)
+        .unwrap();
+    let mut total = 0u64;
+    for g in evaluation_suite() {
+        let p = SparsityProfile::PAPER_SPARSE.problem(g.shape);
+        let (_, stats) = estimate_best(&cfg, &p);
+        total += stats.total_cycles() + cross_dpe_merge_cycles(&stats, num_dpes, dpe_size);
+    }
+    total
+}
+
+/// Cross-DPE merge serialization: per fold, each active Flex-DPE beyond
+/// the first hands one boundary partial to the NoC bus.
+#[must_use]
+pub fn cross_dpe_merge_cycles(stats: &CycleStats, num_dpes: usize, dpe_size: usize) -> u64 {
+    let pes = (num_dpes * dpe_size) as u64;
+    if stats.folds == 0 {
+        return 0;
+    }
+    let avg_occupancy = (stats.mapped_nonzeros / stats.folds).max(1);
+    let active_dpes = avg_occupancy.div_ceil(dpe_size as u64).min(num_dpes as u64);
+    let _ = pes;
+    stats.folds * active_dpes.saturating_sub(1)
+}
+
+/// One DSE row: config, area, power, energy over the suite, perf/area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// Number of Flex-DPEs.
+    pub num_dpes: usize,
+    /// Multipliers per Flex-DPE.
+    pub dpe_size: usize,
+    /// Design report (area/power).
+    pub report: DesignReport,
+    /// Suite runtime in cycles.
+    pub cycles: u64,
+    /// Suite energy in joules.
+    pub energy_j: f64,
+    /// Performance per area: (1/s) / mm².
+    pub perf_per_area: f64,
+}
+
+/// Sweeps all configurations.
+#[must_use]
+pub fn sweep() -> Vec<DsePoint> {
+    CONFIGS
+        .iter()
+        .map(|&(n, d)| {
+            let report = sigma_report(n, d);
+            let cycles = suite_cycles(n, d);
+            let seconds = cycles as f64 / CLOCK_HZ;
+            DsePoint {
+                num_dpes: n,
+                dpe_size: d,
+                report,
+                cycles,
+                energy_j: report.power_w * seconds,
+                perf_per_area: 1.0 / (seconds * report.area_mm2),
+            }
+        })
+        .collect()
+}
+
+/// Renders the DSE table.
+#[must_use]
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "Fig. 9 — Flex-DPE sizing DSE at 16384 PEs (sparse workload suite)",
+        &["config", "area mm2", "power W", "cycles", "energy mJ", "perf/area (norm)"],
+    );
+    let points = sweep();
+    let best_ppa = points.iter().map(|p| p.perf_per_area).fold(0.0, f64::max);
+    for p in &points {
+        t.push(vec![
+            format!("{} x Flex-DPE-{}", p.num_dpes, p.dpe_size),
+            format!("{:.2}", p.report.area_mm2),
+            format!("{:.2}", p.report.power_w),
+            crate::util::fmt_cycles(p.cycles),
+            format!("{:.2}", p.energy_j * 1e3),
+            format!("{:.3}", p.perf_per_area / best_ppa),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_optimum_is_a_moderate_dpe_size() {
+        // Paper: Flex-DPE-128 consumes the least energy. Allow one size
+        // class of slack around it.
+        let points = sweep();
+        let best = points
+            .iter()
+            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+            .unwrap();
+        assert!(
+            [64, 128, 256].contains(&best.dpe_size),
+            "energy optimum at Flex-DPE-{} (paper: 128)",
+            best.dpe_size
+        );
+    }
+
+    #[test]
+    fn area_efficiency_optimum_is_a_larger_dpe_size() {
+        // Paper: Flex-DPE-512 is the most area efficient.
+        let points = sweep();
+        let best = points
+            .iter()
+            .max_by(|a, b| a.perf_per_area.partial_cmp(&b.perf_per_area).unwrap())
+            .unwrap();
+        assert!(
+            [256, 512].contains(&best.dpe_size),
+            "perf/area optimum at Flex-DPE-{} (paper: 512)",
+            best.dpe_size
+        );
+    }
+
+    #[test]
+    fn extremes_are_suboptimal() {
+        let points = sweep();
+        let tiny = points.iter().find(|p| p.dpe_size == 16).unwrap();
+        let best_e = points.iter().map(|p| p.energy_j).fold(f64::INFINITY, f64::min);
+        assert!(tiny.energy_j > best_e, "16-wide DPEs should not be energy-optimal");
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 14: SIGMA against the sparse accelerators at 80%/30% sparsity on
+//! the two matrices. Per the paper's methodology, each design gets the
+//! best of the (matrix, sparsity) assignments.
+
+use crate::util::{fmt_x, geomean, Table};
+use sigma_baselines::{GemmAccelerator, SparseAccelerator, SparseAcceleratorKind};
+use sigma_core::model::{estimate_best, GemmProblem};
+use sigma_core::SigmaConfig;
+use sigma_matrix::GemmShape;
+
+/// The GEMMs compared in Fig. 14: the substantial workload shapes (the
+/// degenerate GEMV-like kernels of Fig. 12 are not in this figure).
+#[must_use]
+pub fn gemms() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(512, 512, 512),
+        GemmShape::new(1024, 1024, 1024),
+        GemmShape::new(4096, 4096, 4096),
+        GemmShape::new(1632, 36_548, 1024),
+        GemmShape::new(5124, 9124, 2560),
+        GemmShape::new(320, 3072, 4096),
+    ]
+}
+
+/// The sparsity combinations tested (80% / 30% on either operand).
+#[must_use]
+pub fn combos(shape: GemmShape) -> [GemmProblem; 2] {
+    [GemmProblem::sparse(shape, 0.2, 0.7), GemmProblem::sparse(shape, 0.7, 0.2)]
+}
+
+/// Best-case cycles for one accelerator across the combos.
+fn best_cycles(acc: &dyn GemmAccelerator, shape: GemmShape) -> u64 {
+    combos(shape).iter().map(|p| acc.simulate(p).total_cycles()).min().unwrap()
+}
+
+fn best_sigma(shape: GemmShape) -> u64 {
+    let cfg = SigmaConfig::paper();
+    combos(shape).iter().map(|p| estimate_best(&cfg, p).1.total_cycles()).min().unwrap()
+}
+
+/// SIGMA's speedup over each accelerator per GEMM.
+#[must_use]
+pub fn speedups() -> Vec<(SparseAcceleratorKind, Vec<(String, f64)>)> {
+    SparseAcceleratorKind::ALL
+        .iter()
+        .map(|&kind| {
+            let acc = SparseAccelerator::new(kind, 16384);
+            let rows = gemms()
+                .into_iter()
+                .map(|shape| {
+                    let other = best_cycles(&acc, shape);
+                    let sigma = best_sigma(shape);
+                    (shape.to_string(), other as f64 / sigma as f64)
+                })
+                .collect();
+            (kind, rows)
+        })
+        .collect()
+}
+
+/// Renders SIGMA's speedup over each sparse accelerator.
+#[must_use]
+pub fn table() -> Table {
+    let data = speedups();
+    let mut headers = vec!["GEMM".to_string()];
+    headers.extend(data.iter().map(|(k, _)| k.to_string()));
+    let href: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 14 — SIGMA speedup over sparse accelerators (80%/30% sparsity)",
+        &href,
+    );
+    for (i, shape) in gemms().iter().enumerate() {
+        let mut row = vec![shape.to_string()];
+        for (_, rows) in &data {
+            row.push(fmt_x(rows[i].1));
+        }
+        t.push(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for (_, rows) in &data {
+        let xs: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        geo_row.push(fmt_x(geomean(&xs)));
+    }
+    t.push(geo_row);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_geomean_is_about_3x() {
+        let mut all = Vec::new();
+        for (_, rows) in speedups() {
+            all.extend(rows.iter().map(|r| r.1));
+        }
+        let g = geomean(&all);
+        assert!((1.8..=6.0).contains(&g), "overall geomean {g} (paper ~3x)");
+    }
+
+    #[test]
+    fn sigma_wins_against_every_design_on_average() {
+        for (kind, rows) in speedups() {
+            let xs: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            assert!(geomean(&xs) > 1.0, "{kind} should lose on average");
+        }
+    }
+
+    #[test]
+    fn eyeriss_v2_wins_at_least_one_gemm() {
+        // The paper reports SIGMA slower than Eyeriss v2 on two GEMMs.
+        let data = speedups();
+        let (_, rows) =
+            data.iter().find(|(k, _)| *k == SparseAcceleratorKind::EyerissV2).unwrap();
+        assert!(
+            rows.iter().any(|(_, s)| *s < 1.0),
+            "Eyeriss v2 should win somewhere: {rows:?}"
+        );
+    }
+}

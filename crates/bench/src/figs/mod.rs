@@ -1,0 +1,73 @@
+//! One module per table/figure of the paper.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig01`] | Fig. 1b — workload GEMM dimension table |
+//! | [`fig02`] | Fig. 2 — training-step op-time breakdown |
+//! | [`fig03`] | Fig. 3 — V100 efficiency on irregular/sparse GEMMs |
+//! | [`fig04`] | Fig. 4 — systolic vs Flex-DPE mapping micro-examples |
+//! | [`fig06`] | Fig. 6b — FAN vs ART vs linear reduction |
+//! | [`fig07`] | Fig. 7 — compression-format metadata overhead |
+//! | [`fig08`] | Fig. 8 — SIGMA vs TPU area/power/effective TFLOPS |
+//! | [`fig09`] | Fig. 9 — Flex-DPE size design-space exploration |
+//! | [`fig10`] | Fig. 10 — dataflow comparison |
+//! | [`fig11`] | Fig. 11 — progressive feature speedups |
+//! | [`fig12`] | Fig. 12a/b — dense & sparse speedup over the TPU |
+//! | [`fig13`] | Fig. 13 — energy and perf/area vs the TPU |
+//! | [`fig14`] | Fig. 14 — SIGMA vs sparse accelerators |
+
+pub mod ablations;
+pub mod fig01;
+pub mod tables;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+
+use crate::util::Table;
+
+/// Every figure's tables, in paper order — what `all_figures` prints and
+/// `EXPERIMENTS.md` records.
+#[must_use]
+pub fn all_tables() -> Vec<Table> {
+    let mut t = vec![tables::table01(), fig01::table(), fig02::table(), fig03::table_dense(), fig03::table_sparse()];
+    t.push(fig04::table());
+    t.push(fig06::table());
+    t.push(fig07::table());
+    t.push(fig08::table());
+    t.push(fig09::table());
+    t.push(fig10::table());
+    t.push(fig11::table());
+    t.push(fig12::table_dense());
+    t.push(fig12::table_sparse());
+    t.push(fig13::table());
+    t.push(fig13::breakdown_table());
+    t.push(fig14::table());
+    t.push(tables::table03());
+    t.push(ablations::table_distribution());
+    t.push(ablations::table_reduction());
+    t.push(ablations::table_bandwidth());
+    t.push(ablations::table_format());
+    t.push(ablations::table_packing());
+    t.push(ablations::table_functional_engines());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_figure_renders() {
+        for table in super::all_tables() {
+            assert!(!table.rows.is_empty(), "{} has no rows", table.title);
+            assert!(!table.render().is_empty());
+        }
+    }
+}

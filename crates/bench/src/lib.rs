@@ -1,0 +1,13 @@
+//! Experiment harness: one regenerator per table/figure of the paper.
+//!
+//! Each `figs::figNN` module computes the figure's data series through the
+//! workspace's models and renders it as an ASCII table whose rows mirror
+//! what the paper plots. Thin binaries (`src/bin/figNN_*.rs`) print them;
+//! `src/bin/all_figures.rs` prints everything (and is what
+//! `EXPERIMENTS.md` records); the Criterion benches exercise the same
+//! entry points plus the simulator's own hot loops.
+
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod util;

@@ -1,0 +1,66 @@
+//! Golden-structure test: every regenerated figure keeps its identity —
+//! title, column count and a sane row count — so a refactor cannot
+//! silently drop an experiment from `all_figures` / `EXPERIMENTS.md`.
+
+use sigma_bench::figs;
+
+#[test]
+fn all_figures_present_with_expected_structure() {
+    let tables = figs::all_tables();
+    // (title fragment, columns, minimum rows)
+    let expected: Vec<(&str, usize, usize)> = vec![
+        ("Table I", 3, 4),
+        ("Fig. 1b", 6, 12),
+        ("Fig. 2", 4, 12),
+        ("Fig. 3a", 3, 10),
+        ("Fig. 3b", 4, 10),
+        ("Fig. 4", 5, 6),
+        ("Fig. 6b", 6, 18),
+        ("Fig. 7", 8, 9),
+        ("Fig. 8", 7, 2),
+        ("Fig. 9", 6, 7),
+        ("Fig. 10", 8, 12),
+        ("Fig. 11", 4, 7),
+        ("Fig. 12a", 6, 7),
+        ("Fig. 12b", 5, 7),
+        ("Fig. 13", 3, 8),
+        ("Fig. 13 companion", 7, 7),
+        ("Fig. 14", 7, 7),
+        ("Table III", 4, 7),
+        ("Ablation — distribution", 5, 5),
+        ("Ablation — reduction", 4, 3),
+        ("Ablation — SRAM", 3, 5),
+        ("Ablation — front-end", 4, 4),
+        ("Ablation — fold packing", 5, 2),
+        ("Functional engines", 4, 8),
+    ];
+    assert_eq!(tables.len(), expected.len(), "figure count changed");
+    for ((fragment, cols, min_rows), table) in expected.into_iter().zip(&tables) {
+        assert!(
+            table.title.contains(fragment),
+            "expected a table titled with {fragment:?}, got {:?}",
+            table.title
+        );
+        assert_eq!(table.headers.len(), cols, "{fragment}: column count");
+        assert!(
+            table.rows.len() >= min_rows,
+            "{fragment}: only {} rows (expected >= {min_rows})",
+            table.rows.len()
+        );
+        for row in &table.rows {
+            assert!(row.iter().all(|c| !c.is_empty()), "{fragment}: empty cell");
+        }
+    }
+}
+
+#[test]
+fn csv_rendering_is_parseable() {
+    for table in figs::all_tables() {
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), table.rows.len() + 1);
+        let header_cols = lines[0].split(',').count();
+        assert!(header_cols >= table.headers.len() - 1, "{}", table.title);
+        assert!(!table.slug().is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Flex-DPU composition: scheduling multiple GEMMs over the Flex-DPE pool
+//! (Sec. IV-B).
+//!
+//! SIGMA's NoC statically partitions the Flex-DPEs into contiguous groups
+//! — Flexible Dot Product Units — one per concurrently running GEMM. The
+//! switches between Flex-DPEs act as a multicast bus within a DPU and as
+//! hop-by-hop forwarders between DPUs; they are configured once per
+//! mapping, with no dynamic routing.
+
+use crate::config::{SigmaConfig, SigmaError};
+use crate::engine::{GemmRun, SigmaSim};
+use crate::model::{estimate_best, GemmProblem};
+use crate::noc::{MeshNoc, NocStats};
+use crate::stats::CycleStats;
+use sigma_matrix::{GemmShape, SparseMatrix};
+
+/// The assignment of one GEMM to a contiguous range of Flex-DPEs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuAllocation {
+    /// Index of the GEMM in the submitted batch.
+    pub gemm: usize,
+    /// First Flex-DPE of the DPU.
+    pub first_dpe: usize,
+    /// Number of Flex-DPEs in the DPU.
+    pub num_dpes: usize,
+    /// Estimated stats for the GEMM on its DPU.
+    pub stats: CycleStats,
+    /// Inter-DPE NoC accounting: static configuration of the DPU's
+    /// switches plus the per-fold boundary-partial merges.
+    pub noc: NocStats,
+}
+
+/// How the Flex-DPE pool is split across a batch of GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionPolicy {
+    /// Shares proportional to each GEMM's useful MACs (the default).
+    #[default]
+    Proportional,
+    /// Equal shares regardless of job size.
+    Equal,
+    /// Makespan-driven: start from proportional, then greedily move one
+    /// Flex-DPE at a time from the job that finishes earliest to the one
+    /// that finishes latest while the makespan improves.
+    MakespanGreedy,
+}
+
+/// Partitions the Flex-DPE pool across a batch of GEMMs and estimates the
+/// batch makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpuAllocator {
+    config: SigmaConfig,
+}
+
+impl DpuAllocator {
+    /// Creates an allocator over the full SIGMA instance.
+    #[must_use]
+    pub fn new(config: SigmaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Splits the Flex-DPE pool proportionally to each GEMM's useful work,
+    /// guaranteeing each GEMM at least one Flex-DPE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::NoDpes`] if the batch has more GEMMs than
+    /// there are Flex-DPEs, or is empty.
+    pub fn partition(&self, problems: &[GemmProblem]) -> Result<Vec<usize>, SigmaError> {
+        if problems.is_empty() || problems.len() > self.config.num_dpes() {
+            return Err(SigmaError::NoDpes);
+        }
+        let total_work: f64 = problems.iter().map(GemmProblem::useful_macs).sum();
+        let pool = self.config.num_dpes();
+        let mut shares: Vec<usize> = problems
+            .iter()
+            .map(|p| {
+                if total_work <= 0.0 {
+                    1
+                } else {
+                    (((p.useful_macs() / total_work) * pool as f64).floor() as usize).max(1)
+                }
+            })
+            .collect();
+        // Distribute any leftover DPEs to the largest jobs; trim overflow
+        // from the largest shares.
+        loop {
+            let used: usize = shares.iter().sum();
+            match used.cmp(&pool) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Less => {
+                    let i = (0..shares.len())
+                        .max_by(|&a, &b| {
+                            problems[a]
+                                .useful_macs()
+                                .partial_cmp(&problems[b].useful_macs())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("non-empty");
+                    shares[i] += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    let i = (0..shares.len())
+                        .filter(|&i| shares[i] > 1)
+                        .max_by_key(|&i| shares[i])
+                        .expect("shares exceed pool only when some share > 1");
+                    shares[i] -= 1;
+                }
+            }
+        }
+        Ok(shares)
+    }
+
+    /// Splits the pool under a [`PartitionPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DpuAllocator::partition`].
+    pub fn partition_with_policy(
+        &self,
+        problems: &[GemmProblem],
+        policy: PartitionPolicy,
+    ) -> Result<Vec<usize>, SigmaError> {
+        let pool = self.config.num_dpes();
+        match policy {
+            PartitionPolicy::Proportional => self.partition(problems),
+            PartitionPolicy::Equal => {
+                if problems.is_empty() || problems.len() > pool {
+                    return Err(SigmaError::NoDpes);
+                }
+                let base = pool / problems.len();
+                let extra = pool % problems.len();
+                Ok((0..problems.len()).map(|i| base + usize::from(i < extra)).collect())
+            }
+            PartitionPolicy::MakespanGreedy => {
+                let mut shares = self.partition(problems)?;
+                let job_cycles = |p: &GemmProblem, dpes: usize| -> u64 {
+                    let sub = SigmaConfig::new(
+                        dpes,
+                        self.config.dpe_size(),
+                        (self.config.input_bandwidth() * dpes / pool).max(1),
+                        self.config.dataflow(),
+                    )
+                    .expect("valid sub-config");
+                    estimate_best(&sub, p).1.total_cycles()
+                };
+                let makespan = |shares: &[usize]| -> u64 {
+                    problems
+                        .iter()
+                        .zip(shares)
+                        .map(|(p, &d)| job_cycles(p, d))
+                        .max()
+                        .unwrap_or(0)
+                };
+                let mut best = makespan(&shares);
+                // Greedy improvement: donate one DPE from the fastest
+                // donor (with > 1 DPE) to the slowest job.
+                for _ in 0..4 * pool {
+                    let times: Vec<u64> =
+                        problems.iter().zip(&shares).map(|(p, &d)| job_cycles(p, d)).collect();
+                    let slowest = (0..times.len()).max_by_key(|&i| times[i]).expect("non-empty");
+                    let donor = (0..times.len())
+                        .filter(|&i| i != slowest && shares[i] > 1)
+                        .min_by_key(|&i| times[i]);
+                    let Some(donor) = donor else { break };
+                    shares[donor] -= 1;
+                    shares[slowest] += 1;
+                    let new = makespan(&shares);
+                    if new >= best {
+                        // Revert and stop: no further improvement.
+                        shares[donor] += 1;
+                        shares[slowest] -= 1;
+                        break;
+                    }
+                    best = new;
+                }
+                Ok(shares)
+            }
+        }
+    }
+
+    /// Allocates DPUs for a batch and estimates every GEMM's stats and the
+    /// batch makespan (all DPUs run concurrently).
+    ///
+    /// # Errors
+    ///
+    /// See [`DpuAllocator::partition`].
+    pub fn run_batch(
+        &self,
+        problems: &[GemmProblem],
+    ) -> Result<(Vec<DpuAllocation>, u64), SigmaError> {
+        let shares = self.partition(problems)?;
+        let mesh = MeshNoc::new(self.config.num_dpes(), self.config.input_bandwidth().max(1));
+        let mut allocations = Vec::with_capacity(problems.len());
+        let mut first = 0usize;
+        let mut makespan = 0u64;
+        for (i, (p, &dpes)) in problems.iter().zip(&shares).enumerate() {
+            let sub = SigmaConfig::new(
+                dpes,
+                self.config.dpe_size(),
+                // The SRAM bandwidth is shared in proportion to pool share.
+                (self.config.input_bandwidth() * dpes / self.config.num_dpes()).max(1),
+                self.config.dataflow(),
+            )?;
+            let (_, stats) = estimate_best(&sub, p);
+            let range = first..first + dpes;
+            let mut noc = mesh.configure_dpu(&range);
+            for _ in 0..stats.folds {
+                noc = noc.merged(&mesh.merge_boundary_partials(&range));
+            }
+            makespan = makespan.max(stats.total_cycles());
+            allocations
+                .push(DpuAllocation { gemm: i, first_dpe: first, num_dpes: dpes, stats, noc });
+            first += dpes;
+        }
+        Ok((allocations, makespan))
+    }
+
+    /// Functionally executes a batch of concrete GEMMs, one Flex-DPU per
+    /// GEMM, all DPUs concurrent. Returns each GEMM's verified run and
+    /// the batch makespan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors and per-GEMM dimension mismatches.
+    pub fn run_batch_functional(
+        &self,
+        gemms: &[(SparseMatrix, SparseMatrix)],
+    ) -> Result<(Vec<GemmRun>, u64), SigmaError> {
+        let problems: Vec<GemmProblem> = gemms
+            .iter()
+            .map(|(a, b)| {
+                let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+                GemmProblem::sparse(shape, 1.0 - a.sparsity(), 1.0 - b.sparsity())
+            })
+            .collect();
+        let shares = self.partition(&problems)?;
+        let mut runs = Vec::with_capacity(gemms.len());
+        let mut makespan = 0u64;
+        for ((a, b), &dpes) in gemms.iter().zip(&shares) {
+            let sub = SigmaConfig::new(
+                dpes,
+                self.config.dpe_size(),
+                (self.config.input_bandwidth() * dpes / self.config.num_dpes()).max(1),
+                self.config.dataflow(),
+            )?
+            .with_stream_bandwidth(
+                (self.config.stream_bandwidth() * dpes / self.config.num_dpes()).max(1),
+            )?;
+            let (_, run) = SigmaSim::new(sub)?.run_best_stationary(a, b)?;
+            makespan = makespan.max(run.stats.total_cycles());
+            runs.push(run);
+        }
+        Ok((runs, makespan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Dataflow;
+    use sigma_matrix::GemmShape;
+
+    fn cfg() -> SigmaConfig {
+        SigmaConfig::new(16, 32, 32, Dataflow::WeightStationary).unwrap()
+    }
+
+    #[test]
+    fn partition_is_proportional_and_complete() {
+        let alloc = DpuAllocator::new(cfg());
+        let problems = [
+            GemmProblem::dense(GemmShape::new(256, 256, 256)),
+            GemmProblem::dense(GemmShape::new(64, 64, 64)),
+        ];
+        let shares = alloc.partition(&problems).unwrap();
+        assert_eq!(shares.iter().sum::<usize>(), 16);
+        assert!(shares[0] > shares[1], "bigger GEMM gets more DPEs: {shares:?}");
+        assert!(shares[1] >= 1);
+    }
+
+    #[test]
+    fn partition_rejects_bad_batches() {
+        let alloc = DpuAllocator::new(cfg());
+        assert!(alloc.partition(&[]).is_err());
+        let too_many =
+            vec![GemmProblem::dense(GemmShape::new(8, 8, 8)); 17];
+        assert!(alloc.partition(&too_many).is_err());
+    }
+
+    #[test]
+    fn run_batch_covers_pool_contiguously() {
+        let alloc = DpuAllocator::new(cfg());
+        let problems = [
+            GemmProblem::dense(GemmShape::new(128, 128, 128)),
+            GemmProblem::sparse(GemmShape::new(128, 128, 128), 0.2, 0.5),
+            GemmProblem::dense(GemmShape::new(32, 32, 32)),
+        ];
+        let (allocs, makespan) = alloc.run_batch(&problems).unwrap();
+        assert_eq!(allocs.len(), 3);
+        let mut next = 0;
+        for a in &allocs {
+            assert_eq!(a.first_dpe, next, "DPUs must be contiguous");
+            next += a.num_dpes;
+            assert!(a.stats.total_cycles() <= makespan);
+        }
+        assert_eq!(next, 16);
+        assert_eq!(makespan, allocs.iter().map(|a| a.stats.total_cycles()).max().unwrap());
+    }
+
+    #[test]
+    fn equal_jobs_get_equal_shares() {
+        let alloc = DpuAllocator::new(cfg());
+        let problems = vec![GemmProblem::dense(GemmShape::new(64, 64, 64)); 4];
+        let shares = alloc.partition(&problems).unwrap();
+        assert_eq!(shares, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn partition_policies_cover_pool() {
+        let alloc = DpuAllocator::new(cfg());
+        let problems = [
+            GemmProblem::dense(GemmShape::new(512, 512, 512)),
+            GemmProblem::dense(GemmShape::new(64, 64, 64)),
+            GemmProblem::dense(GemmShape::new(128, 128, 128)),
+        ];
+        for policy in [
+            PartitionPolicy::Proportional,
+            PartitionPolicy::Equal,
+            PartitionPolicy::MakespanGreedy,
+        ] {
+            let shares = alloc.partition_with_policy(&problems, policy).unwrap();
+            assert_eq!(shares.iter().sum::<usize>(), 16, "{policy:?}");
+            assert!(shares.iter().all(|&s| s >= 1), "{policy:?}");
+        }
+        let eq = alloc.partition_with_policy(&problems, PartitionPolicy::Equal).unwrap();
+        assert_eq!(eq, vec![6, 5, 5]);
+    }
+
+    #[test]
+    fn makespan_greedy_never_loses_to_proportional() {
+        let alloc = DpuAllocator::new(cfg());
+        // A skewed batch where proportional underserves the big job's
+        // irregularity.
+        let problems = [
+            GemmProblem::sparse(GemmShape::new(2048, 64, 512), 0.3, 0.3),
+            GemmProblem::dense(GemmShape::new(96, 96, 96)),
+            GemmProblem::dense(GemmShape::new(64, 512, 32)),
+        ];
+        let cycles_for = |shares: &[usize]| -> u64 {
+            problems
+                .iter()
+                .zip(shares)
+                .map(|(p, &d)| {
+                    let sub =
+                        SigmaConfig::new(d, 32, (32 * d / 16).max(1), Dataflow::WeightStationary)
+                            .unwrap();
+                    crate::model::estimate_best(&sub, p).1.total_cycles()
+                })
+                .max()
+                .unwrap()
+        };
+        let prop = alloc
+            .partition_with_policy(&problems, PartitionPolicy::Proportional)
+            .unwrap();
+        let greedy = alloc
+            .partition_with_policy(&problems, PartitionPolicy::MakespanGreedy)
+            .unwrap();
+        assert!(cycles_for(&greedy) <= cycles_for(&prop));
+    }
+
+    #[test]
+    fn functional_batch_is_numerically_correct() {
+        use sigma_matrix::gen::{sparse_uniform, Density};
+        let alloc = DpuAllocator::new(cfg());
+        let gemms: Vec<_> = (0..3)
+            .map(|i| {
+                (
+                    sparse_uniform(12, 10, Density::new(0.5).unwrap(), 40 + i),
+                    sparse_uniform(10, 8, Density::new(0.6).unwrap(), 50 + i),
+                )
+            })
+            .collect();
+        let (runs, makespan) = alloc.run_batch_functional(&gemms).unwrap();
+        assert_eq!(runs.len(), 3);
+        for ((a, b), run) in gemms.iter().zip(&runs) {
+            let reference = a.to_dense().matmul(&b.to_dense());
+            assert!(run.result.approx_eq(&reference, 1e-3));
+            assert!(run.stats.total_cycles() <= makespan);
+        }
+        assert_eq!(
+            makespan,
+            runs.iter().map(|r| r.stats.total_cycles()).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_work_batch_still_allocates() {
+        let alloc = DpuAllocator::new(cfg());
+        let problems = vec![GemmProblem::sparse(GemmShape::new(8, 8, 8), 0.0, 0.0); 2];
+        let shares = alloc.partition(&problems).unwrap();
+        assert_eq!(shares.iter().sum::<usize>(), 16);
+    }
+}

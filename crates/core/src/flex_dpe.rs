@@ -1,0 +1,355 @@
+//! The Flexible Dot Product Engine (Sec. IV-A) as an explicit
+//! microarchitectural unit: `k` multipliers with stationary-value
+//! buffers, a Benes distribution network, and a FAN reduction tree.
+//!
+//! [`FlexDpe`] executes one Flex-DPE's share of a fold: load stationary
+//! values into multiplier buffers (Fig. 5 Step iv), then accept one
+//! streamed vector per cycle, multiply, and reduce the products through
+//! FAN per the cluster (`vecID`) assignment. The engine composes many of
+//! these into the full SIGMA array; the unit is also usable standalone,
+//! as in `examples/walkthrough_fig5.rs`.
+
+use crate::config::SigmaError;
+use crate::controller::MappedElement;
+use sigma_interconnect::{BenesNetwork, Fan, FanReduction};
+
+/// The result of streaming one vector through a Flex-DPE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpeStep {
+    /// Per-cluster sums out of the FAN.
+    pub reduction: FanReduction,
+    /// Multiplications whose streamed operand was non-zero.
+    pub useful_macs: usize,
+    /// Distinct streamed values this DPE consumed (for SRAM accounting).
+    pub operands_consumed: usize,
+}
+
+/// One k-multiplier Flexible Dot Product Engine.
+#[derive(Debug, Clone)]
+pub struct FlexDpe {
+    size: usize,
+    benes: BenesNetwork,
+    fan: Fan,
+    stationary: Vec<Option<MappedElement>>,
+    vec_ids: Vec<Option<u32>>,
+}
+
+impl FlexDpe {
+    /// Creates an engine with `size` multipliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::DpeSizeNotPowerOfTwo`] unless `size` is a
+    /// power of two at least 2 (required by the Benes/FAN networks).
+    pub fn new(size: usize) -> Result<Self, SigmaError> {
+        let benes =
+            BenesNetwork::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
+        let fan = Fan::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
+        Ok(Self { size, benes, fan, stationary: vec![None; size], vec_ids: vec![None; size] })
+    }
+
+    /// Number of multipliers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Occupied multiplier buffers.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.stationary.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The FAN cluster ids currently configured.
+    #[must_use]
+    pub fn vec_ids(&self) -> &[Option<u32>] {
+        &self.vec_ids
+    }
+
+    /// Loads stationary elements into the first `elements.len()`
+    /// multiplier buffers, with their FAN cluster assignment. The
+    /// loading unicast is validated against the real Benes model (value
+    /// `i` arriving on port `i` routes to multiplier `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::DpeSizeNotPowerOfTwo`] if more elements than
+    /// multipliers are supplied (size abuse), or propagates nothing else:
+    /// the identity loading pattern always routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements.len() != vec_ids-prefix` invariants are
+    /// violated (`vec_ids.len() != size`).
+    pub fn load(
+        &mut self,
+        elements: &[MappedElement],
+        vec_ids: &[Option<u32>],
+    ) -> Result<(), SigmaError> {
+        if elements.len() > self.size {
+            return Err(SigmaError::DpeSizeNotPowerOfTwo(elements.len()));
+        }
+        assert_eq!(vec_ids.len(), self.size, "vec_ids must cover every multiplier");
+        // Validate the loading unicast on the Benes (identity prefix).
+        let req: Vec<Option<usize>> =
+            (0..self.size).map(|i| (i < elements.len()).then_some(i)).collect();
+        let cfg = self
+            .benes
+            .route_monotone_multicast(&req)
+            .expect("identity loading pattern always routes");
+        let inputs: Vec<Option<usize>> = (0..self.size).map(Some).collect();
+        let delivered = cfg.apply(&inputs);
+        for (i, d) in delivered.iter().enumerate().take(elements.len()) {
+            debug_assert_eq!(*d, Some(i), "loading unicast misrouted");
+        }
+
+        self.stationary = vec![None; self.size];
+        for (slot, e) in elements.iter().enumerate() {
+            self.stationary[slot] = Some(*e);
+        }
+        self.vec_ids = vec_ids.to_vec();
+        Ok(())
+    }
+
+    /// Clears the stationary buffers (fold retirement).
+    pub fn clear(&mut self) {
+        self.stationary = vec![None; self.size];
+        self.vec_ids = vec![None; self.size];
+    }
+
+    /// Streams one vector through the engine: `operand(k)` supplies the
+    /// streamed value for contraction index `k` (the Benes multicasts one
+    /// SRAM read of each distinct `k` to every matching multiplier).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FAN errors, which cannot occur for controller-produced
+    /// cluster assignments (contiguous by construction).
+    pub fn step(&self, operand: &dyn Fn(usize) -> f32) -> Result<DpeStep, SigmaError> {
+        let mut products = vec![0.0f32; self.size];
+        let mut useful = 0usize;
+        let mut distinct: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (slot, st) in self.stationary.iter().enumerate() {
+            if let Some(e) = st {
+                let v = operand(e.contraction);
+                distinct.insert(e.contraction);
+                if v != 0.0 {
+                    useful += 1;
+                }
+                products[slot] = e.value * v;
+            }
+        }
+        let reduction = self
+            .fan
+            .reduce(&products, &self.vec_ids)
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
+        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: distinct.len() })
+    }
+
+    /// Latency components of this engine: (distribution, multiply,
+    /// reduction-levels) in cycles — the paper's "1-cycle distribution,
+    /// 1-cycle multiplication, 1-cycle per reduction level" pipeline.
+    #[must_use]
+    pub fn pipeline_depths(&self) -> (u64, u64, u64) {
+        (self.benes.traversal_latency_cycles(), 1, self.fan.latency_cycles())
+    }
+
+    /// Streams one vector with the operands *routed through the real
+    /// Benes network*: `arrivals` are the streamed values in SRAM arrival
+    /// order, and `request[slot] = Some(rank)` says which arrival each
+    /// multiplier needs (a [`crate::ControllerPlan::streaming_request`]).
+    /// Functionally identical to [`FlexDpe::step`] — asserted in tests —
+    /// but every operand word traverses routed switch states, and the
+    /// returned pass count is the distribution serialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors for malformed requests (out-of-range
+    /// ranks) and FAN errors (cannot occur for controller output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.len() != size`.
+    pub fn step_routed(
+        &self,
+        arrivals: &[f32],
+        request: &[Option<usize>],
+    ) -> Result<(DpeStep, usize), SigmaError> {
+        assert_eq!(request.len(), self.size, "request must cover every multiplier");
+        let routing = self
+            .benes
+            .route_general_multicast(request)
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
+        let mut inputs: Vec<Option<f32>> = vec![None; self.size];
+        for (i, v) in arrivals.iter().enumerate().take(self.size) {
+            inputs[i] = Some(*v);
+        }
+        let delivered = routing.apply(&inputs);
+
+        let mut products = vec![0.0f32; self.size];
+        let mut useful = 0usize;
+        for (slot, st) in self.stationary.iter().enumerate() {
+            if let Some(e) = st {
+                let v = delivered[slot].unwrap_or(0.0);
+                if v != 0.0 {
+                    useful += 1;
+                }
+                products[slot] = e.value * v;
+            }
+        }
+        let reduction = self
+            .fan
+            .reduce(&products, &self.vec_ids)
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
+        let distinct = request.iter().flatten().collect::<std::collections::BTreeSet<_>>().len();
+        Ok((
+            DpeStep { reduction, useful_macs: useful, operands_consumed: distinct },
+            routing.pass_count(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elements(spec: &[(usize, usize, f32)]) -> Vec<MappedElement> {
+        spec.iter()
+            .map(|&(group, contraction, value)| MappedElement { group, contraction, value })
+            .collect()
+    }
+
+    fn ids(spec: &[i64], size: usize) -> Vec<Option<u32>> {
+        let mut v: Vec<Option<u32>> =
+            spec.iter().map(|&x| if x < 0 { None } else { Some(x as u32) }).collect();
+        v.resize(size, None);
+        v
+    }
+
+    #[test]
+    fn construction_validates_size() {
+        assert!(FlexDpe::new(16).is_ok());
+        assert!(FlexDpe::new(3).is_err());
+        assert!(FlexDpe::new(0).is_err());
+    }
+
+    #[test]
+    fn load_and_step_computes_dot_products() {
+        let mut dpe = FlexDpe::new(8).unwrap();
+        // Two clusters: group 0 holds k={0,1,2}, group 1 holds k={1,3}.
+        let els = elements(&[
+            (0, 0, 2.0),
+            (0, 1, 3.0),
+            (0, 2, 4.0),
+            (1, 1, 5.0),
+            (1, 3, 6.0),
+        ]);
+        dpe.load(&els, &ids(&[0, 0, 0, 1, 1], 8)).unwrap();
+        assert_eq!(dpe.occupied(), 5);
+
+        // Streamed vector: x[k] = k + 1.
+        let step = dpe.step(&|k| (k + 1) as f32).unwrap();
+        assert_eq!(step.useful_macs, 5);
+        assert_eq!(step.operands_consumed, 4); // k in {0,1,2,3}
+        let sums: Vec<f32> = step.reduction.sums.iter().map(|s| s.value).collect();
+        // group0: 2*1 + 3*2 + 4*3 = 20; group1: 5*2 + 6*4 = 34.
+        assert_eq!(sums, vec![20.0, 34.0]);
+    }
+
+    #[test]
+    fn zero_operands_are_not_useful() {
+        let mut dpe = FlexDpe::new(4).unwrap();
+        dpe.load(&elements(&[(0, 0, 1.0), (0, 1, 1.0)]), &ids(&[0, 0], 4)).unwrap();
+        let step = dpe.step(&|k| if k == 0 { 3.0 } else { 0.0 }).unwrap();
+        assert_eq!(step.useful_macs, 1);
+        assert_eq!(step.reduction.sums[0].value, 3.0);
+    }
+
+    #[test]
+    fn clear_empties_buffers() {
+        let mut dpe = FlexDpe::new(4).unwrap();
+        dpe.load(&elements(&[(0, 0, 1.0)]), &ids(&[0], 4)).unwrap();
+        assert_eq!(dpe.occupied(), 1);
+        dpe.clear();
+        assert_eq!(dpe.occupied(), 0);
+        let step = dpe.step(&|_| 1.0).unwrap();
+        assert!(step.reduction.sums.is_empty());
+    }
+
+    #[test]
+    fn overload_rejected() {
+        let mut dpe = FlexDpe::new(2).unwrap();
+        let els = elements(&[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)]);
+        assert!(dpe.load(&els, &ids(&[0, 0], 2)).is_err());
+    }
+
+    #[test]
+    fn pipeline_depths_match_paper() {
+        let dpe = FlexDpe::new(128).unwrap();
+        let (dist, mul, red) = dpe.pipeline_depths();
+        assert_eq!(dist, 1); // O(1) Benes traversal
+        assert_eq!(mul, 1);
+        assert_eq!(red, 7); // log2(128) reduction levels
+    }
+
+    #[test]
+    fn step_routed_matches_step() {
+        // The same streamed vector through the closure path and through
+        // the routed Benes path must produce identical results.
+        let mut dpe = FlexDpe::new(8).unwrap();
+        let els = elements(&[
+            (0, 0, 2.0),
+            (0, 2, 3.0),
+            (1, 1, 4.0),
+            (1, 2, 5.0),
+            (1, 3, 6.0),
+        ]);
+        dpe.load(&els, &ids(&[0, 0, 1, 1, 1], 8)).unwrap();
+
+        // Streamed vector x[k] = k + 1, arriving in contraction order
+        // (all four k present): arrival rank == k here.
+        let arrivals = [1.0f32, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+        let request: Vec<Option<usize>> =
+            vec![Some(0), Some(2), Some(1), Some(2), Some(3), None, None, None];
+        let plain = dpe.step(&|k| (k + 1) as f32).unwrap();
+        let (routed, passes) = dpe.step_routed(&arrivals, &request).unwrap();
+        assert_eq!(plain.reduction.sums, routed.reduction.sums);
+        assert_eq!(plain.useful_macs, routed.useful_macs);
+        // This request descends once (rank 2 -> 1): two passes.
+        assert_eq!(passes, 2);
+    }
+
+    #[test]
+    fn step_routed_monotone_single_pass() {
+        let mut dpe = FlexDpe::new(4).unwrap();
+        dpe.load(&elements(&[(0, 0, 1.0), (0, 1, 1.0), (0, 3, 1.0)]), &ids(&[0, 0, 0], 4))
+            .unwrap();
+        let arrivals = [10.0f32, 20.0, 30.0, 0.0];
+        let request = vec![Some(0), Some(1), Some(2), None];
+        let (step, passes) = dpe.step_routed(&arrivals, &request).unwrap();
+        assert_eq!(passes, 1);
+        assert_eq!(step.reduction.sums[0].value, 60.0);
+    }
+
+    #[test]
+    fn variable_sized_clusters_coexist() {
+        // One 1-wide, one 4-wide and one 3-wide dot product share the DPE:
+        // the flexibility a rigid array lacks.
+        let mut dpe = FlexDpe::new(8).unwrap();
+        let els = elements(&[
+            (0, 0, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 1.0),
+            (1, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 1, 2.0),
+            (2, 2, 2.0),
+            (2, 3, 2.0),
+        ]);
+        dpe.load(&els, &ids(&[0, 1, 1, 1, 1, 2, 2, 2], 8)).unwrap();
+        let step = dpe.step(&|_| 1.0).unwrap();
+        let sums: Vec<f32> = step.reduction.sums.iter().map(|s| s.value).collect();
+        assert_eq!(sums, vec![1.0, 4.0, 6.0]);
+        assert_eq!(step.reduction.adds_performed, 3 + 2);
+    }
+}

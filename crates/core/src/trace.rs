@@ -1,0 +1,173 @@
+//! Cycle-stamped execution traces for the SIGMA engine.
+//!
+//! A [`Trace`] records the phase timeline the engine walks — fold loads,
+//! streaming steps, reduction drains — with start cycles and durations,
+//! reconstructing exactly how the Table-II totals compose. Traces are
+//! the debugging view the analytic model cannot give: they show *where*
+//! the cycles went, step by step, and they are validated against
+//! [`crate::CycleStats`] (the sum of trace durations per phase must equal
+//! the stats' phase totals).
+
+use crate::stats::CycleStats;
+use std::fmt;
+
+/// The phase an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Stationary fold loading.
+    Load,
+    /// One streaming step (distribution + multiply + pipelined reduce).
+    Stream,
+    /// Final reduction drain of a fold.
+    Drain,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Load => "load",
+            Phase::Stream => "stream",
+            Phase::Drain => "drain",
+        })
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event starts.
+    pub start: u64,
+    /// Duration in cycles.
+    pub cycles: u64,
+    /// Phase.
+    pub phase: Phase,
+    /// Fold index.
+    pub fold: u64,
+    /// Streaming step within the fold (`None` for load/drain).
+    pub step: Option<usize>,
+}
+
+/// An append-only execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    clock: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at the current clock and advances it.
+    pub fn record(&mut self, phase: Phase, fold: u64, step: Option<usize>, cycles: u64) {
+        self.events.push(TraceEvent { start: self.clock, cycles, phase, fold, step });
+        self.clock += cycles;
+    }
+
+    /// All events in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The final clock value (total traced cycles).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Sum of durations in one phase.
+    #[must_use]
+    pub fn phase_cycles(&self, phase: Phase) -> u64 {
+        self.events.iter().filter(|e| e.phase == phase).map(|e| e.cycles).sum()
+    }
+
+    /// Checks the trace against a stats record: per-phase totals and the
+    /// overall total must match.
+    #[must_use]
+    pub fn consistent_with(&self, stats: &CycleStats) -> bool {
+        self.phase_cycles(Phase::Load) == stats.loading_cycles
+            && self.phase_cycles(Phase::Stream) == stats.streaming_cycles
+            && self.phase_cycles(Phase::Drain) == stats.add_cycles
+            && self.total_cycles() == stats.total_cycles()
+    }
+
+    /// Renders a compact per-fold summary (`fold N: load L, stream S in
+    /// K steps, drain D`).
+    #[must_use]
+    pub fn fold_summary(&self) -> String {
+        let mut out = String::new();
+        let max_fold = self.events.iter().map(|e| e.fold).max().unwrap_or(0);
+        for f in 0..=max_fold {
+            let of = |p: Phase| -> u64 {
+                self.events
+                    .iter()
+                    .filter(|e| e.fold == f && e.phase == p)
+                    .map(|e| e.cycles)
+                    .sum()
+            };
+            let steps =
+                self.events.iter().filter(|e| e.fold == f && e.phase == Phase::Stream).count();
+            out.push_str(&format!(
+                "fold {f}: load {}, stream {} in {} steps, drain {}\n",
+                of(Phase::Load),
+                of(Phase::Stream),
+                steps,
+                of(Phase::Drain)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut t = Trace::new();
+        t.record(Phase::Load, 0, None, 4);
+        t.record(Phase::Stream, 0, Some(0), 2);
+        t.record(Phase::Stream, 0, Some(1), 2);
+        t.record(Phase::Drain, 0, None, 3);
+        assert_eq!(t.total_cycles(), 11);
+        assert_eq!(t.events()[1].start, 4);
+        assert_eq!(t.events()[3].start, 8);
+        assert_eq!(t.phase_cycles(Phase::Stream), 4);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut t = Trace::new();
+        t.record(Phase::Load, 0, None, 10);
+        t.record(Phase::Stream, 0, Some(0), 20);
+        t.record(Phase::Drain, 0, None, 3);
+        let stats = CycleStats {
+            loading_cycles: 10,
+            streaming_cycles: 20,
+            add_cycles: 3,
+            ..CycleStats::default()
+        };
+        assert!(t.consistent_with(&stats));
+        let wrong = CycleStats { loading_cycles: 9, ..stats };
+        assert!(!t.consistent_with(&wrong));
+    }
+
+    #[test]
+    fn fold_summary_lists_folds() {
+        let mut t = Trace::new();
+        t.record(Phase::Load, 0, None, 1);
+        t.record(Phase::Stream, 0, Some(0), 5);
+        t.record(Phase::Drain, 0, None, 2);
+        t.record(Phase::Load, 1, None, 1);
+        t.record(Phase::Stream, 1, Some(0), 5);
+        t.record(Phase::Drain, 1, None, 2);
+        let s = t.fold_summary();
+        assert!(s.contains("fold 0: load 1, stream 5 in 1 steps, drain 2"));
+        assert!(s.contains("fold 1:"));
+    }
+}

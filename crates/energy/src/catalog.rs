@@ -1,0 +1,128 @@
+//! Component-level 28 nm area/power constants.
+//!
+//! Values are per-instance at the modeled clock; they were calibrated so
+//! that the aggregated designs reproduce the paper's published totals (see
+//! the crate-level documentation and the tests in `lib.rs`).
+
+/// Modeled clock frequency in Hz. Only relative timing matters for the
+/// reproduction; 500 MHz is in the right neighborhood for a 28 nm FP32
+/// datapath with single-cycle stages.
+pub const CLOCK_HZ: f64 = 500.0e6;
+
+/// Per-component area (mm²) and power (W) constants at 28 nm.
+///
+/// ```
+/// use sigma_energy::ComponentCatalog;
+/// let c = ComponentCatalog::cal28nm();
+/// assert!(c.fp32_mult_area > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentCatalog {
+    /// FP32 multiplier area (mm²).
+    pub fp32_mult_area: f64,
+    /// FP32 multiplier power (W).
+    pub fp32_mult_power: f64,
+    /// FP32 two-input adder area (mm²).
+    pub fp32_add_area: f64,
+    /// FP32 two-input adder power (W).
+    pub fp32_add_power: f64,
+    /// FP32 three-input adder (ART) area multiplier over a two-input adder.
+    pub three_in_add_area_factor: f64,
+    /// FP32 three-input adder power multiplier over a two-input adder.
+    pub three_in_add_power_factor: f64,
+    /// Per-PE operand/stationary registers + local control area (mm²).
+    pub pe_regs_area: f64,
+    /// Per-PE operand/stationary registers + local control power (W).
+    pub pe_regs_power: f64,
+    /// One 32-bit 2x2 Benes switch area (mm²).
+    pub benes_switch_area: f64,
+    /// One 32-bit 2x2 Benes switch power (W).
+    pub benes_switch_power: f64,
+    /// FAN per-adder overhead (mux + comparator + forwarding wiring) as a
+    /// fraction of the two-input adder area.
+    pub fan_area_overhead_frac: f64,
+    /// FAN per-adder overhead as a fraction of the two-input adder power.
+    pub fan_power_overhead_frac: f64,
+    /// Linear reduction per-lane accumulator-register area (mm²).
+    pub accum_reg_area: f64,
+    /// Linear reduction per-lane accumulator-register power (W).
+    pub accum_reg_power: f64,
+    /// SIGMA global controller area (mm²) — the paper estimates ≈1.4 mm²
+    /// for 1024 AND/OR gates, 1024 counters and 128 SRC-DEST tables.
+    pub controller_area: f64,
+    /// SIGMA global controller power (W).
+    pub controller_power: f64,
+    /// Per-Flex-DPE share of the inter-DPE NoC switch area (mm²).
+    pub noc_switch_area: f64,
+    /// Per-Flex-DPE share of the inter-DPE NoC switch power (W).
+    pub noc_switch_power: f64,
+}
+
+impl ComponentCatalog {
+    /// The calibrated 28 nm catalog used throughout the reproduction.
+    #[must_use]
+    pub fn cal28nm() -> Self {
+        Self {
+            fp32_mult_area: 1.20e-3,
+            fp32_mult_power: 3.00e-4,
+            fp32_add_area: 8.00e-4,
+            fp32_add_power: 2.00e-4,
+            three_in_add_area_factor: 2.12,
+            three_in_add_power_factor: 2.00,
+            pe_regs_area: 8.86e-4,
+            pe_regs_power: 1.82e-4,
+            benes_switch_area: 1.20e-4,
+            benes_switch_power: 8.00e-5,
+            fan_area_overhead_frac: 0.2124,
+            fan_power_overhead_frac: 0.411,
+            accum_reg_area: 8.0e-5,
+            accum_reg_power: 1.5e-5,
+            controller_area: 1.4,
+            controller_power: 0.30,
+            noc_switch_area: 0.008,
+            noc_switch_power: 0.010,
+        }
+    }
+}
+
+impl Default for ComponentCatalog {
+    fn default() -> Self {
+        Self::cal28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_positive() {
+        let c = ComponentCatalog::cal28nm();
+        for v in [
+            c.fp32_mult_area,
+            c.fp32_mult_power,
+            c.fp32_add_area,
+            c.fp32_add_power,
+            c.pe_regs_area,
+            c.benes_switch_area,
+            c.controller_area,
+        ] {
+            assert!(v > 0.0);
+        }
+        assert_eq!(ComponentCatalog::default(), ComponentCatalog::cal28nm());
+    }
+
+    #[test]
+    fn multiplier_larger_than_adder() {
+        let c = ComponentCatalog::cal28nm();
+        assert!(c.fp32_mult_area > c.fp32_add_area);
+        assert!(c.fp32_mult_power > c.fp32_add_power);
+    }
+
+    #[test]
+    fn three_input_adder_costs_more() {
+        let c = ComponentCatalog::cal28nm();
+        assert!(c.three_in_add_area_factor > 1.5);
+        assert!(c.three_in_add_power_factor > 1.5);
+    }
+}

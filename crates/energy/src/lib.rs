@@ -1,0 +1,114 @@
+//! 28 nm area / power / energy models for the SIGMA reproduction.
+//!
+//! The paper's Sec. V reports post-place-and-route numbers for a 128×128
+//! TPU-style systolic array and for SIGMA with 128 Flex-DPE-128 units
+//! (Fig. 8), plus a component comparison of reduction networks (Fig. 6b).
+//! We cannot re-run their 28 nm flow, so this crate provides a
+//! component-level analytic model whose constants are **calibrated to the
+//! paper's published totals**:
+//!
+//! * SIGMA: 65.10 mm², 22.33 W (abstract / Fig. 8);
+//! * SIGMA's flexible networks cost ≈ 37.7% area over the systolic array
+//!   and ≈ 2× power (Sec. V);
+//! * at 512 PEs, FAN costs ≈ 10% area / ≈ 31% power over a linear
+//!   reduction, while MAERI's ART costs ≈ 92% / ≈ 86% (Sec. IV-A-2).
+//!
+//! Relative shapes (who is bigger, by what factor, where EDP crosses) are
+//! what the reproduction needs; absolute mm²/W are anchored but obviously
+//! not signoff-quality.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod breakdown;
+pub mod catalog;
+pub mod report;
+
+pub use breakdown::EnergyBreakdown;
+pub use catalog::{ComponentCatalog, CLOCK_HZ};
+pub use report::{
+    reduction_report, sigma_report, systolic_report, ControllerCost, DesignReport, EnergyDelay,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_interconnect::ReductionKind;
+
+    #[test]
+    fn sigma_matches_published_totals() {
+        let s = sigma_report(128, 128);
+        assert!(
+            (s.area_mm2 - 65.10).abs() / 65.10 < 0.05,
+            "SIGMA area {} vs published 65.10 mm2",
+            s.area_mm2
+        );
+        assert!(
+            (s.power_w - 22.33).abs() / 22.33 < 0.05,
+            "SIGMA power {} vs published 22.33 W",
+            s.power_w
+        );
+    }
+
+    #[test]
+    fn sigma_overheads_over_systolic() {
+        let tpu = systolic_report(128, 128);
+        let s = sigma_report(128, 128);
+        let area_overhead = s.area_mm2 / tpu.area_mm2 - 1.0;
+        assert!(
+            (area_overhead - 0.377).abs() < 0.07,
+            "area overhead {area_overhead} vs paper 37.7%"
+        );
+        let power_ratio = s.power_w / tpu.power_w;
+        assert!((1.6..=2.4).contains(&power_ratio), "power ratio {power_ratio} vs paper ~2x");
+    }
+
+    #[test]
+    fn fan_and_art_overheads_at_512() {
+        let lin = reduction_report(ReductionKind::Linear, 512);
+        let fan = reduction_report(ReductionKind::Fan, 512);
+        let art = reduction_report(ReductionKind::Art, 512);
+        let fan_area = fan.area_mm2 / lin.area_mm2 - 1.0;
+        let fan_power = fan.power_w / lin.power_w - 1.0;
+        let art_area = art.area_mm2 / lin.area_mm2 - 1.0;
+        let art_power = art.power_w / lin.power_w - 1.0;
+        assert!((fan_area - 0.10).abs() < 0.03, "FAN area overhead {fan_area} vs 10%");
+        assert!((fan_power - 0.31).abs() < 0.05, "FAN power overhead {fan_power} vs 31%");
+        assert!((art_area - 0.92).abs() < 0.10, "ART area overhead {art_area} vs 92%");
+        assert!((art_power - 0.86).abs() < 0.10, "ART power overhead {art_power} vs 86%");
+    }
+
+    #[test]
+    fn fan_edp_wins_from_128_pes() {
+        // Paper: "FAN also provides EDP benefits over linear starting from
+        // 128-PE. At 512-PE, FAN's EDP is 45% and 34% lower than linear and
+        // ART respectively."
+        let folds = 100;
+        let stream = 1000;
+        for n in [128usize, 256, 512] {
+            let lin = EnergyDelay::of_fold_experiment(ReductionKind::Linear, n, folds, stream);
+            let fan = EnergyDelay::of_fold_experiment(ReductionKind::Fan, n, folds, stream);
+            assert!(fan.edp() < lin.edp(), "FAN EDP should win at {n} PEs");
+        }
+        let lin = EnergyDelay::of_fold_experiment(ReductionKind::Linear, 512, folds, stream);
+        let fan = EnergyDelay::of_fold_experiment(ReductionKind::Fan, 512, folds, stream);
+        let vs_lin = 1.0 - fan.edp() / lin.edp();
+        assert!((0.3..=0.55).contains(&vs_lin), "FAN EDP vs linear: {vs_lin} (paper 45%)");
+        // FAN vs ART have identical delay, so Fig. 6b-iv's gap is the
+        // network power gap: compare network-only.
+        let fan_n =
+            EnergyDelay::of_fold_experiment_network_only(ReductionKind::Fan, 512, folds, stream);
+        let art_n =
+            EnergyDelay::of_fold_experiment_network_only(ReductionKind::Art, 512, folds, stream);
+        let vs_art = 1.0 - fan_n.edp() / art_n.edp();
+        assert!((0.2..=0.45).contains(&vs_art), "FAN EDP vs ART: {vs_art} (paper 34%)");
+    }
+
+    #[test]
+    fn small_pe_counts_favor_linear_edp() {
+        // Below the crossover the drain saving cannot pay for FAN's power.
+        let lin = EnergyDelay::of_fold_experiment(ReductionKind::Linear, 16, 100, 1000);
+        let fan = EnergyDelay::of_fold_experiment(ReductionKind::Fan, 16, 100, 1000);
+        assert!(fan.edp() > lin.edp(), "at 16 PEs linear should win EDP");
+    }
+}

@@ -1,0 +1,216 @@
+//! A functional butterfly network with conflict detection — the blocking
+//! alternative the paper rejects for SIGMA's distribution (Sec. IV-A-1).
+//!
+//! A butterfly of size `N = 2^s` has `s` stages of `N/2` 2x2 switches;
+//! stage `i` pairs ports whose addresses differ in bit `s−1−i`. Unlike
+//! the Benes network (which prepends the mirror-image stages and becomes
+//! rearrangeably non-blocking), the butterfly has exactly *one* path per
+//! (source, destination) pair, so two flows whose paths share a link
+//! conflict and must serialize.
+//!
+//! [`Butterfly::route`] routes a request set greedily in waves: each wave
+//! carries a maximal conflict-free subset; the number of waves is the
+//! serialization the paper's "performance degradation due to increased
+//! distribution delays" refers to. The unit tests exhibit permutations
+//! that need only one wave (the butterfly-friendly ones) and adversarial
+//! permutations that need many.
+
+use crate::{is_power_of_two, log2_ceil};
+use std::collections::HashSet;
+
+/// A butterfly (omega-style) network over `N` ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Butterfly {
+    size: usize,
+}
+
+/// The outcome of routing a request set through the butterfly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ButterflyRouting {
+    /// Waves of conflict-free requests; each inner vec lists the
+    /// `(source, destination)` pairs delivered together.
+    pub waves: Vec<Vec<(usize, usize)>>,
+}
+
+impl ButterflyRouting {
+    /// Number of serialized waves (1 = behaved like a non-blocking net).
+    #[must_use]
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+}
+
+impl Butterfly {
+    /// Creates a butterfly over `size` ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(size)` unless `size` is a power of two >= 2.
+    pub fn new(size: usize) -> Result<Self, usize> {
+        if !is_power_of_two(size) || size < 2 {
+            return Err(size);
+        }
+        Ok(Self { size })
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of switch stages: `log₂N`.
+    #[must_use]
+    pub fn stage_count(&self) -> u32 {
+        log2_ceil(self.size)
+    }
+
+    /// The unique path of `(stage, link-id)` hops from `src` to `dst`.
+    ///
+    /// The link entering stage `i+1` is identified by the partial address
+    /// where the top `i+1` bits have been steered to `dst`'s bits and the
+    /// rest still carry `src`'s bits (destination-tag routing).
+    #[must_use]
+    pub fn path(&self, src: usize, dst: usize) -> Vec<(u32, usize)> {
+        assert!(src < self.size && dst < self.size, "port out of range");
+        let s = self.stage_count();
+        let mut hops = Vec::with_capacity(s as usize);
+        let mut addr = src;
+        for stage in 0..s {
+            let bit = s - 1 - stage;
+            // Steer this address bit to the destination's bit.
+            let dst_bit = (dst >> bit) & 1;
+            addr = (addr & !(1 << bit)) | (dst_bit << bit);
+            hops.push((stage, addr));
+        }
+        hops
+    }
+
+    /// Routes a set of `(source, destination)` requests, serializing
+    /// conflicting ones into waves (greedy, in request order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port index is out of range.
+    #[must_use]
+    pub fn route(&self, requests: &[(usize, usize)]) -> ButterflyRouting {
+        let mut remaining: Vec<(usize, usize)> = requests.to_vec();
+        let mut waves = Vec::new();
+        while !remaining.is_empty() {
+            let mut used: HashSet<(u32, usize)> = HashSet::new();
+            let mut wave = Vec::new();
+            let mut next = Vec::new();
+            for (src, dst) in remaining {
+                let path = self.path(src, dst);
+                if path.iter().all(|h| !used.contains(h)) {
+                    for h in path {
+                        used.insert(h);
+                    }
+                    wave.push((src, dst));
+                } else {
+                    next.push((src, dst));
+                }
+            }
+            waves.push(wave);
+            remaining = next;
+        }
+        ButterflyRouting { waves }
+    }
+
+    /// Average waves needed over `samples` pseudo-random permutations —
+    /// the blocking metric for comparisons (a non-blocking network would
+    /// score exactly 1.0).
+    #[must_use]
+    pub fn average_random_waves(&self, samples: usize) -> f64 {
+        let n = self.size;
+        let mut total = 0usize;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..samples.max(1) {
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let req: Vec<(usize, usize)> = perm.into_iter().enumerate().collect();
+            total += self.route(&req).wave_count();
+        }
+        total as f64 / samples.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert!(Butterfly::new(8).is_ok());
+        assert_eq!(Butterfly::new(6), Err(6));
+        assert_eq!(Butterfly::new(8).unwrap().stage_count(), 3);
+    }
+
+    #[test]
+    fn identity_routes_in_one_wave() {
+        let bf = Butterfly::new(16).unwrap();
+        let req: Vec<(usize, usize)> = (0..16).map(|i| (i, i)).collect();
+        assert_eq!(bf.route(&req).wave_count(), 1);
+    }
+
+    #[test]
+    fn xor_permutations_are_butterfly_friendly() {
+        // XOR-mask permutations route in a single pass on a butterfly —
+        // the classic conflict-free family.
+        let bf = Butterfly::new(16).unwrap();
+        for mask in [1usize, 5, 8, 15] {
+            let req: Vec<(usize, usize)> = (0..16).map(|i| (i, i ^ mask)).collect();
+            assert_eq!(bf.route(&req).wave_count(), 1, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn adversarial_patterns_serialize() {
+        // Many-to-adjacent concentration conflicts on shared links.
+        let bf = Butterfly::new(16).unwrap();
+        let req: Vec<(usize, usize)> = (0..16).map(|i| (i, i / 2)).collect();
+        let routing = bf.route(&req);
+        assert!(routing.wave_count() > 1, "concentration should block");
+        // Every request is eventually delivered exactly once.
+        let delivered: usize = routing.waves.iter().map(Vec::len).sum();
+        assert_eq!(delivered, 16);
+    }
+
+    #[test]
+    fn benes_equivalent_patterns_always_single_wave_on_benes() {
+        // The same adversarial pattern routes in ONE pass on the Benes
+        // (monotone multicast) — the quantitative case for SIGMA's choice.
+        use crate::BenesNetwork;
+        let net = BenesNetwork::new(16).unwrap();
+        let req: Vec<Option<usize>> = (0..16).map(|d| Some(d * 2 % 16)).collect();
+        // d/2-style concentration expressed as monotone gather:
+        let gather: Vec<Option<usize>> = (0..16).map(|d| Some(d / 2)).collect();
+        assert!(net.route_monotone_multicast(&gather).is_ok());
+        let _ = req;
+    }
+
+    #[test]
+    fn random_permutations_average_more_than_one_wave() {
+        // Random permutations block with high probability — the blocking
+        // behavior a non-blocking Benes never exhibits.
+        let bf = Butterfly::new(32).unwrap();
+        let avg = bf.average_random_waves(50);
+        assert!(avg > 1.5, "random perms should block on average, got {avg}");
+        assert!(avg < 32.0);
+    }
+
+    #[test]
+    fn paths_have_stage_per_hop() {
+        let bf = Butterfly::new(32).unwrap();
+        let p = bf.path(17, 5);
+        assert_eq!(p.len(), 5);
+        // Final hop lands on the destination address.
+        assert_eq!(p.last().unwrap().1, 5);
+    }
+}

@@ -1,0 +1,285 @@
+//! Reduction-network alternatives compared in Fig. 6b: linear (temporal /
+//! spatio-temporal), MAERI's ART, and SIGMA's FAN.
+//!
+//! The experiment behind Fig. 6b runs `F` stationary folds with a stream
+//! dimension `S` each: a fold streams `S` waves through the multipliers and
+//! must *drain* its last reduction before the next stationary matrix loads
+//! (the paper's "Add latency", Table II). The drain is where the three
+//! designs differ:
+//!
+//! * **linear** (forwarding down a column / in-place accumulation):
+//!   `O(N)` cycles per drain;
+//! * **ART** (MAERI's augmented reduction tree of three-input adders):
+//!   `O(log₂N)` drain but expensive FP32 adders;
+//! * **FAN**: `O(log₂N)` drain with two-input adders plus cheap muxes.
+
+use crate::fan::{Fan, FanError, FanReduction};
+use crate::log2_ceil;
+
+/// The three spatial/temporal reduction designs of Fig. 6b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionKind {
+    /// Linear reduction: partials forwarded hop by hop (spatio-temporal,
+    /// TPU column) or accumulated in place (temporal, EIE). Drain is
+    /// proportional to the dot-product length.
+    Linear,
+    /// MAERI's Augmented Reduction Tree with 3-input adders.
+    Art,
+    /// SIGMA's Forwarding Adder Network.
+    Fan,
+}
+
+impl ReductionKind {
+    /// All kinds in Fig. 6b's order.
+    pub const ALL: [ReductionKind; 3] = [ReductionKind::Linear, ReductionKind::Art, ReductionKind::Fan];
+
+    /// Display name used in the figure legends.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReductionKind::Linear => "Linear",
+            ReductionKind::Art => "ART",
+            ReductionKind::Fan => "FAN",
+        }
+    }
+}
+
+impl std::fmt::Display for ReductionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sized reduction network of one of the three kinds, exposing the
+/// timing model used by Fig. 6b and by the accelerator simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionNetwork {
+    kind: ReductionKind,
+    size: usize,
+}
+
+impl ReductionNetwork {
+    /// Creates a reduction network over `size` producer lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(kind: ReductionKind, size: usize) -> Self {
+        assert!(size > 0, "reduction network size must be non-zero");
+        Self { kind, size }
+    }
+
+    /// The design kind.
+    #[must_use]
+    pub fn kind(&self) -> ReductionKind {
+        self.kind
+    }
+
+    /// Number of producer lanes (multipliers feeding the network).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Cycles to drain the final reduction of a fold before the next
+    /// stationary load (the non-overlapped "Add latency" of Table II).
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        match self.kind {
+            ReductionKind::Linear => self.size as u64,
+            ReductionKind::Art | ReductionKind::Fan => u64::from(log2_ceil(self.size)),
+        }
+    }
+
+    /// Total cycles for the Fig. 6b experiment: `folds` stationary folds,
+    /// each streaming `stream` waves then draining.
+    ///
+    /// Streaming is fully pipelined (one wave per cycle); only the drain
+    /// serializes between folds.
+    #[must_use]
+    pub fn fold_experiment_cycles(&self, folds: u64, stream: u64) -> u64 {
+        folds * (stream + self.drain_cycles())
+    }
+
+    /// Speedup of this network over a linear reduction of the same size on
+    /// the Fig. 6b experiment.
+    #[must_use]
+    pub fn speedup_vs_linear(&self, folds: u64, stream: u64) -> f64 {
+        let lin = ReductionNetwork::new(ReductionKind::Linear, self.size);
+        lin.fold_experiment_cycles(folds, stream) as f64
+            / self.fold_experiment_cycles(folds, stream) as f64
+    }
+
+    /// Number of 2-input FP adder equivalents. ART's 3-input adders are
+    /// counted via [`ReductionNetwork::three_input_adder_count`] instead.
+    #[must_use]
+    pub fn adder_count(&self) -> usize {
+        match self.kind {
+            // Linear: one accumulating adder per lane.
+            ReductionKind::Linear => self.size,
+            ReductionKind::Art => 0,
+            ReductionKind::Fan => self.size.saturating_sub(1),
+        }
+    }
+
+    /// Number of 3-input FP adders (non-zero only for ART).
+    #[must_use]
+    pub fn three_input_adder_count(&self) -> usize {
+        match self.kind {
+            ReductionKind::Art => self.size.saturating_sub(1),
+            _ => 0,
+        }
+    }
+
+    /// Functionally reduces contiguous `vec_id` segments, regardless of
+    /// kind (all three designs compute the same sums; they differ in cost
+    /// and timing). FAN sizes must be powers of two; other kinds accept
+    /// any size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FanError`] for malformed segment requests.
+    pub fn reduce(&self, values: &[f32], vec_ids: &[Option<u32>]) -> Result<FanReduction, FanError> {
+        match self.kind {
+            ReductionKind::Fan | ReductionKind::Art => {
+                let fan = Fan::new(self.size.next_power_of_two().max(2))?;
+                let mut v = values.to_vec();
+                let mut ids = vec_ids.to_vec();
+                v.resize(fan.size(), 0.0);
+                ids.resize(fan.size(), None);
+                fan.reduce(&v, &ids)
+            }
+            ReductionKind::Linear => {
+                // In-order serial accumulation per segment; completion time
+                // of a segment equals its length (one hop per cycle).
+                if values.len() != vec_ids.len() {
+                    return Err(FanError::SizeMismatch {
+                        expected: values.len(),
+                        actual: vec_ids.len(),
+                    });
+                }
+                let mut seen = std::collections::HashSet::new();
+                let mut sums: Vec<crate::fan::SegmentSum> = Vec::new();
+                let mut adds = 0usize;
+                let mut i = 0usize;
+                while i < values.len() {
+                    let Some(id) = vec_ids[i] else {
+                        i += 1;
+                        continue;
+                    };
+                    if !seen.insert(id) {
+                        return Err(FanError::NonContiguousSegments(id));
+                    }
+                    let start = i;
+                    let mut acc = values[i];
+                    i += 1;
+                    while i < values.len() && vec_ids[i] == Some(id) {
+                        acc += values[i];
+                        adds += 1;
+                        i += 1;
+                    }
+                    #[allow(clippy::cast_possible_truncation)]
+                    sums.push(crate::fan::SegmentSum {
+                        vec_id: id,
+                        value: acc,
+                        leaf_range: (start, i - 1),
+                        completion_cycles: (i - 1 - start) as u32,
+                    });
+                }
+                let critical = sums.iter().map(|s| s.completion_cycles).max().unwrap_or(0);
+                Ok(FanReduction { sums, adds_performed: adds, critical_cycles: critical })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_cycles_by_kind() {
+        assert_eq!(ReductionNetwork::new(ReductionKind::Linear, 512).drain_cycles(), 512);
+        assert_eq!(ReductionNetwork::new(ReductionKind::Fan, 512).drain_cycles(), 9);
+        assert_eq!(ReductionNetwork::new(ReductionKind::Art, 512).drain_cycles(), 9);
+    }
+
+    #[test]
+    fn fig6b_speedup_grows_with_pes() {
+        // The paper: "taking logN cycles rather than N cycles before
+        // starting the next fold significantly improves performance as the
+        // number of PEs increases."
+        let folds = 100;
+        let stream = 1000;
+        let s64 = ReductionNetwork::new(ReductionKind::Fan, 64).speedup_vs_linear(folds, stream);
+        let s512 = ReductionNetwork::new(ReductionKind::Fan, 512).speedup_vs_linear(folds, stream);
+        assert!(s512 > s64);
+        assert!(s512 > 1.4, "512-PE FAN speedup {s512}");
+        assert!((ReductionNetwork::new(ReductionKind::Linear, 512)
+            .speedup_vs_linear(folds, stream)
+            - 1.0)
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn fold_experiment_totals() {
+        let lin = ReductionNetwork::new(ReductionKind::Linear, 128);
+        assert_eq!(lin.fold_experiment_cycles(100, 1000), 100 * (1000 + 128));
+        let fan = ReductionNetwork::new(ReductionKind::Fan, 128);
+        assert_eq!(fan.fold_experiment_cycles(100, 1000), 100 * (1000 + 7));
+    }
+
+    #[test]
+    fn adder_inventory() {
+        let fan = ReductionNetwork::new(ReductionKind::Fan, 128);
+        assert_eq!(fan.adder_count(), 127);
+        assert_eq!(fan.three_input_adder_count(), 0);
+        let art = ReductionNetwork::new(ReductionKind::Art, 128);
+        assert_eq!(art.adder_count(), 0);
+        assert_eq!(art.three_input_adder_count(), 127);
+        let lin = ReductionNetwork::new(ReductionKind::Linear, 128);
+        assert_eq!(lin.adder_count(), 128);
+    }
+
+    #[test]
+    fn all_kinds_reduce_identically() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ids: Vec<Option<u32>> = [0, 0, 1, 1, 1, 2].iter().map(|&x| Some(x)).collect();
+        for kind in ReductionKind::ALL {
+            let net = ReductionNetwork::new(kind, 6);
+            let r = net.reduce(&values, &ids).unwrap();
+            let sums: Vec<f32> = r.sums.iter().map(|s| s.value).collect();
+            assert_eq!(sums, vec![3.0, 12.0, 6.0], "{kind}");
+            assert_eq!(r.adds_performed, 3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn linear_completion_is_segment_length() {
+        let net = ReductionNetwork::new(ReductionKind::Linear, 8);
+        let values = [1.0f32; 8];
+        let ids: Vec<Option<u32>> = [0, 0, 0, 0, 0, 1, 1, 1].iter().map(|&x| Some(x)).collect();
+        let r = net.reduce(&values, &ids).unwrap();
+        assert_eq!(r.sums[0].completion_cycles, 4);
+        assert_eq!(r.sums[1].completion_cycles, 2);
+        assert_eq!(r.critical_cycles, 4);
+    }
+
+    #[test]
+    fn linear_rejects_non_contiguous() {
+        let net = ReductionNetwork::new(ReductionKind::Linear, 4);
+        let ids: Vec<Option<u32>> = [0, 1, 0, 1].iter().map(|&x| Some(x)).collect();
+        assert!(matches!(
+            net.reduce(&[1.0; 4], &ids),
+            Err(FanError::NonContiguousSegments(0))
+        ));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReductionKind::Fan.to_string(), "FAN");
+        assert_eq!(ReductionKind::ALL.len(), 3);
+    }
+}

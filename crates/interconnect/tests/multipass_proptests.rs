@@ -1,0 +1,72 @@
+//! Property tests for general (non-monotone) Benes multicast and the
+//! butterfly's blocking behavior.
+
+use proptest::prelude::*;
+use sigma_interconnect::{BenesNetwork, Butterfly};
+
+fn pot_size() -> impl Strategy<Value = usize> {
+    (1u32..=5).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary multicast requests always deliver via multipass routing,
+    /// and the pass count equals 1 + the number of source descents.
+    #[test]
+    fn general_multicast_always_delivers(
+        (n, raw) in pot_size().prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(proptest::option::of(0usize..n), n))
+        })
+    ) {
+        let net = BenesNetwork::new(n).unwrap();
+        let routing = net.route_general_multicast(&raw).unwrap();
+        // Expected pass count from the descent structure.
+        let mut descents = 0usize;
+        let mut last: Option<usize> = None;
+        let mut any = false;
+        for &s in raw.iter().flatten() {
+            if last.is_some_and(|l| s < l) {
+                descents += 1;
+            }
+            last = Some(s);
+            any = true;
+        }
+        let expected = if any { descents + 1 } else { 0 };
+        prop_assert_eq!(routing.pass_count(), expected);
+
+        let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let out = routing.apply(&inputs);
+        for (o, want) in raw.iter().enumerate() {
+            prop_assert_eq!(out[o], *want, "output {}", o);
+        }
+    }
+
+    /// Butterfly routing always delivers every request exactly once, in
+    /// at least one and at most `requests` waves; XOR permutations take
+    /// exactly one.
+    #[test]
+    fn butterfly_waves_deliver_everything(
+        (n, seed) in pot_size().prop_flat_map(|n| (Just(n), any::<u64>()))
+    ) {
+        let bf = Butterfly::new(n).unwrap();
+        // A pseudo-random permutation.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let req: Vec<(usize, usize)> = perm.iter().copied().enumerate().collect();
+        let routing = bf.route(&req);
+        let delivered: usize = routing.waves.iter().map(Vec::len).sum();
+        prop_assert_eq!(delivered, n);
+        prop_assert!(routing.wave_count() >= 1);
+        prop_assert!(routing.wave_count() <= n);
+
+        // XOR mask derived from the seed: always one wave.
+        let mask = (seed as usize) % n;
+        let xor_req: Vec<(usize, usize)> = (0..n).map(|i| (i, i ^ mask)).collect();
+        prop_assert_eq!(bf.route(&xor_req).wave_count(), 1);
+    }
+}

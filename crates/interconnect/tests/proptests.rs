@@ -1,0 +1,192 @@
+//! Property-based tests: Benes routes *every* permutation and monotone
+//! multicast; FAN reduces *every* contiguous segmentation correctly.
+
+use proptest::prelude::*;
+use sigma_interconnect::{BenesNetwork, Fan, ReductionKind, ReductionNetwork};
+
+/// Strategy: a power-of-two size in {2, 4, 8, 16, 32, 64}.
+fn pot_size() -> impl Strategy<Value = usize> {
+    (1u32..=6).prop_map(|e| 1usize << e)
+}
+
+/// Strategy: a random permutation of 0..n.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<_>>()).prop_shuffle()
+}
+
+/// Strategy: a monotone multicast request over n ports.
+///
+/// Walk outputs left to right; at each step either go idle, keep the
+/// current source, or advance to a strictly larger source.
+fn monotone_request(n: usize) -> impl Strategy<Value = Vec<Option<usize>>> {
+    proptest::collection::vec(0u8..=3, n).prop_map(move |choices| {
+        let mut out = Vec::with_capacity(n);
+        let mut cur: Option<usize> = None;
+        for (o, ch) in choices.into_iter().enumerate() {
+            match ch {
+                0 => out.push(None),
+                1 => {
+                    // keep current source if any, else start at 0
+                    let s = cur.unwrap_or(0);
+                    cur = Some(s);
+                    out.push(Some(s));
+                }
+                _ => {
+                    // advance: next source strictly greater, capped at n-1
+                    let s = match cur {
+                        None => (o.min(n - 1)) / 2,
+                        Some(c) => (c + 1).min(n - 1),
+                    };
+                    cur = Some(s);
+                    out.push(Some(s));
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Strategy: a contiguous segmentation of n leaves into clusters with
+/// optional idle gaps. Returns vec_ids.
+fn segmentation(n: usize) -> impl Strategy<Value = Vec<Option<u32>>> {
+    proptest::collection::vec((0u8..=4, proptest::bool::ANY), n).prop_map(|steps| {
+        let mut ids = Vec::with_capacity(steps.len());
+        let mut cur = 0u32;
+        let mut active = true;
+        for (run_ctl, flip) in steps {
+            if run_ctl == 0 {
+                // boundary: either idle gap or next cluster
+                if flip {
+                    ids.push(None);
+                    active = false;
+                } else {
+                    cur += 1;
+                    active = true;
+                    ids.push(Some(cur));
+                }
+            } else if active {
+                ids.push(Some(cur));
+            } else if flip {
+                cur += 1;
+                active = true;
+                ids.push(Some(cur));
+            } else {
+                ids.push(None);
+            }
+        }
+        ids
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn benes_routes_any_permutation(n in pot_size(), seed in any::<u64>()) {
+        let mut src: Vec<usize> = (0..n).collect();
+        // cheap deterministic shuffle from the seed
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            src.swap(i, j);
+        }
+        let net = BenesNetwork::new(n).unwrap();
+        let cfg = net.route_permutation(&src).unwrap();
+        let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let out = cfg.apply(&inputs);
+        for (o, &want) in src.iter().enumerate() {
+            prop_assert_eq!(out[o].unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn benes_routes_shuffled_permutations(perm in permutation(16)) {
+        let net = BenesNetwork::new(16).unwrap();
+        let cfg = net.route_permutation(&perm).unwrap();
+        let inputs: Vec<Option<usize>> = (0..16).map(Some).collect();
+        let out = cfg.apply(&inputs);
+        for (o, &want) in perm.iter().enumerate() {
+            prop_assert_eq!(out[o].unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn benes_routes_any_monotone_multicast(
+        (n, req) in pot_size().prop_flat_map(|n| (Just(n), monotone_request(n)))
+    ) {
+        let net = BenesNetwork::new(n).unwrap();
+        let cfg = net.route_monotone_multicast(&req).unwrap();
+        let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let out = cfg.apply(&inputs);
+        for (o, want) in req.iter().enumerate() {
+            if let Some(want) = want {
+                prop_assert_eq!(out[o].as_ref(), Some(want), "output {} of {:?}", o, req);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_reduces_any_segmentation(
+        (n, ids) in pot_size().prop_flat_map(|n| (Just(n), segmentation(n))),
+        seed in any::<u64>()
+    ) {
+        let fan = Fan::new(n).unwrap();
+        // deterministic pseudo-random values in (0.5, 1.5)
+        let values: Vec<f32> = (0..n)
+            .map(|i| {
+                let h = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                0.5 + (h >> 40) as f32 / (1u64 << 24) as f32
+            })
+            .collect();
+        let r = fan.reduce(&values, &ids).unwrap();
+
+        // Expected: per-cluster sums in order, adds = sum(len - 1).
+        let mut expected: Vec<(u32, f64, usize)> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if let Some(id) = id {
+                match expected.last_mut() {
+                    Some((last, sum, len)) if last == id => {
+                        *sum += f64::from(values[i]);
+                        *len += 1;
+                    }
+                    _ => expected.push((*id, f64::from(values[i]), 1)),
+                }
+            }
+        }
+        prop_assert_eq!(r.sums.len(), expected.len());
+        let mut want_adds = 0usize;
+        for (got, (id, sum, len)) in r.sums.iter().zip(&expected) {
+            prop_assert_eq!(got.vec_id, *id);
+            let tol = 1e-3 * (*len as f32).max(1.0);
+            prop_assert!((f64::from(got.value) - sum).abs() < f64::from(tol),
+                "cluster {} sum {} vs {}", id, got.value, sum);
+            want_adds += len - 1;
+            // Completion bounded by the pipeline depth.
+            prop_assert!(got.completion_cycles <= fan.level_count());
+            // A singleton completes instantly; larger clusters need >= 1.
+            if *len == 1 {
+                prop_assert_eq!(got.completion_cycles, 0);
+            } else {
+                prop_assert!(got.completion_cycles >= 1);
+            }
+        }
+        prop_assert_eq!(r.adds_performed, want_adds);
+    }
+
+    #[test]
+    fn linear_and_fan_agree(
+        (n, ids) in pot_size().prop_flat_map(|n| (Just(n), segmentation(n)))
+    ) {
+        let values: Vec<f32> = (0..n).map(|i| (i % 7) as f32 + 1.0).collect();
+        let fan = ReductionNetwork::new(ReductionKind::Fan, n).reduce(&values, &ids).unwrap();
+        let lin = ReductionNetwork::new(ReductionKind::Linear, n).reduce(&values, &ids).unwrap();
+        prop_assert_eq!(fan.sums.len(), lin.sums.len());
+        prop_assert_eq!(fan.adds_performed, lin.adds_performed);
+        for (f, l) in fan.sums.iter().zip(&lin.sums) {
+            prop_assert_eq!(f.vec_id, l.vec_id);
+            prop_assert!((f.value - l.value).abs() < 1e-3);
+            prop_assert_eq!(f.leaf_range, l.leaf_range);
+        }
+    }
+}

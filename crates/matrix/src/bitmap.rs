@@ -1,0 +1,286 @@
+//! Bit-packed occupancy bitmap — SIGMA's native compression metadata.
+//!
+//! Sec. IV-C of the paper: every element of a matrix carries one bit that
+//! says whether it is non-zero. The metadata cost is therefore a constant
+//! `rows * cols` bits irrespective of sparsity, which is what makes the
+//! format attractive for *arbitrary, unstructured* sparsity.
+
+/// A 2-D bit matrix marking the non-zero positions of a matrix.
+///
+/// Bits are stored row-major, packed into `u64` words.
+///
+/// ```
+/// use sigma_matrix::Bitmap;
+/// let mut bm = Bitmap::new(2, 3);
+/// bm.set(0, 1, true);
+/// bm.set(1, 2, true);
+/// assert_eq!(bm.count_ones(), 2);
+/// assert!(bm.get(0, 1));
+/// assert!(!bm.get(0, 0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap of the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let bits = rows * cols;
+        Self { rows, cols, words: vec![0; bits.div_ceil(64)] }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn index(&self, r: usize, c: usize) -> (usize, u32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let bit = r * self.cols + c;
+        (bit / 64, (bit % 64) as u32)
+    }
+
+    /// Bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if out of bounds; release builds return an
+    /// arbitrary in-buffer bit only when indices are in range of the buffer,
+    /// so callers must stay in bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "bitmap index ({r},{c}) out of bounds");
+        let (w, b) = self.index(r, c);
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Sets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "bitmap index ({r},{c}) out of bounds");
+        let (w, b) = self.index(r, c);
+        if v {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of set bits (non-zero elements).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        (0..self.cols).filter(|&c| self.get(r, c)).count()
+    }
+
+    /// Number of set bits in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    #[must_use]
+    pub fn col_count_ones(&self, c: usize) -> usize {
+        (0..self.rows).filter(|&r| self.get(r, c)).count()
+    }
+
+    /// OR of all bits in row `r` — one step of the controller's `REGOR`
+    /// computation (Fig. 5, Step ii).
+    #[must_use]
+    pub fn row_or(&self, r: usize) -> bool {
+        self.row_count_ones(r) > 0
+    }
+
+    /// The column vector of per-row ORs — the full `REGOR` register file of
+    /// the sparsity controller (Fig. 5, Step ii).
+    #[must_use]
+    pub fn rows_or(&self) -> Vec<bool> {
+        (0..self.rows).map(|r| self.row_or(r)).collect()
+    }
+
+    /// Element-wise AND with another bitmap of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "bitmap shape mismatch");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    /// The metadata size of the bitmap format in bits: exactly one bit per
+    /// element (the value SIGMA reports in Fig. 7).
+    #[must_use]
+    pub fn metadata_bits(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Iterator over `(row, col)` coordinates of set bits in row-major
+    /// order — the order in which the SIGMA controller assigns counter
+    /// values to stationary elements (Fig. 5, Step v).
+    pub fn iter_ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).map(move |c| (r, c)))
+            .filter(move |&(r, c)| self.get(r, c))
+    }
+
+    /// The transpose of this bitmap.
+    #[must_use]
+    pub fn transposed(&self) -> Bitmap {
+        let mut out = Bitmap::new(self.cols, self.rows);
+        for (r, c) in self.iter_ones() {
+            out.set(c, r, true);
+        }
+        out
+    }
+
+    /// Density (fraction of set bits), in `[0, 1]`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            return 0.0;
+        }
+        self.count_ones() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Bitmap {}x{} ({} ones)", self.rows, self.cols, self.count_ones())?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(rows: usize, cols: usize) -> Bitmap {
+        let mut b = Bitmap::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r + c) % 2 == 0 {
+                    b.set(r, c, true);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new(3, 70); // spans multiple u64 words
+        b.set(2, 69, true);
+        b.set(0, 0, true);
+        assert!(b.get(2, 69));
+        assert!(b.get(0, 0));
+        assert!(!b.get(1, 35));
+        b.set(2, 69, false);
+        assert!(!b.get(2, 69));
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        let b = checker(4, 4);
+        assert_eq!(b.count_ones(), 8);
+        assert_eq!(b.row_count_ones(0), 2);
+        assert_eq!(b.col_count_ones(1), 2);
+    }
+
+    #[test]
+    fn row_or_and_regor() {
+        let mut b = Bitmap::new(3, 4);
+        b.set(1, 2, true);
+        assert_eq!(b.rows_or(), vec![false, true, false]);
+        assert!(b.row_or(1));
+        assert!(!b.row_or(0));
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = checker(4, 4);
+        let mut b = Bitmap::new(4, 4);
+        b.set(0, 0, true);
+        b.set(0, 1, true);
+        let c = a.and(&b);
+        assert_eq!(c.count_ones(), 1);
+        assert!(c.get(0, 0));
+    }
+
+    #[test]
+    fn metadata_is_one_bit_per_element() {
+        assert_eq!(Bitmap::new(1632, 36548).metadata_bits(), 1632 * 36548);
+    }
+
+    #[test]
+    fn iter_ones_row_major_order() {
+        let mut b = Bitmap::new(2, 3);
+        b.set(1, 0, true);
+        b.set(0, 2, true);
+        let v: Vec<_> = b.iter_ones().collect();
+        assert_eq!(v, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn transpose_moves_bits() {
+        let mut b = Bitmap::new(2, 3);
+        b.set(0, 2, true);
+        let t = b.transposed();
+        assert!(t.get(2, 0));
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.count_ones(), 1);
+    }
+
+    #[test]
+    fn density_fraction() {
+        assert!((checker(4, 4).density() - 0.5).abs() < 1e-12);
+        assert_eq!(Bitmap::new(2, 2).density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let _ = Bitmap::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn and_shape_mismatch_panics() {
+        let _ = Bitmap::new(2, 2).and(&Bitmap::new(2, 3));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for matrix construction and GEMM shape checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two matrices have incompatible shapes for an
+/// operation (e.g. the inner dimensions of a GEMM disagree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionError {
+    /// Human-readable description of the operation that failed.
+    pub op: &'static str,
+    /// Shape of the left-hand operand, `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right-hand operand, `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for DimensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible dimensions for {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for DimensionError {}
+
+/// Errors produced while constructing or validating matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The provided buffer length does not equal `rows * cols`.
+    DataLength {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Length of the buffer that was provided.
+        actual: usize,
+    },
+    /// A dimension mismatch between two operands.
+    Dimension(DimensionError),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match rows*cols = {expected}")
+            }
+            MatrixError::Dimension(d) => d.fmt(f),
+        }
+    }
+}
+
+impl Error for MatrixError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MatrixError::Dimension(d) => Some(d),
+            MatrixError::DataLength { .. } => None,
+        }
+    }
+}
+
+impl From<DimensionError> for MatrixError {
+    fn from(e: DimensionError) -> Self {
+        MatrixError::Dimension(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let d = DimensionError { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(d.to_string(), "incompatible dimensions for matmul: 2x3 vs 4x5");
+        let m: MatrixError = d.into();
+        assert!(m.to_string().contains("matmul"));
+        let l = MatrixError::DataLength { expected: 6, actual: 5 };
+        assert!(l.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error as _;
+        let d = DimensionError { op: "matmul", lhs: (1, 1), rhs: (2, 2) };
+        let m: MatrixError = d.into();
+        assert!(m.source().is_some());
+        assert!(MatrixError::DataLength { expected: 1, actual: 2 }.source().is_none());
+    }
+}

@@ -1,0 +1,662 @@
+//! Sparse compression formats and their metadata cost (paper Fig. 7).
+//!
+//! Sec. IV-C compares SIGMA's bitmap format against CSR, CSC, COO and
+//! run-length compression (RLC with 2- and 4-bit run fields). The key
+//! quantity is the *metadata overhead* — how many bits beyond the raw
+//! non-zero values a format needs — as a function of sparsity:
+//!
+//! * index-based formats (CSR/CSC/COO) pay `log2(dimension)` bits per
+//!   non-zero, so they are cheap when very sparse and disastrous when dense;
+//! * bitmap pays a flat one bit per element regardless of sparsity;
+//! * RLC pays `b` bits per stored symbol, and inserts dummy symbols when a
+//!   zero-run overflows its `b`-bit run field.
+//!
+//! Each format here has a real encoder/decoder (round-trip tested) plus an
+//! exact bit-accounting that [`metadata_bits`] exposes for the Fig. 7
+//! sweep without materializing values.
+
+use crate::{Bitmap, Matrix};
+
+/// Number of bits needed to index a dimension of size `n` (minimum 1).
+#[must_use]
+pub fn index_bits(n: usize) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The compression formats compared in Fig. 7, in the paper's plot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionKind {
+    /// Uncompressed dense storage: every element stored, no metadata.
+    Dense,
+    /// Compressed sparse row.
+    Csr,
+    /// Compressed sparse column.
+    Csc,
+    /// Coordinate list.
+    Coo,
+    /// Run-length compression with 4-bit run fields (RLC-4).
+    Rlc4,
+    /// Run-length compression with 2-bit run fields (RLC-2).
+    Rlc2,
+    /// SIGMA's bitmap format: one occupancy bit per element.
+    Bitmap,
+}
+
+impl CompressionKind {
+    /// All formats in the order Fig. 7 plots them.
+    pub const ALL: [CompressionKind; 7] = [
+        CompressionKind::Dense,
+        CompressionKind::Csr,
+        CompressionKind::Csc,
+        CompressionKind::Coo,
+        CompressionKind::Rlc4,
+        CompressionKind::Rlc2,
+        CompressionKind::Bitmap,
+    ];
+
+    /// Short display name matching the paper's legend.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompressionKind::Dense => "None",
+            CompressionKind::Csr => "CSR",
+            CompressionKind::Csc => "CSC",
+            CompressionKind::Coo => "COO",
+            CompressionKind::Rlc4 => "RLC-4",
+            CompressionKind::Rlc2 => "RLC-2",
+            CompressionKind::Bitmap => "Bitmap",
+        }
+    }
+}
+
+impl std::fmt::Display for CompressionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Exact metadata size in bits for storing the matrix described by
+/// `occupancy` in the given format.
+///
+/// Metadata is everything that is not a 32-bit payload value: indices,
+/// pointers, run fields, or occupancy bits. Dummy RLC symbols inserted for
+/// run-field overflow are charged to [`value_bits`], not here, because they
+/// occupy value slots.
+#[must_use]
+pub fn metadata_bits(kind: CompressionKind, occupancy: &Bitmap) -> u64 {
+    let (rows, cols) = (occupancy.rows(), occupancy.cols());
+    let nnz = occupancy.count_ones() as u64;
+    match kind {
+        CompressionKind::Dense => 0,
+        CompressionKind::Csr => {
+            // col index per nnz + (rows + 1) row pointers sized to address nnz.
+            nnz * u64::from(index_bits(cols))
+                + (rows as u64 + 1) * u64::from(index_bits(nnz as usize + 1))
+        }
+        CompressionKind::Csc => {
+            nnz * u64::from(index_bits(rows))
+                + (cols as u64 + 1) * u64::from(index_bits(nnz as usize + 1))
+        }
+        CompressionKind::Coo => nnz * u64::from(index_bits(rows) + index_bits(cols)),
+        CompressionKind::Rlc4 => rlc_symbol_count(occupancy, 4) * 4,
+        CompressionKind::Rlc2 => rlc_symbol_count(occupancy, 2) * 2,
+        CompressionKind::Bitmap => occupancy.metadata_bits(),
+    }
+}
+
+/// Payload (value) storage in bits for the given format: 32 bits per stored
+/// symbol. For RLC this includes overflow dummies; for dense storage it is
+/// every element.
+#[must_use]
+pub fn value_bits(kind: CompressionKind, occupancy: &Bitmap) -> u64 {
+    let nnz = occupancy.count_ones() as u64;
+    match kind {
+        CompressionKind::Dense => occupancy.rows() as u64 * occupancy.cols() as u64 * 32,
+        CompressionKind::Rlc4 => rlc_symbol_count(occupancy, 4) * 32,
+        CompressionKind::Rlc2 => rlc_symbol_count(occupancy, 2) * 32,
+        _ => nnz * 32,
+    }
+}
+
+/// Total compressed footprint (values + metadata) in bits.
+#[must_use]
+pub fn total_bits(kind: CompressionKind, occupancy: &Bitmap) -> u64 {
+    metadata_bits(kind, occupancy) + value_bits(kind, occupancy)
+}
+
+/// Number of (run, value) symbols an RLC encoding with `run_bits`-wide run
+/// fields needs for this occupancy pattern, scanning row-major.
+///
+/// A zero-run longer than `2^run_bits - 1` forces a dummy symbol with a
+/// zero payload, exactly as in EIE/Eyeriss-style RLC. Trailing zeros after
+/// the last non-zero are dropped (the decoder pads to the known shape).
+#[must_use]
+pub fn rlc_symbol_count(occupancy: &Bitmap, run_bits: u32) -> u64 {
+    let max_run = (1u64 << run_bits) - 1;
+    let mut symbols = 0u64;
+    let mut run = 0u64;
+    for r in 0..occupancy.rows() {
+        for c in 0..occupancy.cols() {
+            if occupancy.get(r, c) {
+                // Each dummy consumes max_run + 1 positions (its run plus
+                // its own zero payload slot).
+                symbols += run / (max_run + 1);
+                symbols += 1;
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+    }
+    symbols
+}
+
+/// Expected metadata bits for a `rows x cols` matrix with i.i.d. Bernoulli
+/// occupancy at `density`, in closed form — used by the Fig. 7 sweep where
+/// the matrix has 59.6M elements and exact bitmap scans are unnecessary.
+///
+/// For RLC the expected dummy count per zero-gap before a non-zero is
+/// `q^(r+1) / (1 − q^(r+1))` with `q = 1 − density` and `r = 2^bits − 1`
+/// (a dummy consumes `r + 1` positions), summed over the expected `nnz`
+/// gaps.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+#[must_use]
+pub fn expected_metadata_bits(
+    kind: CompressionKind,
+    rows: usize,
+    cols: usize,
+    density: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&density), "density out of range");
+    let total = rows as f64 * cols as f64;
+    let nnz = total * density;
+    match kind {
+        CompressionKind::Dense => 0.0,
+        CompressionKind::Csr => {
+            nnz * f64::from(index_bits(cols))
+                + (rows as f64 + 1.0) * f64::from(index_bits((nnz as usize).max(1) + 1))
+        }
+        CompressionKind::Csc => {
+            nnz * f64::from(index_bits(rows))
+                + (cols as f64 + 1.0) * f64::from(index_bits((nnz as usize).max(1) + 1))
+        }
+        CompressionKind::Coo => nnz * f64::from(index_bits(rows) + index_bits(cols)),
+        CompressionKind::Rlc4 => expected_rlc_symbols(nnz, density, 4) * 4.0,
+        CompressionKind::Rlc2 => expected_rlc_symbols(nnz, density, 2) * 2.0,
+        CompressionKind::Bitmap => total,
+    }
+}
+
+/// Expected RLC symbol count (values + overflow dummies) under Bernoulli
+/// occupancy.
+#[must_use]
+pub fn expected_rlc_symbols(nnz: f64, density: f64, run_bits: u32) -> f64 {
+    if density <= 0.0 {
+        return 0.0;
+    }
+    let q = 1.0 - density;
+    let span = f64::from((1u32 << run_bits) - 1 + 1); // max_run + 1 positions
+    let dummies_per_gap = if q == 0.0 { 0.0 } else { q.powf(span) / (1.0 - q.powf(span)) };
+    nnz * (1.0 + dummies_per_gap)
+}
+
+// ---------------------------------------------------------------------------
+// Concrete codecs (round-trip verified in tests)
+// ---------------------------------------------------------------------------
+
+/// Compressed Sparse Row encoding of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` is the range of non-zeros of row `r`.
+    pub row_ptr: Vec<u32>,
+    /// Column index of each non-zero.
+    pub col_idx: Vec<u32>,
+    /// Non-zero values.
+    pub values: Vec<f32>,
+}
+
+impl Csr {
+    /// Encodes a dense matrix.
+    #[must_use]
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Self { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Decodes back to dense form.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for i in lo..hi {
+                m.set(r, self.col_idx[i] as usize, self.values[i]);
+            }
+        }
+        m
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Compressed Sparse Column encoding of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[c]..col_ptr[c+1]` is the range of non-zeros of column `c`.
+    pub col_ptr: Vec<u32>,
+    /// Row index of each non-zero.
+    pub row_idx: Vec<u32>,
+    /// Non-zero values in column-major order.
+    pub values: Vec<f32>,
+}
+
+impl Csc {
+    /// Encodes a dense matrix.
+    #[must_use]
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut col_ptr = Vec::with_capacity(m.cols() + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for c in 0..m.cols() {
+            for r in 0..m.rows() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    row_idx.push(r as u32);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(values.len() as u32);
+        }
+        Self { rows: m.rows(), cols: m.cols(), col_ptr, row_idx, values }
+    }
+
+    /// Decodes back to dense form.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            let lo = self.col_ptr[c] as usize;
+            let hi = self.col_ptr[c + 1] as usize;
+            for i in lo..hi {
+                m.set(self.row_idx[i] as usize, c, self.values[i]);
+            }
+        }
+        m
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Coordinate-list encoding of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    /// `(row, col, value)` triples in row-major order.
+    pub triples: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    /// Encodes a dense matrix.
+    #[must_use]
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut triples = Vec::new();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    triples.push((r as u32, c as u32, v));
+                }
+            }
+        }
+        Self { rows: m.rows(), cols: m.cols(), triples }
+    }
+
+    /// Decodes back to dense form.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.triples {
+            m.set(r as usize, c as usize, v);
+        }
+        m
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.triples.len()
+    }
+}
+
+/// Run-length compression with a configurable run-field width, scanning
+/// row-major (EIE/Eyeriss style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rlc {
+    rows: usize,
+    cols: usize,
+    run_bits: u32,
+    /// `(zero_run, value)` symbols; dummy symbols carry `value == 0.0`.
+    pub symbols: Vec<(u32, f32)>,
+}
+
+impl Rlc {
+    /// Encodes a dense matrix with `run_bits`-wide run fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_bits` is 0 or greater than 16.
+    #[must_use]
+    pub fn from_dense(m: &Matrix, run_bits: u32) -> Self {
+        assert!((1..=16).contains(&run_bits), "run_bits must be in 1..=16");
+        let max_run = (1u32 << run_bits) - 1;
+        let mut symbols = Vec::new();
+        let mut run = 0u32;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    // A dummy symbol encodes max_run zeros plus its own
+                    // zero payload, consuming max_run + 1 positions.
+                    while run > max_run {
+                        symbols.push((max_run, 0.0));
+                        run -= max_run + 1;
+                    }
+                    symbols.push((run, v));
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+            }
+        }
+        Self { rows: m.rows(), cols: m.cols(), run_bits, symbols }
+    }
+
+    /// Decodes back to dense form.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        let mut pos = 0usize;
+        for &(run, v) in &self.symbols {
+            pos += run as usize;
+            if v != 0.0 {
+                m.set(pos / self.cols, pos % self.cols, v);
+            }
+            pos += 1;
+        }
+        m
+    }
+
+    /// Run-field width in bits.
+    #[must_use]
+    pub fn run_bits(&self) -> u32 {
+        self.run_bits
+    }
+
+    /// Number of stored symbols (non-zeros + overflow dummies).
+    #[must_use]
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+}
+
+impl From<&Csr> for crate::SparseMatrix {
+    /// Front-end conversion: a CSR operand re-encoded into SIGMA's bitmap
+    /// format (the paper: "Alternate compression formats can be supported
+    /// over SIGMA by only changing the front end controller").
+    fn from(c: &Csr) -> Self {
+        crate::SparseMatrix::from_dense(&c.to_dense())
+    }
+}
+
+impl From<&Csc> for crate::SparseMatrix {
+    /// Front-end conversion from CSC (see [`From<&Csr>`]).
+    fn from(c: &Csc) -> Self {
+        crate::SparseMatrix::from_dense(&c.to_dense())
+    }
+}
+
+impl From<&Coo> for crate::SparseMatrix {
+    /// Front-end conversion from COO (see [`From<&Csr>`]).
+    fn from(c: &Coo) -> Self {
+        crate::SparseMatrix::from_dense(&c.to_dense())
+    }
+}
+
+impl From<&Rlc> for crate::SparseMatrix {
+    /// Front-end conversion from RLC (see [`From<&Csr>`]).
+    fn from(c: &Rlc) -> Self {
+        crate::SparseMatrix::from_dense(&c.to_dense())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0, 0.0, 2.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[3.0, 0.0, 0.0, 0.0, 0.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn index_bits_values() {
+        assert_eq!(index_bits(1), 1);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(256), 8);
+        assert_eq!(index_bits(257), 9);
+        assert_eq!(index_bits(36548), 16);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let d = sample();
+        let c = Csr::from_dense(&d);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.to_dense(), d);
+        assert_eq!(c.row_ptr, vec![0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let d = sample();
+        let c = Csc::from_dense(&d);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.to_dense(), d);
+        assert_eq!(c.values, vec![3.0, 1.0, 2.0, 4.0]); // column-major
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let d = sample();
+        let c = Coo::from_dense(&d);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.to_dense(), d);
+    }
+
+    #[test]
+    fn rlc_roundtrip_both_widths() {
+        let d = sample();
+        for bits in [2, 4, 8] {
+            let r = Rlc::from_dense(&d, bits);
+            assert_eq!(r.to_dense(), d, "RLC-{bits} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn rlc2_inserts_dummies_for_long_runs() {
+        // Row of 1 value, 9 zeros, 1 value: run of 9 with max_run 3 needs
+        // 2 dummies (each dummy covers 3 zeros + its own zero slot = 4
+        // positions; 9 = 4 + 4 + run-of-1 before the value).
+        let mut row = vec![0.0f32; 11];
+        row[0] = 1.0;
+        row[10] = 2.0;
+        let d = Matrix::from_vec(1, 11, row).unwrap();
+        let r2 = Rlc::from_dense(&d, 2);
+        assert_eq!(r2.symbol_count(), 4); // 2 values + 2 dummies
+        let r4 = Rlc::from_dense(&d, 4);
+        assert_eq!(r4.symbol_count(), 2); // run of 9 fits in 4 bits
+        assert_eq!(r2.to_dense(), d);
+        assert_eq!(r4.to_dense(), d);
+    }
+
+    #[test]
+    fn rlc_symbol_count_matches_codec() {
+        let d = sample();
+        let bm = crate::SparseMatrix::from_dense(&d).bitmap().clone();
+        for bits in [2u32, 4] {
+            assert_eq!(
+                rlc_symbol_count(&bm, bits),
+                Rlc::from_dense(&d, bits).symbol_count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_metadata_is_flat() {
+        // Same shape, different densities: bitmap metadata identical.
+        let lo = crate::gen::sparse_uniform(64, 64, crate::gen::Density::new(0.1).unwrap(), 1);
+        let hi = crate::gen::sparse_uniform(64, 64, crate::gen::Density::new(0.9).unwrap(), 2);
+        assert_eq!(
+            metadata_bits(CompressionKind::Bitmap, lo.bitmap()),
+            metadata_bits(CompressionKind::Bitmap, hi.bitmap())
+        );
+    }
+
+    #[test]
+    fn coo_metadata_grows_with_density() {
+        let lo = crate::gen::sparse_uniform(64, 64, crate::gen::Density::new(0.1).unwrap(), 1);
+        let hi = crate::gen::sparse_uniform(64, 64, crate::gen::Density::new(0.9).unwrap(), 2);
+        assert!(
+            metadata_bits(CompressionKind::Coo, hi.bitmap())
+                > metadata_bits(CompressionKind::Coo, lo.bitmap())
+        );
+    }
+
+    #[test]
+    fn fig7_crossover_shape() {
+        // At high sparsity (95%) COO/CSR beat bitmap; at low sparsity (10%)
+        // bitmap beats COO/CSR. This is the qualitative claim of Fig. 7.
+        let very_sparse =
+            crate::gen::sparse_uniform(256, 256, crate::gen::Density::new(0.05).unwrap(), 3);
+        let dense_ish =
+            crate::gen::sparse_uniform(256, 256, crate::gen::Density::new(0.9).unwrap(), 4);
+        let bm = CompressionKind::Bitmap;
+        let coo = CompressionKind::Coo;
+        assert!(metadata_bits(coo, very_sparse.bitmap()) < metadata_bits(bm, very_sparse.bitmap()));
+        assert!(metadata_bits(coo, dense_ish.bitmap()) > metadata_bits(bm, dense_ish.bitmap()));
+    }
+
+    #[test]
+    fn dense_has_no_metadata_but_all_values() {
+        let d = sample();
+        let bm = crate::SparseMatrix::from_dense(&d).bitmap().clone();
+        assert_eq!(metadata_bits(CompressionKind::Dense, &bm), 0);
+        assert_eq!(value_bits(CompressionKind::Dense, &bm), 18 * 32);
+        assert_eq!(value_bits(CompressionKind::Csr, &bm), 4 * 32);
+    }
+
+    #[test]
+    fn total_bits_is_sum() {
+        let d = sample();
+        let bm = crate::SparseMatrix::from_dense(&d).bitmap().clone();
+        for kind in CompressionKind::ALL {
+            assert_eq!(
+                total_bits(kind, &bm),
+                metadata_bits(kind, &bm) + value_bits(kind, &bm)
+            );
+        }
+    }
+
+    #[test]
+    fn expected_metadata_tracks_exact() {
+        // On a moderately sized random bitmap the closed-form expectation
+        // must agree with the exact scan within a few percent.
+        for density in [0.1, 0.3, 0.5, 0.8] {
+            let bm = crate::gen::bitmap_bernoulli(
+                200,
+                200,
+                crate::gen::Density::new(density).unwrap(),
+                42,
+            );
+            for kind in CompressionKind::ALL {
+                let exact = metadata_bits(kind, &bm) as f64;
+                let expected = expected_metadata_bits(kind, 200, 200, density);
+                if exact == 0.0 {
+                    assert_eq!(expected, 0.0, "{kind}");
+                } else {
+                    let rel = (exact - expected).abs() / exact;
+                    assert!(rel < 0.08, "{kind} at {density}: exact {exact} vs E {expected}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_rlc_dummy_behaviour() {
+        // Dense matrices have no gaps, hence no dummies.
+        assert!((expected_rlc_symbols(100.0, 1.0, 2) - 100.0).abs() < 1e-9);
+        // Very sparse matrices overflow 2-bit runs often.
+        let sym = expected_rlc_symbols(100.0, 0.01, 2);
+        assert!(sym > 2000.0, "expected many dummies, got {sym}");
+        assert_eq!(expected_rlc_symbols(0.0, 0.0, 2), 0.0);
+    }
+
+    #[test]
+    fn front_end_conversions_reach_bitmap_format() {
+        let d = sample();
+        let via_csr: crate::SparseMatrix = (&Csr::from_dense(&d)).into();
+        let via_csc: crate::SparseMatrix = (&Csc::from_dense(&d)).into();
+        let via_coo: crate::SparseMatrix = (&Coo::from_dense(&d)).into();
+        let via_rlc: crate::SparseMatrix = (&Rlc::from_dense(&d, 4)).into();
+        let direct = crate::SparseMatrix::from_dense(&d);
+        for s in [via_csr, via_csc, via_coo, via_rlc] {
+            assert_eq!(s, direct);
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(CompressionKind::Bitmap.to_string(), "Bitmap");
+        assert_eq!(CompressionKind::Rlc2.name(), "RLC-2");
+        assert_eq!(CompressionKind::ALL.len(), 7);
+    }
+}

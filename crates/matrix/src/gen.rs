@@ -1,0 +1,203 @@
+//! Reproducible random matrix generators for workloads and tests.
+//!
+//! The SIGMA evaluation induces *unstructured* random sparsity at controlled
+//! densities (Sec. VI-A: inputs ~10–50% sparse, weights ~80% sparse). These
+//! generators produce that kind of operand deterministically from a seed.
+
+use crate::{Bitmap, Matrix, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A validated density (fraction of non-zero elements) in `[0, 1]`.
+///
+/// ```
+/// use sigma_matrix::gen::Density;
+/// let d = Density::new(0.2).unwrap();
+/// assert_eq!(d.value(), 0.2);
+/// assert_eq!(d.sparsity(), 0.8);
+/// assert!(Density::new(1.5).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Density(f64);
+
+impl Density {
+    /// Fully dense (no zeros).
+    pub const DENSE: Density = Density(1.0);
+
+    /// Creates a density, returning `None` when outside `[0, 1]` or NaN.
+    #[must_use]
+    pub fn new(value: f64) -> Option<Self> {
+        if (0.0..=1.0).contains(&value) {
+            Some(Self(value))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a density from a sparsity level (fraction of zeros).
+    ///
+    /// `Density::from_sparsity(0.8)` is the paper's "80% sparse".
+    #[must_use]
+    pub fn from_sparsity(sparsity: f64) -> Option<Self> {
+        Self::new(1.0 - sparsity)
+    }
+
+    /// The non-zero fraction.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The zero fraction (`1 - density`).
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl Default for Density {
+    fn default() -> Self {
+        Density::DENSE
+    }
+}
+
+impl std::fmt::Display for Density {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}% dense", self.0 * 100.0)
+    }
+}
+
+/// Generates a dense matrix with values uniform in `(0.5, 1.5)`.
+///
+/// Values are bounded away from zero so that `nnz` is exact and f32 rounding
+/// in long tree reductions stays well-conditioned in tests.
+#[must_use]
+pub fn dense_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(0.5..1.5))
+}
+
+/// Generates a sparse matrix with an *exact* number of non-zeros:
+/// `round(density * rows * cols)` positions chosen uniformly without
+/// replacement, values uniform in `(0.5, 1.5)`.
+#[must_use]
+pub fn sparse_uniform(rows: usize, cols: usize, density: Density, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = rows * cols;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let nnz = ((density.value() * total as f64).round() as usize).min(total);
+    let mut positions: Vec<usize> = (0..total).collect();
+    positions.shuffle(&mut rng);
+    positions.truncate(nnz);
+    positions.sort_unstable();
+    let mut bitmap = Bitmap::new(rows, cols);
+    let mut values = Vec::with_capacity(nnz);
+    for p in positions {
+        bitmap.set(p / cols, p % cols, true);
+        values.push(rng.gen_range(0.5..1.5));
+    }
+    SparseMatrix::from_parts(bitmap, values)
+}
+
+/// Generates only the occupancy bitmap, with each bit set independently
+/// with probability `density` (Bernoulli). Cheap enough for the Fig. 7
+/// sweep over 1632 x 36548 matrices.
+#[must_use]
+pub fn bitmap_bernoulli(rows: usize, cols: usize, density: Density, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(density.value()) {
+                bm.set(r, c, true);
+            }
+        }
+    }
+    bm
+}
+
+/// Generates a sparse matrix with *structured* (balanced per-row) sparsity:
+/// every row has exactly `round(density * cols)` non-zeros. Used to contrast
+/// structured-sparsity hardware (e.g. Cambricon-X-style) with SIGMA's
+/// unstructured support.
+#[must_use]
+pub fn sparse_row_balanced(rows: usize, cols: usize, density: Density, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let per_row = ((density.value() * cols as f64).round() as usize).min(cols);
+    let mut bitmap = Bitmap::new(rows, cols);
+    let mut values = Vec::with_capacity(per_row * rows);
+    for r in 0..rows {
+        let mut cs: Vec<usize> = (0..cols).collect();
+        cs.shuffle(&mut rng);
+        cs.truncate(per_row);
+        cs.sort_unstable();
+        for c in cs {
+            bitmap.set(r, c, true);
+            values.push(rng.gen_range(0.5..1.5));
+        }
+    }
+    SparseMatrix::from_parts(bitmap, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_validation() {
+        assert!(Density::new(-0.1).is_none());
+        assert!(Density::new(f64::NAN).is_none());
+        assert_eq!(Density::from_sparsity(0.8).unwrap().value(), 1.0 - 0.8);
+        assert_eq!(Density::default(), Density::DENSE);
+        assert_eq!(Density::new(0.25).unwrap().to_string(), "25% dense");
+    }
+
+    #[test]
+    fn dense_uniform_has_no_zeros() {
+        let m = dense_uniform(16, 16, 42);
+        assert_eq!(m.nnz(), 256);
+        assert!(m.as_slice().iter().all(|v| *v > 0.5 && *v < 1.5));
+    }
+
+    #[test]
+    fn sparse_uniform_exact_nnz() {
+        let s = sparse_uniform(20, 30, Density::new(0.3).unwrap(), 7);
+        assert_eq!(s.nnz(), (0.3f64 * 600.0).round() as usize);
+        assert_eq!(s.rows(), 20);
+        assert_eq!(s.cols(), 30);
+    }
+
+    #[test]
+    fn sparse_uniform_is_deterministic() {
+        let a = sparse_uniform(10, 10, Density::new(0.5).unwrap(), 99);
+        let b = sparse_uniform(10, 10, Density::new(0.5).unwrap(), 99);
+        assert_eq!(a, b);
+        let c = sparse_uniform(10, 10, Density::new(0.5).unwrap(), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_uniform_extremes() {
+        let empty = sparse_uniform(8, 8, Density::new(0.0).unwrap(), 1);
+        assert_eq!(empty.nnz(), 0);
+        let full = sparse_uniform(8, 8, Density::DENSE, 1);
+        assert_eq!(full.nnz(), 64);
+    }
+
+    #[test]
+    fn bernoulli_density_close() {
+        let bm = bitmap_bernoulli(200, 200, Density::new(0.3).unwrap(), 5);
+        let d = bm.density();
+        assert!((d - 0.3).abs() < 0.02, "observed density {d}");
+    }
+
+    #[test]
+    fn row_balanced_rows_equal() {
+        let s = sparse_row_balanced(10, 40, Density::new(0.25).unwrap(), 3);
+        for r in 0..10 {
+            assert_eq!(s.bitmap().row_count_ones(r), 10);
+        }
+    }
+}

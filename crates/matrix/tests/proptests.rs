@@ -1,0 +1,98 @@
+//! Property-based tests for the matrix substrate.
+
+use proptest::prelude::*;
+use sigma_matrix::formats::{metadata_bits, rlc_symbol_count, CompressionKind, Coo, Csc, Csr, Rlc};
+use sigma_matrix::gen::{sparse_uniform, Density};
+use sigma_matrix::{Matrix, SparseMatrix};
+
+/// Strategy: a small random sparse matrix described by (rows, cols, density seed).
+fn small_sparse() -> impl Strategy<Value = SparseMatrix> {
+    (1usize..12, 1usize..12, 0u8..=10, any::<u64>()).prop_map(|(r, c, d10, seed)| {
+        sparse_uniform(r, c, Density::new(f64::from(d10) / 10.0).unwrap(), seed)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sparse_roundtrip(s in small_sparse()) {
+        let d = s.to_dense();
+        let s2 = SparseMatrix::from_dense(&d);
+        prop_assert_eq!(&s, &s2);
+        prop_assert_eq!(s.nnz(), d.nnz());
+    }
+
+    #[test]
+    fn csr_csc_coo_rlc_roundtrip(s in small_sparse()) {
+        let d = s.to_dense();
+        prop_assert_eq!(Csr::from_dense(&d).to_dense(), d.clone());
+        prop_assert_eq!(Csc::from_dense(&d).to_dense(), d.clone());
+        prop_assert_eq!(Coo::from_dense(&d).to_dense(), d.clone());
+        for bits in [1u32, 2, 4, 8] {
+            prop_assert_eq!(Rlc::from_dense(&d, bits).to_dense(), d.clone());
+        }
+    }
+
+    #[test]
+    fn rlc_symbol_count_agrees_with_codec(s in small_sparse()) {
+        let d = s.to_dense();
+        for bits in [2u32, 4] {
+            prop_assert_eq!(
+                rlc_symbol_count(s.bitmap(), bits),
+                Rlc::from_dense(&d, bits).symbol_count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_metadata_constant_in_density(
+        rows in 1usize..20, cols in 1usize..20, seed in any::<u64>()
+    ) {
+        let lo = sparse_uniform(rows, cols, Density::new(0.1).unwrap(), seed);
+        let hi = sparse_uniform(rows, cols, Density::new(0.9).unwrap(), seed.wrapping_add(1));
+        prop_assert_eq!(
+            metadata_bits(CompressionKind::Bitmap, lo.bitmap()),
+            metadata_bits(CompressionKind::Bitmap, hi.bitmap())
+        );
+    }
+
+    #[test]
+    fn matmul_identity_left_right(s in small_sparse()) {
+        let d = s.to_dense();
+        prop_assert_eq!(d.matmul(&Matrix::identity(d.cols())), d.clone());
+        prop_assert_eq!(Matrix::identity(d.rows()).matmul(&d), d);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8, seed in any::<u64>()
+    ) {
+        // (A B)^T == B^T A^T
+        let a = sparse_uniform(m, k, Density::new(0.6).unwrap(), seed).to_dense();
+        let b = sparse_uniform(k, n, Density::new(0.6).unwrap(), seed.wrapping_add(9)).to_dense();
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn backward_gemms_match_explicit_transpose(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8, seed in any::<u64>()
+    ) {
+        let a = sparse_uniform(k, m, Density::new(0.7).unwrap(), seed).to_dense();
+        let b = sparse_uniform(k, n, Density::new(0.7).unwrap(), seed.wrapping_add(3)).to_dense();
+        prop_assert!(a.matmul_at(&b).approx_eq(&a.transposed().matmul(&b), 1e-4));
+
+        let c = sparse_uniform(m, k, Density::new(0.7).unwrap(), seed.wrapping_add(5)).to_dense();
+        let e = sparse_uniform(n, k, Density::new(0.7).unwrap(), seed.wrapping_add(7)).to_dense();
+        prop_assert!(c.matmul_bt(&e).approx_eq(&c.matmul(&e.transposed()), 1e-4));
+    }
+
+    #[test]
+    fn bitmap_iter_ones_matches_count(s in small_sparse()) {
+        prop_assert_eq!(s.bitmap().iter_ones().count(), s.bitmap().count_ones());
+        let per_row: usize = (0..s.rows()).map(|r| s.bitmap().row_count_ones(r)).sum();
+        prop_assert_eq!(per_row, s.nnz());
+        let per_col: usize = (0..s.cols()).map(|c| s.bitmap().col_count_ones(c)).sum();
+        prop_assert_eq!(per_col, s.nnz());
+    }
+}

@@ -1,0 +1,163 @@
+//! Im2Col: lowering convolutions to GEMMs (Sec. I — "For Convolutional
+//! Neural Networks, GPUs remap the conv operation into a GEMM via the
+//! Im2Col operation").
+//!
+//! A convolution with `C_in` input channels, `C_out` filters of size
+//! `KH x KW`, over an `H x W` input at stride `S` (with padding `P`),
+//! becomes the GEMM
+//!
+//! ```text
+//! M = H_out * W_out * batch     (output pixels)
+//! K = C_in * KH * KW            (unrolled receptive field)
+//! N = C_out                     (filters)
+//! ```
+//!
+//! The module also carries a ResNet-50 layer table, the paper's example
+//! of a workload that stays accurate at ~70% weight sparsity.
+
+use sigma_matrix::GemmShape;
+
+/// A 2-D convolution layer description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels (filters).
+    pub c_out: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Input spatial height (= width; square inputs assumed).
+    pub input: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl ConvLayer {
+    /// Output spatial size after this convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (kernel larger than the
+    /// padded input, or zero stride).
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        assert!(self.stride > 0, "stride must be non-zero");
+        let padded = self.input + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel exceeds padded input");
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// The Im2Col GEMM for this layer at the given batch size.
+    #[must_use]
+    pub fn im2col_gemm(&self, batch: usize) -> GemmShape {
+        let out = self.output_size();
+        GemmShape::new(
+            out * out * batch.max(1),
+            self.c_out,
+            self.c_in * self.kernel * self.kernel,
+        )
+    }
+
+    /// Multiply-accumulates of the convolution itself (must equal the
+    /// GEMM's — Im2Col preserves work).
+    #[must_use]
+    pub fn macs(&self, batch: usize) -> u128 {
+        self.im2col_gemm(batch).macs()
+    }
+}
+
+/// A representative slice of ResNet-50's convolution layers (one per
+/// stage flavor: the 7x7 stem, and each stage's 1x1-reduce / 3x3 /
+/// 1x1-expand bottleneck pattern).
+#[must_use]
+pub fn resnet50_layers() -> Vec<ConvLayer> {
+    let l = |name, c_in, c_out, kernel, stride, input, padding| ConvLayer {
+        name,
+        c_in,
+        c_out,
+        kernel,
+        stride,
+        input,
+        padding,
+    };
+    vec![
+        l("conv1 (stem 7x7)", 3, 64, 7, 2, 224, 3),
+        l("conv2_x 1x1 reduce", 256, 64, 1, 1, 56, 0),
+        l("conv2_x 3x3", 64, 64, 3, 1, 56, 1),
+        l("conv2_x 1x1 expand", 64, 256, 1, 1, 56, 0),
+        l("conv3_x 3x3", 128, 128, 3, 1, 28, 1),
+        l("conv4_x 3x3", 256, 256, 3, 1, 14, 1),
+        l("conv5_x 3x3", 512, 512, 3, 1, 7, 1),
+        l("conv5_x 1x1 expand", 512, 2048, 1, 1, 7, 0),
+    ]
+}
+
+/// The Im2Col GEMM suite for ResNet-50 at a batch size.
+#[must_use]
+pub fn resnet50_gemms(batch: usize) -> Vec<(&'static str, GemmShape)> {
+    resnet50_layers().into_iter().map(|c| (c.name, c.im2col_gemm(batch))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_sizes_match_resnet_geometry() {
+        let layers = resnet50_layers();
+        assert_eq!(layers[0].output_size(), 112); // stem halves 224
+        assert_eq!(layers[2].output_size(), 56); // 3x3 stride-1 pad-1 keeps size
+        assert_eq!(layers[7].output_size(), 7);
+    }
+
+    #[test]
+    fn im2col_dimensions() {
+        // conv2_x 3x3: M = 56*56, K = 64*9 = 576, N = 64.
+        let g = resnet50_layers()[2].im2col_gemm(1);
+        assert_eq!(g, GemmShape::new(56 * 56, 64, 576));
+        // Batch scales M only.
+        let g8 = resnet50_layers()[2].im2col_gemm(8);
+        assert_eq!(g8.m, 8 * 56 * 56);
+        assert_eq!((g8.n, g8.k), (g.n, g.k));
+    }
+
+    #[test]
+    fn stem_is_irregular() {
+        // The 7x7 stem has K = 3*49 = 147 — a skinny contraction that
+        // wastes a rigid 128-wide array.
+        let g = resnet50_layers()[0].im2col_gemm(1);
+        assert_eq!(g.k, 147);
+        assert!(g.irregularity() > 80.0);
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_batch() {
+        let c = resnet50_layers()[4];
+        assert_eq!(c.macs(4), 4 * c.macs(1));
+    }
+
+    #[test]
+    fn suite_is_complete() {
+        assert_eq!(resnet50_gemms(1).len(), resnet50_layers().len());
+        assert!(resnet50_gemms(2).iter().all(|(_, g)| g.macs() > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exceeds")]
+    fn bad_geometry_panics() {
+        let c = ConvLayer {
+            name: "bad",
+            c_in: 1,
+            c_out: 1,
+            kernel: 9,
+            stride: 1,
+            input: 4,
+            padding: 0,
+        };
+        let _ = c.output_size();
+    }
+}

@@ -1,0 +1,81 @@
+//! DL-training workloads for the SIGMA evaluation (Sec. II / Sec. VI-A).
+//!
+//! The paper characterizes GEMMs from Transformer, GNMT, NCF and Baidu
+//! DeepBench, with unstructured sparsity from pruning (weights, ~80–90%)
+//! and from ReLU/dropout (activations, ~10–50%). This crate provides:
+//!
+//! * [`suites`] — the named GEMM shape tables (Fig. 1b plus the shapes
+//!   the evaluation section calls out);
+//! * [`sparsity`] — sparsity profiles and the Zhu–Gupta gradual pruning
+//!   schedule used to generate weight sparsity levels over training;
+//! * [`training`] — an operator-level model of one training step for the
+//!   Fig. 2 time-breakdown experiment;
+//! * [`materialize`] — turning an abstract [`GemmProblem`] into concrete
+//!   random sparse operands for the functional simulator.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod im2col;
+pub mod sparsity;
+pub mod suites;
+pub mod training;
+
+pub use im2col::{resnet50_gemms, resnet50_layers, ConvLayer};
+pub use sparsity::{pruning_schedule, SparsityProfile};
+pub use suites::{deepbench_suite, evaluation_suite, fig1b_suite, NamedGemm, Workload};
+pub use training::{step_breakdown, OpClass, TrainingModel};
+
+use sigma_core::model::GemmProblem;
+use sigma_matrix::gen::{sparse_uniform, Density};
+use sigma_matrix::SparseMatrix;
+
+/// Materializes a [`GemmProblem`] into concrete random operands with the
+/// requested densities, deterministically from `seed`.
+///
+/// ```
+/// use sigma_core::model::GemmProblem;
+/// use sigma_matrix::GemmShape;
+/// let p = GemmProblem::sparse(GemmShape::new(8, 8, 8), 0.5, 0.5);
+/// let (a, b) = sigma_workloads::materialize(&p, 7);
+/// assert_eq!((a.rows(), a.cols()), (8, 8));
+/// assert_eq!((b.rows(), b.cols()), (8, 8));
+/// ```
+#[must_use]
+pub fn materialize(p: &GemmProblem, seed: u64) -> (SparseMatrix, SparseMatrix) {
+    let a = sparse_uniform(
+        p.shape.m,
+        p.shape.k,
+        Density::new(p.density_a).expect("validated by GemmProblem"),
+        seed,
+    );
+    let b = sparse_uniform(
+        p.shape.k,
+        p.shape.n,
+        Density::new(p.density_b).expect("validated by GemmProblem"),
+        seed.wrapping_add(0x5151),
+    );
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_matrix::GemmShape;
+
+    #[test]
+    fn materialize_matches_problem() {
+        let p = GemmProblem::sparse(GemmShape::new(20, 30, 40), 0.3, 0.8);
+        let (a, b) = materialize(&p, 1);
+        assert_eq!((a.rows(), a.cols()), (20, 40));
+        assert_eq!((b.rows(), b.cols()), (40, 30));
+        let da = a.nnz() as f64 / (20.0 * 40.0);
+        assert!((da - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let p = GemmProblem::dense(GemmShape::new(4, 4, 4));
+        assert_eq!(materialize(&p, 9), materialize(&p, 9));
+    }
+}

@@ -1,0 +1,150 @@
+//! Sparsity profiles and the gradual pruning schedule (Sec. II).
+//!
+//! The paper prunes GNMT to 90% weight sparsity with a Zhu–Gupta-style
+//! slow sparsification: sparsity rises from an initial to a final level
+//! over a fixed number of pruning steps following a cubic schedule.
+//! Activation sparsity (from ReLU/dropout) is 10–50% and varies per
+//! batch rather than per schedule.
+
+use sigma_core::model::GemmProblem;
+use sigma_matrix::GemmShape;
+
+/// Operand sparsity levels for an evaluation scenario.
+///
+/// Sparsity is the *zero* fraction; densities handed to the models are
+/// `1 - sparsity`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Sparsity of the `MK` (input/activation) operand.
+    pub input_sparsity: f64,
+    /// Sparsity of the `KN` (weight) operand.
+    pub weight_sparsity: f64,
+}
+
+impl SparsityProfile {
+    /// Fully dense.
+    pub const DENSE: SparsityProfile =
+        SparsityProfile { input_sparsity: 0.0, weight_sparsity: 0.0 };
+
+    /// The paper's headline evaluation point: ~50% input, ~80% weight
+    /// sparsity (Sec. VI-A).
+    pub const PAPER_SPARSE: SparsityProfile =
+        SparsityProfile { input_sparsity: 0.5, weight_sparsity: 0.8 };
+
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparsity is outside `[0, 1)`. (Exactly 1.0 would mean
+    /// an all-zero operand — degenerate for the evaluation.)
+    #[must_use]
+    pub fn new(input_sparsity: f64, weight_sparsity: f64) -> Self {
+        assert!((0.0..1.0).contains(&input_sparsity), "input sparsity out of range");
+        assert!((0.0..1.0).contains(&weight_sparsity), "weight sparsity out of range");
+        Self { input_sparsity, weight_sparsity }
+    }
+
+    /// Applies the profile to a shape, producing a [`GemmProblem`].
+    #[must_use]
+    pub fn problem(&self, shape: GemmShape) -> GemmProblem {
+        GemmProblem::sparse(shape, 1.0 - self.input_sparsity, 1.0 - self.weight_sparsity)
+    }
+
+    /// The Fig. 12b sweep: every combination of {50%, 80%} sparsity on
+    /// the two operands, labeled in the paper's "MK80/KN50" style.
+    #[must_use]
+    pub fn fig12b_sweep() -> Vec<(&'static str, SparsityProfile)> {
+        vec![
+            ("MK50-KN50", SparsityProfile::new(0.5, 0.5)),
+            ("MK50-KN80", SparsityProfile::new(0.5, 0.8)),
+            ("MK80-KN50", SparsityProfile::new(0.8, 0.5)),
+            ("MK80-KN80", SparsityProfile::new(0.8, 0.8)),
+        ]
+    }
+}
+
+impl Default for SparsityProfile {
+    fn default() -> Self {
+        Self::DENSE
+    }
+}
+
+/// The Zhu–Gupta gradual pruning schedule: sparsity after each of
+/// `steps + 1` pruning points, rising from `initial` to `target` with the
+/// cubic law `s_t = s_f + (s_i − s_f)·(1 − t/n)³`.
+///
+/// ```
+/// let s = sigma_workloads::pruning_schedule(0.0, 0.9, 10);
+/// assert_eq!(s.len(), 11);
+/// assert_eq!(s[0], 0.0);
+/// assert!((s[10] - 0.9).abs() < 1e-12);
+/// assert!(s.windows(2).all(|w| w[1] >= w[0])); // monotone
+/// ```
+///
+/// # Panics
+///
+/// Panics if sparsities are outside `[0, 1]`, `initial > target`, or
+/// `steps == 0`.
+#[must_use]
+pub fn pruning_schedule(initial: f64, target: f64, steps: usize) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&initial) && (0.0..=1.0).contains(&target));
+    assert!(initial <= target, "pruning cannot decrease sparsity");
+    assert!(steps > 0, "need at least one pruning step");
+    (0..=steps)
+        .map(|t| {
+            let frac = 1.0 - t as f64 / steps as f64;
+            target + (initial - target) * frac.powi(3)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_cubic_and_monotone() {
+        let s = pruning_schedule(0.0, 0.9, 100);
+        assert_eq!(s.len(), 101);
+        assert!(s.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        // Cubic: most pruning happens early.
+        let early = s[25] - s[0];
+        let late = s[100] - s[75];
+        assert!(early > 3.0 * late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn schedule_covers_paper_range() {
+        // "from 10% to 90%" non-zeros over training iterations.
+        let s = pruning_schedule(0.1, 0.9, 20);
+        assert!((s[0] - 0.1).abs() < 1e-12);
+        assert!((s[20] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_to_problem() {
+        let p = SparsityProfile::PAPER_SPARSE.problem(GemmShape::new(4, 5, 6));
+        assert!((p.density_a - 0.5).abs() < 1e-12);
+        assert!((p.density_b - 0.2).abs() < 1e-12);
+        assert_eq!(SparsityProfile::default(), SparsityProfile::DENSE);
+    }
+
+    #[test]
+    fn fig12b_sweep_has_four_combos() {
+        let sweep = SparsityProfile::fig12b_sweep();
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.iter().any(|(n, _)| *n == "MK80-KN80"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decrease")]
+    fn schedule_rejects_decreasing() {
+        let _ = pruning_schedule(0.9, 0.1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn profile_rejects_degenerate() {
+        let _ = SparsityProfile::new(1.0, 0.5);
+    }
+}

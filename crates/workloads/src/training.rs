@@ -1,0 +1,226 @@
+//! Operator-level training-step model for the Fig. 2 time breakdown.
+//!
+//! Fig. 2 measures one training step of GNMT and Transformer on a V100
+//! and finds ~70% of the time in MatMul-shaped work. We rebuild that
+//! breakdown from an operator list: every GEMM of the forward pass plus
+//! the two backward-pass GEMMs it implies (`dX = dY·Wᵀ`, `dW = Xᵀ·dY`),
+//! and the memory-bound non-GEMM ops (attention softmax, layer norm,
+//! activations, dropout, embedding gathers, optimizer update).
+
+use crate::suites::{fig1b_suite, NamedGemm, Workload};
+use sigma_baselines::gpu::GpuModel;
+use sigma_matrix::GemmShape;
+
+/// Classification of a training-step operator, matching Fig. 2's legend
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// GEMM / MatMul-shaped work (forward and backward).
+    MatMul,
+    /// Softmax / attention-score normalization.
+    Softmax,
+    /// Layer/batch normalization.
+    Normalization,
+    /// Elementwise activations, dropout, residual adds.
+    Elementwise,
+    /// Embedding gathers and data movement.
+    Gather,
+    /// Optimizer update (Adam-style, touches every parameter).
+    Optimizer,
+}
+
+impl OpClass {
+    /// All classes in display order.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::MatMul,
+        OpClass::Softmax,
+        OpClass::Normalization,
+        OpClass::Elementwise,
+        OpClass::Gather,
+        OpClass::Optimizer,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpClass::MatMul => "MatMul",
+            OpClass::Softmax => "Softmax",
+            OpClass::Normalization => "Norm",
+            OpClass::Elementwise => "Elementwise",
+            OpClass::Gather => "Gather",
+            OpClass::Optimizer => "Optimizer",
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The training models Fig. 2 profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingModel {
+    /// Transformer big (324M parameters).
+    Transformer,
+    /// GNMT 8-layer.
+    Gnmt,
+}
+
+impl TrainingModel {
+    /// The workload tag whose suite entries feed this model's GEMM list.
+    fn workload(&self) -> Workload {
+        match self {
+            TrainingModel::Transformer => Workload::Transformer,
+            TrainingModel::Gnmt => Workload::Gnmt,
+        }
+    }
+
+    /// Approximate parameter count (for the optimizer pass).
+    #[must_use]
+    pub fn parameters(&self) -> u64 {
+        match self {
+            TrainingModel::Transformer => 324_000_000,
+            TrainingModel::Gnmt => 210_000_000,
+        }
+    }
+
+    /// Number of repeated layers (the suite lists one layer's GEMMs).
+    fn layer_multiplier(&self) -> usize {
+        match self {
+            TrainingModel::Transformer => 6,
+            TrainingModel::Gnmt => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for TrainingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainingModel::Transformer => f.write_str("Transformer"),
+            TrainingModel::Gnmt => f.write_str("GNMT"),
+        }
+    }
+}
+
+/// The three GEMMs one forward GEMM implies in training: the forward
+/// product and the two gradient products (Sec. I).
+#[must_use]
+pub fn training_gemms(forward: GemmShape) -> [GemmShape; 3] {
+    let GemmShape { m, n, k } = forward;
+    [
+        forward,
+        // dX[M,K] = dY[M,N] x W^T[N,K]
+        GemmShape::new(m, k, n),
+        // dW[K,N] = X^T[K,M] x dY[M,N]
+        GemmShape::new(k, n, m),
+    ]
+}
+
+/// The GEMM precision assumed by the Fig. 2 breakdown (stock FP32
+/// training, as profiled by the paper).
+#[must_use]
+pub fn precision_for_fig2() -> sigma_baselines::gpu::GpuPrecision {
+    sigma_baselines::gpu::GpuPrecision::Fp32
+}
+
+/// One training step's time per [`OpClass`] in seconds on the GPU model.
+///
+/// The GEMM list is the model's suite entries (one layer) times the layer
+/// count, each expanded to forward + two backward GEMMs; non-GEMM ops are
+/// memory-bound passes over the activations and parameters.
+#[must_use]
+pub fn step_breakdown(model: TrainingModel, gpu: &GpuModel) -> Vec<(OpClass, f64)> {
+    let gemms: Vec<NamedGemm> =
+        fig1b_suite().into_iter().filter(|g| g.workload == model.workload()).collect();
+    let layers = model.layer_multiplier();
+
+    // FP32 GEMMs: the paper's Fig. 2 profiles stock (pre-tensor-core-
+    // tuned) training runs.
+    let mut matmul = 0.0;
+    let mut activation_elems: u64 = 0;
+    for g in &gemms {
+        for shape in training_gemms(g.shape) {
+            matmul += gpu.dense_gemm_time_s(shape, crate::training::precision_for_fig2())
+                * layers as f64;
+        }
+        activation_elems += (g.shape.mn_elems() as u64) * layers as u64;
+    }
+
+    // Non-GEMM ops as memory-bound passes over the activations (forward
+    // and backward each re-touch them; unfused kernels of the era read
+    // and write several temporaries per op) and, for the optimizer, over
+    // every parameter plus Adam's two moment tensors.
+    let softmax = gpu.elementwise_time_s(activation_elems, 8.0);
+    let norm = gpu.elementwise_time_s(activation_elems, 8.0);
+    let elementwise = gpu.elementwise_time_s(activation_elems, 16.0);
+    let gather = gpu.elementwise_time_s(model.parameters() / 8, 8.0);
+    let optimizer = gpu.elementwise_time_s(model.parameters(), 7.0);
+
+    vec![
+        (OpClass::MatMul, matmul),
+        (OpClass::Softmax, softmax),
+        (OpClass::Normalization, norm),
+        (OpClass::Elementwise, elementwise),
+        (OpClass::Gather, gather),
+        (OpClass::Optimizer, optimizer),
+    ]
+}
+
+/// Fraction of step time in MatMul (the paper's ~70% headline).
+#[must_use]
+pub fn matmul_fraction(model: TrainingModel, gpu: &GpuModel) -> f64 {
+    let breakdown = step_breakdown(model, gpu);
+    let total: f64 = breakdown.iter().map(|(_, t)| t).sum();
+    breakdown
+        .iter()
+        .find(|(c, _)| *c == OpClass::MatMul)
+        .map(|(_, t)| t / total)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_gemms_transpose_dims() {
+        let [fwd, dx, dw] = training_gemms(GemmShape::new(512, 4096, 1024));
+        assert_eq!(fwd, GemmShape::new(512, 4096, 1024));
+        assert_eq!(dx, GemmShape::new(512, 1024, 4096));
+        assert_eq!(dw, GemmShape::new(1024, 4096, 512));
+        // All three cost the same MACs.
+        assert_eq!(fwd.macs(), dx.macs());
+        assert_eq!(fwd.macs(), dw.macs());
+    }
+
+    #[test]
+    fn matmul_dominates_step_time() {
+        // Fig. 2: ~70% of the step is MatMul for both models.
+        let gpu = GpuModel::v100();
+        for model in [TrainingModel::Transformer, TrainingModel::Gnmt] {
+            let frac = matmul_fraction(model, &gpu);
+            assert!(
+                (0.55..=0.85).contains(&frac),
+                "{model}: MatMul fraction {frac} (paper ~0.7)"
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_covers_all_classes() {
+        let gpu = GpuModel::v100();
+        let b = step_breakdown(TrainingModel::Gnmt, &gpu);
+        assert_eq!(b.len(), OpClass::ALL.len());
+        assert!(b.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OpClass::MatMul.to_string(), "MatMul");
+        assert_eq!(TrainingModel::Gnmt.to_string(), "GNMT");
+        assert_eq!(TrainingModel::Transformer.parameters(), 324_000_000);
+    }
+}

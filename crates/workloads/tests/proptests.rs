@@ -1,0 +1,83 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use sigma_core::model::GemmProblem;
+use sigma_matrix::GemmShape;
+use sigma_workloads::im2col::ConvLayer;
+use sigma_workloads::{materialize, pruning_schedule, SparsityProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pruning schedules are monotone, hit their endpoints exactly, and
+    /// front-load the pruning (cubic law).
+    #[test]
+    fn pruning_schedule_invariants(
+        s0 in 0.0f64..0.5, sf_delta in 0.1f64..0.5, steps in 2usize..50
+    ) {
+        let sf = (s0 + sf_delta).min(1.0);
+        let sched = pruning_schedule(s0, sf, steps);
+        prop_assert_eq!(sched.len(), steps + 1);
+        prop_assert!((sched[0] - s0).abs() < 1e-12);
+        prop_assert!((sched[steps] - sf).abs() < 1e-12);
+        prop_assert!(sched.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        // Front-loading: the first half covers more ground than the second.
+        let mid = sched[steps / 2];
+        prop_assert!(mid - s0 >= sf - mid - 1e-9);
+    }
+
+    /// Materialized operands match the requested shapes and densities.
+    #[test]
+    fn materialize_matches_request(
+        m in 4usize..24, n in 4usize..24, k in 4usize..24,
+        da10 in 1u8..=10, db10 in 1u8..=10, seed in any::<u64>()
+    ) {
+        let p = GemmProblem::sparse(
+            GemmShape::new(m, n, k),
+            f64::from(da10) / 10.0,
+            f64::from(db10) / 10.0,
+        );
+        let (a, b) = materialize(&p, seed);
+        prop_assert_eq!((a.rows(), a.cols()), (m, k));
+        prop_assert_eq!((b.rows(), b.cols()), (k, n));
+        let want_a = (p.density_a * (m * k) as f64).round() as usize;
+        let want_b = (p.density_b * (k * n) as f64).round() as usize;
+        prop_assert_eq!(a.nnz(), want_a);
+        prop_assert_eq!(b.nnz(), want_b);
+    }
+
+    /// Sparsity profiles and problems round-trip densities.
+    #[test]
+    fn profile_roundtrip(si in 0.0f64..0.99, sw in 0.0f64..0.99) {
+        let p = SparsityProfile::new(si, sw).problem(GemmShape::new(8, 8, 8));
+        prop_assert!((p.density_a - (1.0 - si)).abs() < 1e-12);
+        prop_assert!((p.density_b - (1.0 - sw)).abs() < 1e-12);
+    }
+
+    /// Im2Col preserves the convolution's MAC count and scales linearly
+    /// with batch.
+    #[test]
+    fn im2col_work_preservation(
+        c_in in 1usize..64, c_out in 1usize..64, kernel in 1usize..5,
+        input in 8usize..32, batch in 1usize..8
+    ) {
+        let layer = ConvLayer {
+            name: "prop",
+            c_in,
+            c_out,
+            kernel,
+            stride: 1,
+            input,
+            padding: kernel / 2,
+        };
+        let g1 = layer.im2col_gemm(1);
+        let gb = layer.im2col_gemm(batch);
+        prop_assert_eq!(g1.k, c_in * kernel * kernel);
+        prop_assert_eq!(g1.n, c_out);
+        prop_assert_eq!(gb.macs(), g1.macs() * batch as u128);
+        // Output pixels: with stride 1 and pad k/2, even kernels shrink
+        // the map by one; odd kernels preserve it.
+        let expect_out = (input + 2 * (kernel / 2)) - kernel + 1;
+        prop_assert_eq!(g1.m, expect_out * expect_out);
+    }
+}

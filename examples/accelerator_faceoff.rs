@@ -1,0 +1,56 @@
+//! Face-off: one sparse GEMM across every modeled accelerator — SIGMA,
+//! TPU-style systolic arrays of three aspect ratios, and the six sparse
+//! accelerators — normalized to 16384 PEs.
+//!
+//! ```sh
+//! cargo run --example accelerator_faceoff -- 1024 1024 1024 0.5 0.8
+//! ```
+//! (arguments: M N K input-sparsity weight-sparsity)
+
+use sigma::arch::SigmaConfig;
+use sigma::baselines::{
+    GemmAccelerator, SparseAccelerator, SparseAcceleratorKind, SystolicArray,
+};
+use sigma::arch::model::estimate_best;
+use sigma::matrix::GemmShape;
+use sigma::workloads::SparsityProfile;
+
+fn main() {
+    let args: Vec<f64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (m, n, k, si, sw) = match args.as_slice() {
+        [m, n, k, si, sw, ..] => (*m as usize, *n as usize, *k as usize, *si, *sw),
+        _ => (1024, 1024, 1024, 0.5, 0.8),
+    };
+    let shape = GemmShape::new(m, n, k);
+    let p = SparsityProfile::new(si, sw).problem(shape);
+    println!(
+        "GEMM {shape}, input sparsity {:.0}%, weight sparsity {:.0}%, 16384 PEs\n",
+        si * 100.0,
+        sw * 100.0
+    );
+
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    let (df, s) = estimate_best(&SigmaConfig::paper(), &p);
+    rows.push((format!("SIGMA ({df})"), s.total_cycles()));
+    for array in [
+        SystolicArray::new(128, 128),
+        SystolicArray::new(256, 64),
+        SystolicArray::new(512, 32),
+    ] {
+        rows.push((array.name(), array.simulate(&p).total_cycles()));
+    }
+    for kind in SparseAcceleratorKind::ALL {
+        let acc = SparseAccelerator::new(kind, 16384);
+        rows.push((acc.name(), acc.simulate(&p).total_cycles()));
+    }
+
+    let sigma_cycles = rows[0].1;
+    rows.sort_by_key(|(_, c)| *c);
+    println!("{:>22} {:>14} {:>12}", "design", "cycles", "vs SIGMA");
+    for (name, cycles) in &rows {
+        println!(
+            "{name:>22} {cycles:>14} {:>11.2}x",
+            *cycles as f64 / sigma_cycles as f64
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Inspect a GEMM's cycle-level execution timeline: every fold load,
+//! streaming step and reduction drain, with start cycles — the view that
+//! shows *where* the Table-II totals come from.
+//!
+//! ```sh
+//! cargo run --example trace_timeline
+//! ```
+
+use sigma::arch::{Dataflow, Phase, SigmaConfig, SigmaSim};
+use sigma::matrix::gen::{sparse_uniform, Density};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = SigmaSim::new(SigmaConfig::new(2, 8, 4, Dataflow::InputStationary)?)?;
+    let a = sparse_uniform(8, 10, Density::from_sparsity(0.6).unwrap(), 1);
+    let b = sparse_uniform(10, 5, Density::from_sparsity(0.4).unwrap(), 2);
+
+    let (run, trace) = sim.run_gemm_traced(&a, &b)?;
+    println!("stats: {}\n", run.stats);
+    println!("per-fold summary:\n{}", trace.fold_summary());
+
+    println!("full timeline (first 20 events):");
+    println!("{:>7} {:>7} {:>7} {:>5} {:>5}", "start", "cycles", "phase", "fold", "step");
+    for e in trace.events().iter().take(20) {
+        println!(
+            "{:>7} {:>7} {:>7} {:>5} {:>5}",
+            e.start,
+            e.cycles,
+            e.phase.to_string(),
+            e.fold,
+            e.step.map_or("-".to_string(), |s| s.to_string())
+        );
+    }
+    assert!(trace.consistent_with(&run.stats));
+    println!(
+        "\ntrace totals check out: {} load + {} stream + {} drain = {} cycles",
+        trace.phase_cycles(Phase::Load),
+        trace.phase_cycles(Phase::Stream),
+        trace.phase_cycles(Phase::Drain),
+        trace.total_cycles()
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # sigma — a reproduction of the SIGMA sparse/irregular GEMM accelerator
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`matrix`] — dense/sparse matrices, bitmap compression, formats.
+//! * [`interconnect`] — Benes distribution and FAN/ART/linear reduction.
+//! * [`energy`] — 28 nm area/power/energy models.
+//! * [`arch`] — the Flex-DPE/Flex-DPU SIGMA simulator itself.
+//! * [`baselines`] — TPU-style systolic arrays, sparse accelerators, GPU.
+//! * [`workloads`] — DL-training GEMM suites and sparsity profiles.
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable demos.
+
+pub use sigma_baselines as baselines;
+pub use sigma_core as arch;
+pub use sigma_energy as energy;
+pub use sigma_interconnect as interconnect;
+pub use sigma_matrix as matrix;
+pub use sigma_workloads as workloads;
