@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Local mirror of the CI pipeline: formatting, lints, build, tests.
+# Run from the repo root: ./ci.sh
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q

@@ -119,14 +119,8 @@ impl EieSim {
             }
         }
 
-        let ideal_cycles =
-            ideal_work.div_ceil((self.pes * self.macs_per_cycle) as u64).max(1);
-        EieRun {
-            result: out,
-            cycles,
-            macs,
-            imbalance: cycles as f64 / ideal_cycles as f64,
-        }
+        let ideal_cycles = ideal_work.div_ceil((self.pes * self.macs_per_cycle) as u64).max(1);
+        EieRun { result: out, cycles, macs, imbalance: cycles as f64 / ideal_cycles as f64 }
     }
 }
 

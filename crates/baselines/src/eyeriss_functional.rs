@@ -63,10 +63,7 @@ impl EyerissV2Sim {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(pes: usize, buffer_words: usize, fetch_bandwidth: usize) -> Self {
-        assert!(
-            pes > 0 && buffer_words > 0 && fetch_bandwidth > 0,
-            "parameters must be non-zero"
-        );
+        assert!(pes > 0 && buffer_words > 0 && fetch_bandwidth > 0, "parameters must be non-zero");
         Self { pes, buffer_words, fetch_bandwidth }
     }
 

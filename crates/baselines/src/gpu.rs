@@ -108,9 +108,9 @@ impl GpuModel {
         let useful_flops = 2.0 * shape.macs() as f64 * sparse_density;
         // Effective compute rate: dense FP32 derated 4x (observed average
         // in the paper's Fig. 3b) and by tile quantization.
-        let eff_rate =
-            GpuPrecision::Fp32.peak_flops() * self.tile_utilization(shape, GpuPrecision::Fp32)
-                / 4.0;
+        let eff_rate = GpuPrecision::Fp32.peak_flops()
+            * self.tile_utilization(shape, GpuPrecision::Fp32)
+            / 4.0;
         let compute = useful_flops / eff_rate;
         // Memory: CSR values + column indices + the dense operand re-read
         // once per row-panel.
@@ -222,7 +222,8 @@ mod tests {
             }
         }
         // Aligned shapes hit 100% tile utilization.
-        let aligned = gpu.tile_utilization(GemmShape::new(1280, 1024, 1024), GpuPrecision::Fp16Tensor);
+        let aligned =
+            gpu.tile_utilization(GemmShape::new(1280, 1024, 1024), GpuPrecision::Fp16Tensor);
         assert!((aligned - 1.0).abs() < 1e-12);
     }
 

@@ -19,6 +19,7 @@
 
 pub mod cambricon_functional;
 pub mod eie_functional;
+pub mod engines;
 pub mod eyeriss_functional;
 pub mod gpu;
 pub mod outerspace_functional;
@@ -30,6 +31,10 @@ pub mod systolic_functional;
 
 pub use cambricon_functional::{CambriconRun, CambriconSim};
 pub use eie_functional::{EieRun, EieSim};
+pub use engines::{
+    useful_macs, AnalyticEngine, CambriconEngine, EieEngine, EyerissEngine, GpuEngine,
+    OuterSpaceEngine, PackedSystolicEngine, ScnnEngine, SystolicEngine, SystolicMapping,
+};
 pub use eyeriss_functional::{EyerissRun, EyerissV2Sim};
 pub use gpu::{GpuModel, GpuPrecision};
 pub use outerspace_functional::{OuterProductRun, OuterProductSim};

@@ -124,11 +124,7 @@ pub fn pack_weights(w: &Matrix, packing: &ColumnPacking) -> (Matrix, Vec<Vec<Opt
 /// original output columns. Returns the result (exact when no conflicts
 /// were pruned) and the packed column count (the latency driver).
 #[must_use]
-pub fn run_packed_gemm(
-    a: &Matrix,
-    w: &Matrix,
-    max_combine: usize,
-) -> (Matrix, ColumnPacking) {
+pub fn run_packed_gemm(a: &Matrix, w: &Matrix, max_combine: usize) -> (Matrix, ColumnPacking) {
     assert_eq!(a.cols(), w.rows(), "inner dimensions must agree");
     let packing = combine_columns(w, max_combine, 0);
     let (_, column_of) = pack_weights(w, &packing);
@@ -170,11 +166,7 @@ mod tests {
 
     #[test]
     fn packed_gemm_exact_with_zero_budget_when_disjoint() {
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 3.0, 0.0],
-            &[0.0, 0.0, 4.0],
-        ]);
+        let w = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 4.0]]);
         let a = sparse_uniform(5, 3, Density::DENSE, 1).to_dense();
         let (out, packing) = run_packed_gemm(&a, &w, 4);
         assert_eq!(packing.conflicts_pruned, 0);

@@ -64,10 +64,7 @@ impl SparseAcceleratorKind {
     /// `true` if the design can skip zeros in *both* operands.
     #[must_use]
     pub fn exploits_both_sparsities(&self) -> bool {
-        !matches!(
-            self,
-            SparseAcceleratorKind::PackedSystolic | SparseAcceleratorKind::CambriconX
-        )
+        !matches!(self, SparseAcceleratorKind::PackedSystolic | SparseAcceleratorKind::CambriconX)
     }
 }
 
@@ -192,9 +189,7 @@ impl GemmAccelerator for SparseAccelerator {
             SparseAcceleratorKind::PackedSystolic => {
                 (p.shape.macs() as f64 * p.density_b.max(0.25)) as u128
             }
-            SparseAcceleratorKind::CambriconX => {
-                (p.shape.macs() as f64 * p.density_b) as u128
-            }
+            SparseAcceleratorKind::CambriconX => (p.shape.macs() as f64 * p.density_b) as u128,
             _ => useful,
         };
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]

@@ -88,10 +88,7 @@ impl SystolicArray {
             self.simulate_mapping(p.shape.n, p.shape.k, p.shape.m, p.density_b, p),
             self.simulate_mapping(p.shape.m, p.shape.k, p.shape.n, p.density_a, p),
         ];
-        candidates
-            .into_iter()
-            .min_by_key(CycleStats::total_cycles)
-            .expect("four candidates")
+        candidates.into_iter().min_by_key(CycleStats::total_cycles).expect("four candidates")
     }
 
     /// Core SCALE-sim arithmetic for a stationary operand of
@@ -148,8 +145,7 @@ impl SystolicArray {
             // PEs and mapped zeros both count against utilization.
             occupied_slots: slots,
             pes: (self.rows * self.cols) as u64,
-            sram_reads: (stat_rows * stat_cols) as u64
-                + folds * (streamed * self.rows) as u64,
+            sram_reads: (stat_rows * stat_cols) as u64 + folds * (streamed * self.rows) as u64,
         }
     }
 }
@@ -176,9 +172,7 @@ mod tests {
     #[test]
     fn dense_regular_single_fold() {
         let tpu = SystolicArray::new(128, 128);
-        let s = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(
-            128, 128, 128,
-        )));
+        let s = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(128, 128, 128)));
         assert_eq!(s.folds, 1);
         assert_eq!(s.loading_cycles, 128);
         assert_eq!(s.streaming_cycles, 128 + 127);
@@ -201,9 +195,7 @@ mod tests {
     #[test]
     fn sparsity_cannot_be_skipped() {
         let tpu = SystolicArray::new(32, 32);
-        let dense = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(
-            64, 64, 64,
-        )));
+        let dense = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(64, 64, 64)));
         let sparse = tpu.simulate_weight_stationary(&GemmProblem::sparse(
             GemmShape::new(64, 64, 64),
             0.2,
@@ -220,8 +212,7 @@ mod tests {
     fn folds_multiply_latency() {
         let tpu = SystolicArray::new(16, 16);
         let one = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(8, 16, 16)));
-        let four =
-            tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(8, 32, 32)));
+        let four = tpu.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(8, 32, 32)));
         assert_eq!(one.folds, 1);
         assert_eq!(four.folds, 4);
         assert!(four.total_cycles() > 3 * one.total_cycles());

@@ -229,13 +229,21 @@ impl SystolicSim {
                 for c in 0..nc {
                     let a_in = if c == 0 {
                         let kk = t as i64 - r as i64;
-                        if kk >= 0 && (kk as usize) < k { a.get(m0 + r, kk as usize) } else { 0.0 }
+                        if kk >= 0 && (kk as usize) < k {
+                            a.get(m0 + r, kk as usize)
+                        } else {
+                            0.0
+                        }
                     } else {
                         a_reg[r][c - 1]
                     };
                     let b_in = if r == 0 {
                         let kk = t as i64 - c as i64;
-                        if kk >= 0 && (kk as usize) < k { b.get(kk as usize, n0 + c) } else { 0.0 }
+                        if kk >= 0 && (kk as usize) < k {
+                            b.get(kk as usize, n0 + c)
+                        } else {
+                            0.0
+                        }
                     } else {
                         b_reg[r - 1][c]
                     };
@@ -312,13 +320,9 @@ mod tests {
             let a = dense_uniform(m, k, 11);
             let b = dense_uniform(k, n, 12);
             let run = sim.run_gemm(&a, &b);
-            let est = model
-                .simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(m, n, k)));
-            assert_eq!(
-                run.cycles,
-                est.total_cycles(),
-                "functional vs analytic on {m}-{n}-{k}"
-            );
+            let est =
+                model.simulate_weight_stationary(&GemmProblem::dense(GemmShape::new(m, n, k)));
+            assert_eq!(run.cycles, est.total_cycles(), "functional vs analytic on {m}-{n}-{k}");
         }
     }
 

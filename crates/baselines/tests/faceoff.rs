@@ -32,8 +32,7 @@ fn sigma_beats_tpu_on_dense_irregular_by_about_2x() {
         assert!(s > 0.9, "SIGMA should not lose badly on {shape}: {s}");
         speedups.push(s);
     }
-    let geo: f64 =
-        speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    let geo: f64 = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
     let geo = geo.exp();
     // Paper: ~2x average speedup on dense GEMMs.
     assert!((1.3..=3.5).contains(&geo), "dense geomean speedup {geo} (paper ~2x)");
@@ -49,8 +48,7 @@ fn sigma_beats_tpu_on_sparse_by_about_6x() {
         let s = tpu.simulate(&p).total_cycles() as f64 / sigma_cycles(&p) as f64;
         speedups.push(s);
     }
-    let geo =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     assert!((3.0..=12.0).contains(&geo), "sparse geomean speedup {geo} (paper ~6x)");
 }
 
@@ -77,17 +75,10 @@ fn sigma_beats_sparse_accelerators_by_about_3x() {
     for kind in SparseAcceleratorKind::ALL {
         let acc = SparseAccelerator::new(kind, 16384);
         for shape in shapes {
-            let combos = [
-                GemmProblem::sparse(shape, 0.2, 0.7),
-                GemmProblem::sparse(shape, 0.7, 0.2),
-            ];
-            let best_other = combos
-                .iter()
-                .map(|p| acc.simulate(p).total_cycles())
-                .min()
-                .unwrap();
-            let best_sigma =
-                combos.iter().map(sigma_cycles).min().unwrap();
+            let combos =
+                [GemmProblem::sparse(shape, 0.2, 0.7), GemmProblem::sparse(shape, 0.7, 0.2)];
+            let best_other = combos.iter().map(|p| acc.simulate(p).total_cycles()).min().unwrap();
+            let best_sigma = combos.iter().map(sigma_cycles).min().unwrap();
             all.push(best_other as f64 / best_sigma as f64);
         }
     }

@@ -33,10 +33,7 @@ fn agree_on(m: usize, k: usize, n: usize, da: f64, db: f64, seed: u64) {
         "systolic OS disagrees"
     );
 
-    assert!(
-        EieSim::new(4, 2).run_gemm(&a, &b).result.approx_eq(&reference, tol),
-        "EIE disagrees"
-    );
+    assert!(EieSim::new(4, 2).run_gemm(&a, &b).result.approx_eq(&reference, tol), "EIE disagrees");
     assert!(
         OuterProductSim::new(8, 4).run_gemm(&a, &b).result.approx_eq(&reference, tol),
         "OuterSPACE disagrees"

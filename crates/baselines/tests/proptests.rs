@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sigma_baselines::{
-    combine_columns, CambriconSim, EieSim, EyerissV2Sim, OuterProductSim, ScnnSim,
-    SystolicArray, SystolicSim,
+    combine_columns, CambriconSim, EieSim, EyerissV2Sim, OuterProductSim, ScnnSim, SystolicArray,
+    SystolicSim,
 };
 use sigma_core::model::GemmProblem;
 use sigma_matrix::gen::{sparse_uniform, Density};

@@ -45,10 +45,8 @@ fn bench_controller(c: &mut Criterion) {
 }
 
 fn bench_full_gemm(c: &mut Criterion) {
-    let sim = SigmaSim::new(
-        SigmaConfig::new(4, 32, 128, Dataflow::WeightStationary).unwrap(),
-    )
-    .unwrap();
+    let sim =
+        SigmaSim::new(SigmaConfig::new(4, 32, 128, Dataflow::WeightStationary).unwrap()).unwrap();
     let a = sparse_uniform(48, 48, Density::new(0.5).unwrap(), 5);
     let b = sparse_uniform(48, 48, Density::new(0.2).unwrap(), 6);
     c.bench_function("sigma_functional_gemm_48", |bn| {

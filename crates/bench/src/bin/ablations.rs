@@ -1,10 +1,14 @@
 //! Prints the design-choice ablation studies (distribution network,
-//! reduction network, loading bandwidth, compression format).
+//! reduction network, loading bandwidth, compression format, fold
+//! packing, and the registry-driven functional-engine faceoff).
 fn main() {
-    println!("{}", sigma_bench::figs::ablations::table_distribution());
-    println!("{}", sigma_bench::figs::ablations::table_reduction());
-    println!("{}", sigma_bench::figs::ablations::table_bandwidth());
-    println!("{}", sigma_bench::figs::ablations::table_format());
-    println!("{}", sigma_bench::figs::ablations::table_packing());
-    println!("{}", sigma_bench::figs::ablations::table_functional_engines());
+    use sigma_bench::figs::ablations;
+    sigma_bench::harness::emit_tables(&[
+        ablations::table_distribution(),
+        ablations::table_reduction(),
+        ablations::table_bandwidth(),
+        ablations::table_format(),
+        ablations::table_packing(),
+        ablations::table_functional_engines(),
+    ]);
 }

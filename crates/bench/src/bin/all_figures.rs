@@ -1,22 +1,8 @@
 //! Prints every regenerated table and figure in paper order — the output
 //! recorded in `EXPERIMENTS.md`.
 //!
-//! With `--csv <dir>`, additionally writes each table as a CSV file.
+//! With `--csv <dir>` / `--json <dir>`, additionally writes each table as
+//! a file; `--quiet` suppresses the text rendering.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv output dir");
-    }
-    for table in sigma_bench::figs::all_tables() {
-        println!("{table}");
-        if let Some(dir) = &csv_dir {
-            let path = std::path::Path::new(dir).join(format!("{}.csv", table.slug()));
-            std::fs::write(&path, table.to_csv()).expect("write csv");
-        }
-    }
+    sigma_bench::harness::emit_tables(&sigma_bench::figs::all_tables());
 }

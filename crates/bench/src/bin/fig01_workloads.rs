@@ -1,4 +1,4 @@
 //! Regenerates Fig. 1b (workload GEMM dimensions).
 fn main() {
-    println!("{}", sigma_bench::figs::fig01::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig01::table()]);
 }

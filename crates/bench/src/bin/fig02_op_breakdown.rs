@@ -1,4 +1,4 @@
 //! Regenerates Fig. 2 (training-step op-time breakdown).
 fn main() {
-    println!("{}", sigma_bench::figs::fig02::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig02::table()]);
 }

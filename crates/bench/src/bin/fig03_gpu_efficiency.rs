@@ -1,5 +1,7 @@
 //! Regenerates Fig. 3 (V100 efficiency, dense and cuSPARSE).
 fn main() {
-    println!("{}", sigma_bench::figs::fig03::table_dense());
-    println!("{}", sigma_bench::figs::fig03::table_sparse());
+    sigma_bench::harness::emit_tables(&[
+        sigma_bench::figs::fig03::table_dense(),
+        sigma_bench::figs::fig03::table_sparse(),
+    ]);
 }

@@ -1,4 +1,4 @@
 //! Regenerates Fig. 4 (systolic vs Flex-DPE mapping micro-examples).
 fn main() {
-    println!("{}", sigma_bench::figs::fig04::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig04::table()]);
 }

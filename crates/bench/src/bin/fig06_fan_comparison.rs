@@ -1,4 +1,4 @@
 //! Regenerates Fig. 6b (FAN vs ART vs linear reduction).
 fn main() {
-    println!("{}", sigma_bench::figs::fig06::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig06::table()]);
 }

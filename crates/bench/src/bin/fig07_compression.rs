@@ -1,4 +1,4 @@
 //! Regenerates Fig. 7 (compression-format metadata overhead).
 fn main() {
-    println!("{}", sigma_bench::figs::fig07::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig07::table()]);
 }

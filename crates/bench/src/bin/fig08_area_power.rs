@@ -1,4 +1,4 @@
 //! Regenerates Fig. 8 (SIGMA vs TPU area/power/effective TFLOPS).
 fn main() {
-    println!("{}", sigma_bench::figs::fig08::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig08::table()]);
 }

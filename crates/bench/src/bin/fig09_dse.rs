@@ -1,4 +1,4 @@
 //! Regenerates Fig. 9 (Flex-DPE sizing design-space exploration).
 fn main() {
-    println!("{}", sigma_bench::figs::fig09::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig09::table()]);
 }

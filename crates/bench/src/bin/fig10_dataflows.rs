@@ -1,4 +1,4 @@
 //! Regenerates Fig. 10 (SIGMA dataflow comparison).
 fn main() {
-    println!("{}", sigma_bench::figs::fig10::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig10::table()]);
 }

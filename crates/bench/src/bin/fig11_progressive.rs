@@ -1,4 +1,4 @@
 //! Regenerates Fig. 11 (progressive feature speedups over the TPU).
 fn main() {
-    println!("{}", sigma_bench::figs::fig11::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig11::table()]);
 }

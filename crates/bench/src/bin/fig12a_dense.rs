@@ -1,6 +1,6 @@
 //! Regenerates Fig. 12a (dense GEMM speedups over TPU 128x128).
 fn main() {
-    println!("{}", sigma_bench::figs::fig12::table_dense());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig12::table_dense()]);
     let (dense, _) = sigma_bench::figs::fig12::headline_speedups();
     println!("geomean dense speedup over TPU 128x128: {dense:.2}x (paper ~2x)");
 }

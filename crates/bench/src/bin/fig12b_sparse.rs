@@ -1,6 +1,6 @@
 //! Regenerates Fig. 12b (sparse GEMM speedups over TPU 128x128).
 fn main() {
-    println!("{}", sigma_bench::figs::fig12::table_sparse());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig12::table_sparse()]);
     let (_, sparse) = sigma_bench::figs::fig12::headline_speedups();
     println!("geomean sparse speedup over TPU 128x128: {sparse:.2}x (paper ~6x)");
 }

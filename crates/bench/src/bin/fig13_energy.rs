@@ -1,5 +1,7 @@
 //! Regenerates Fig. 13 (energy reduction and perf/area vs the TPU).
 fn main() {
-    println!("{}", sigma_bench::figs::fig13::table());
-    println!("{}", sigma_bench::figs::fig13::breakdown_table());
+    sigma_bench::harness::emit_tables(&[
+        sigma_bench::figs::fig13::table(),
+        sigma_bench::figs::fig13::breakdown_table(),
+    ]);
 }

@@ -1,4 +1,4 @@
 //! Regenerates Fig. 14 (SIGMA vs sparse accelerators).
 fn main() {
-    println!("{}", sigma_bench::figs::fig14::table());
+    sigma_bench::harness::emit_tables(&[sigma_bench::figs::fig14::table()]);
 }

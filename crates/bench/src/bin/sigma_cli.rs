@@ -1,23 +1,32 @@
-//! `sigma_cli` — run an arbitrary GEMM through the SIGMA models from the
-//! command line.
+//! `sigma_cli` — run an arbitrary GEMM through the SIGMA models and the
+//! unified engine fleet from the command line.
 //!
 //! ```sh
+//! # Analytic SIGMA (per-dataflow Table-II stats + TPU baseline):
 //! cargo run -p sigma-bench --bin sigma_cli -- \
 //!     --m 1024 --n 1024 --k 1024 --input-sparsity 0.5 --weight-sparsity 0.8 \
 //!     --dpes 128 --dpe-size 128 --bandwidth 128 [--functional] [--energy]
+//!
+//! # Any registered engine, by name, on materialized operands:
+//! cargo run -p sigma-bench --bin sigma_cli -- --engine eie --m 48 --n 48 --k 48
+//!
+//! # The whole fleet over the demo suite, in parallel:
+//! cargo run -p sigma-bench --bin sigma_cli -- --sweep [--threads 4] [--seed 7] [--output json]
 //! ```
 //!
-//! Prints per-dataflow Table-II stats, the best-dataflow choice, the TPU
-//! baseline, and (optionally) the activity-based energy breakdown. With
-//! `--functional` the GEMM is also executed through the functional
-//! simulator on scaled-down operands and verified against the reference.
+//! `--list-engines` prints the registry's slugs.
 
 use sigma_baselines::{GemmAccelerator, SystolicArray};
+use sigma_bench::harness::{
+    default_registry, demo_suite, engine_by_name, records_table, records_to_json, Sweep,
+    WorkloadSpec,
+};
 use sigma_core::model::{estimate, estimate_best, GemmProblem};
 use sigma_core::{Dataflow, SigmaConfig, SigmaSim};
 use sigma_energy::EnergyBreakdown;
 use sigma_matrix::gen::{sparse_uniform, Density};
 use sigma_matrix::GemmShape;
+use sigma_workloads::materialize;
 
 #[derive(Debug)]
 struct Args {
@@ -31,6 +40,20 @@ struct Args {
     bandwidth: usize,
     functional: bool,
     energy: bool,
+    engine: Option<String>,
+    list_engines: bool,
+    sweep: bool,
+    threads: Option<usize>,
+    seed: u64,
+    output: Output,
+    workloads: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Text,
+    Csv,
+    Json,
 }
 
 impl Args {
@@ -46,6 +69,13 @@ impl Args {
             bandwidth: 128,
             functional: false,
             energy: false,
+            engine: None,
+            list_engines: false,
+            sweep: false,
+            threads: None,
+            seed: 1,
+            output: Output::Text,
+            workloads: Vec::new(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -70,7 +100,8 @@ impl Args {
                     Ok(())
                 })?,
                 "--input-sparsity" => take(&mut |v| {
-                    args.input_sparsity = v.parse().map_err(|e| format!("--input-sparsity: {e}"))?;
+                    args.input_sparsity =
+                        v.parse().map_err(|e| format!("--input-sparsity: {e}"))?;
                     Ok(())
                 })?,
                 "--weight-sparsity" => take(&mut |v| {
@@ -90,26 +121,148 @@ impl Args {
                     args.bandwidth = v.parse().map_err(|e| format!("--bandwidth: {e}"))?;
                     Ok(())
                 })?,
+                "--engine" => take(&mut |v| {
+                    args.engine = Some(v.to_string());
+                    Ok(())
+                })?,
+                "--threads" => take(&mut |v| {
+                    args.threads = Some(v.parse().map_err(|e| format!("--threads: {e}"))?);
+                    Ok(())
+                })?,
+                "--seed" => take(&mut |v| {
+                    args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+                    Ok(())
+                })?,
+                "--workload" => take(&mut |v| {
+                    args.workloads.push(v.to_string());
+                    Ok(())
+                })?,
+                "--output" => take(&mut |v| {
+                    args.output = match v {
+                        "text" => Output::Text,
+                        "csv" => Output::Csv,
+                        "json" => Output::Json,
+                        other => return Err(format!("--output: unknown format {other}")),
+                    };
+                    Ok(())
+                })?,
                 "--functional" => args.functional = true,
                 "--energy" => args.energy = true,
+                "--list-engines" => args.list_engines = true,
+                "--sweep" => args.sweep = true,
                 "--help" | "-h" => {
-                    return Err("usage: sigma_cli --m M --n N --k K \
+                    return Err("usage: sigma_cli [--m M] [--n N] [--k K] \
                         [--input-sparsity S] [--weight-sparsity S] \
                         [--dpes D] [--dpe-size P] [--bandwidth W] \
-                        [--functional] [--energy]"
+                        [--functional] [--energy] \
+                        | --engine NAME [--seed S] \
+                        | --sweep [--workload M:N:K[:da[:db]]]... [--threads T] [--seed S] \
+                        [--output text|csv|json] \
+                        | --list-engines"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other} (try --help)")),
             }
             i += 1;
         }
-        if !(0.0..1.0).contains(&args.input_sparsity)
-            || !(0.0..1.0).contains(&args.weight_sparsity)
+        if !(0.0..1.0).contains(&args.input_sparsity) || !(0.0..1.0).contains(&args.weight_sparsity)
         {
             return Err("sparsities must be in [0, 1)".to_string());
         }
         Ok(args)
     }
+}
+
+/// `--list-engines`: the registry's vocabulary.
+fn list_engines() {
+    println!("registered engines (use with --engine):");
+    for entry in default_registry() {
+        println!("  {:<16} {}", entry.slug, entry.engine.name());
+    }
+}
+
+/// `--engine NAME`: one functional engine on materialized operands.
+fn run_engine(args: &Args) -> i32 {
+    let Some(engine) = engine_by_name(args.engine.as_deref().unwrap_or_default()) else {
+        eprintln!(
+            "unknown engine {:?}; try --list-engines",
+            args.engine.as_deref().unwrap_or_default()
+        );
+        return 2;
+    };
+    // Functional engines move every operand element; cap the materialized
+    // problem like --functional does so arbitrary shapes stay tractable.
+    let cap = 128usize;
+    let shape = GemmShape::new(args.m.min(cap), args.n.min(cap), args.k.min(cap));
+    if (shape.m, shape.n, shape.k) != (args.m, args.n, args.k) {
+        println!("(functional run capped to {shape})");
+    }
+    let p = GemmProblem::sparse(shape, 1.0 - args.input_sparsity, 1.0 - args.weight_sparsity);
+    let (a, b) = materialize(&p, args.seed);
+    match engine.run(&a, &b) {
+        Ok(run) => {
+            let reference = a.to_dense().matmul(&b.to_dense());
+            let ok = run.result.approx_eq(&reference, 1e-3 * shape.k as f32);
+            println!("{} on {shape} (seed {})", engine.name(), args.seed);
+            println!("  {}", run.stats);
+            println!("  verified vs reference GEMM: {}", if ok { "PASS" } else { "FAIL" });
+            i32::from(!ok)
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", engine.name());
+            1
+        }
+    }
+}
+
+/// Parses a `--workload M:N:K[:da[:db]]` spec.
+fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(3..=5).contains(&parts.len()) {
+        return Err(format!("--workload {spec}: expected M:N:K[:density_a[:density_b]]"));
+    }
+    let dim = |i: usize| -> Result<usize, String> {
+        match parts[i].parse::<usize>() {
+            Ok(0) => Err(format!("--workload {spec}: dimensions must be non-zero")),
+            Ok(d) => Ok(d),
+            Err(e) => Err(format!("--workload {spec}: {e}")),
+        }
+    };
+    let den = |i: usize| -> Result<f64, String> {
+        parts.get(i).map_or(Ok(1.0), |s| s.parse().map_err(|e| format!("--workload {spec}: {e}")))
+    };
+    let shape = GemmShape::new(dim(0)?, dim(1)?, dim(2)?);
+    let (da, db) = (den(3)?, den(4)?);
+    if !(0.0..=1.0).contains(&da) || !(0.0..=1.0).contains(&db) {
+        return Err(format!("--workload {spec}: densities must be in [0, 1]"));
+    }
+    Ok(WorkloadSpec::new(spec, GemmProblem::sparse(shape, da, db)))
+}
+
+/// `--sweep`: the whole registry over the demo suite (or `--workload`s).
+fn run_sweep(args: &Args) -> i32 {
+    let workloads = if args.workloads.is_empty() {
+        demo_suite()
+    } else {
+        match args.workloads.iter().map(|s| parse_workload(s)).collect() {
+            Ok(w) => w,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return 2;
+            }
+        }
+    };
+    let mut sweep = Sweep::new(workloads).with_seed(args.seed);
+    if let Some(t) = args.threads {
+        sweep = sweep.with_threads(t);
+    }
+    let records = sweep.run(&default_registry());
+    match args.output {
+        Output::Text => println!("{}", records_table("Engine sweep", &records)),
+        Output::Csv => print!("{}", records_table("Engine sweep", &records).to_csv()),
+        Output::Json => print!("{}", records_to_json(&records)),
+    }
+    i32::from(records.iter().any(|r| !r.verified))
 }
 
 fn main() {
@@ -121,10 +274,26 @@ fn main() {
         }
     };
 
+    if args.list_engines {
+        list_engines();
+        return;
+    }
+    if args.engine.is_some() {
+        std::process::exit(run_engine(&args));
+    }
+    if args.sweep {
+        std::process::exit(run_sweep(&args));
+    }
+
     let shape = GemmShape::new(args.m, args.n, args.k);
     let p = GemmProblem::sparse(shape, 1.0 - args.input_sparsity, 1.0 - args.weight_sparsity);
-    let cfg = match SigmaConfig::new(args.dpes, args.dpe_size, args.bandwidth, Dataflow::WeightStationary)
-        .and_then(|c| c.with_stream_bandwidth(args.dpes * args.dpe_size))
+    let cfg = match SigmaConfig::new(
+        args.dpes,
+        args.dpe_size,
+        args.bandwidth,
+        Dataflow::WeightStationary,
+    )
+    .and_then(|c| c.with_stream_bandwidth(args.dpes * args.dpe_size))
     {
         Ok(c) => c,
         Err(e) => {
@@ -171,10 +340,8 @@ fn main() {
         let fk = args.k.min(cap);
         let a = sparse_uniform(fm, fk, Density::new(1.0 - args.input_sparsity).unwrap(), 1);
         let b = sparse_uniform(fk, fn_, Density::new(1.0 - args.weight_sparsity).unwrap(), 2);
-        let sim = SigmaSim::new(
-            SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).unwrap(),
-        )
-        .unwrap();
+        let sim = SigmaSim::new(SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).unwrap())
+            .unwrap();
         let (df, run) = sim.run_best_stationary(&a, &b).unwrap();
         let reference = a.to_dense().matmul(&b.to_dense());
         let ok = run.result.approx_eq(&reference, 1e-3 * fk as f32);

@@ -1,6 +1,8 @@
 //! Prints Tables I and III (the paper's qualitative comparisons, derived
 //! from the live models where machine-checkable).
 fn main() {
-    println!("{}", sigma_bench::figs::tables::table01());
-    println!("{}", sigma_bench::figs::tables::table03());
+    sigma_bench::harness::emit_tables(&[
+        sigma_bench::figs::tables::table01(),
+        sigma_bench::figs::tables::table03(),
+    ]);
 }

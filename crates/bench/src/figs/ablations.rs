@@ -124,8 +124,7 @@ pub fn loading_with_format(kind: CompressionKind, sparsity: f64) -> u64 {
     let cfg = SigmaConfig::paper();
     let p = GemmProblem::sparse(shape, 1.0, 1.0 - sparsity);
     let (_, s) = estimate_best(&cfg, &p);
-    let meta_words =
-        expected_metadata_bits(kind, shape.k, shape.n, 1.0 - sparsity) / 32.0;
+    let meta_words = expected_metadata_bits(kind, shape.k, shape.n, 1.0 - sparsity) / 32.0;
     s.loading_cycles + (meta_words / cfg.input_bandwidth() as f64).ceil() as u64
 }
 
@@ -137,12 +136,9 @@ pub fn table_format() -> Table {
         "Ablation — front-end compression format (loading cycles incl. metadata)",
         &["format", "30% sparse", "50% sparse", "80% sparse"],
     );
-    for kind in [
-        CompressionKind::Bitmap,
-        CompressionKind::Csr,
-        CompressionKind::Coo,
-        CompressionKind::Rlc4,
-    ] {
+    for kind in
+        [CompressionKind::Bitmap, CompressionKind::Csr, CompressionKind::Coo, CompressionKind::Rlc4]
+    {
         t.push(vec![
             kind.to_string(),
             fmt_cycles(loading_with_format(kind, 0.3)),
@@ -186,76 +182,32 @@ pub fn table_packing() -> Table {
     t
 }
 
-/// Functional-engine faceoff: the data-moving machines (not the analytic
-/// models) on one sparse GEMM, all verified against the same reference.
-/// Cycle scales differ by design (each machine's natural unit width), so
-/// the table reports cycles *and* useful-MACs-per-cycle, the
+/// Functional-engine faceoff: every registered engine on one sparse
+/// GEMM, driven through the shared harness and verified against the same
+/// reference. Cycle scales differ by design (each machine's natural unit
+/// width), so the table reports cycles *and* useful-MACs-per-cycle, the
 /// efficiency-style quantity that is comparable.
 #[must_use]
 pub fn table_functional_engines() -> Table {
-    use sigma_baselines::{
-        CambriconSim, EieSim, EyerissV2Sim, OuterProductSim, ScnnSim, SystolicSim,
-    };
-    use sigma_core::{Dataflow as Df, SigmaConfig as Cfg, SigmaSim};
-    use sigma_matrix::gen::{sparse_uniform, Density};
+    use crate::harness::{default_registry, Sweep, WorkloadSpec};
 
-    let (m, k, n) = (48usize, 48usize, 48usize);
-    let a_sp = sparse_uniform(m, k, Density::new(0.5).unwrap(), 77);
-    let b_sp = sparse_uniform(k, n, Density::new(0.2).unwrap(), 78);
-    let a = a_sp.to_dense();
-    let b = b_sp.to_dense();
-    let useful = {
-        let mut u = 0u64;
-        for mm in 0..m {
-            for nn in 0..n {
-                for kk in 0..k {
-                    if a.get(mm, kk) != 0.0 && b.get(kk, nn) != 0.0 {
-                        u += 1;
-                    }
-                }
-            }
-        }
-        u
-    };
+    let p = GemmProblem::sparse(GemmShape::new(48, 48, 48), 0.5, 0.2);
+    let records =
+        Sweep::new(vec![WorkloadSpec::new("48^3", p)]).with_seed(77).run(&default_registry());
 
     let mut t = Table::new(
         "Functional engines — 48^3 GEMM, 50%/80% sparse (64-ish PE machines)",
-        &["engine", "PEs", "cycles", "useful MACs/cycle"],
+        &["engine", "PEs", "cycles", "useful MACs/cycle", "verified"],
     );
-    let mut push = |name: &str, pes: usize, cycles: u64| {
+    for r in &records {
         t.push(vec![
-            name.to_string(),
-            pes.to_string(),
-            cycles.to_string(),
-            format!("{:.2}", useful as f64 / cycles.max(1) as f64),
+            r.engine.clone(),
+            r.pes.to_string(),
+            r.total_cycles.to_string(),
+            format!("{:.2}", r.useful_macs as f64 / r.total_cycles.max(1) as f64),
+            r.verified.to_string(),
         ]);
-    };
-
-    let sigma = SigmaSim::new(Cfg::new(4, 16, 64, Df::WeightStationary).unwrap())
-        .unwrap()
-        .run_best_stationary(&a_sp, &b_sp)
-        .unwrap()
-        .1;
-    push("SIGMA (4 x Flex-DPE-16)", 64, sigma.stats.total_cycles());
-    push("systolic 8x8 (WS)", 64, SystolicSim::new(8, 8).run_gemm(&a, &b).cycles);
-    push(
-        "systolic 8x8 (OS)",
-        64,
-        SystolicSim::new(8, 8).run_gemm_output_stationary(&a, &b).cycles,
-    );
-    push("EIE (64 PE)", 64, EieSim::new(64, 1).run_gemm(&a, &b).cycles);
-    push(
-        "OuterSPACE (64 mult)",
-        64,
-        OuterProductSim::new(64, 16).run_gemm(&a, &b).total_cycles(),
-    );
-    push("SCNN (64 mult, 16 banks)", 64, ScnnSim::new(64, 16).run_gemm(&a, &b).total_cycles());
-    push("Cambricon-X (16 PE x 4)", 64, CambriconSim::new(16, 4).run_gemm(&a, &b).cycles);
-    push(
-        "Eyeriss v2 (64 PE)",
-        64,
-        EyerissV2Sim::new(64, 1 << 20, 64).run_gemm(&a, &b).total_cycles(),
-    );
+    }
     t
 }
 

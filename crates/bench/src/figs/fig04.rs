@@ -25,11 +25,7 @@ fn examples() -> Vec<Example> {
         // 4x4 at a time.
         Example { name: "dense irregular 4-8-2", shape: GemmShape::new(4, 8, 2), density_b: 1.0 },
         // Fig. 4d: sparse irregular.
-        Example {
-            name: "sparse irregular 4-8-4",
-            shape: GemmShape::new(4, 8, 4),
-            density_b: 0.5,
-        },
+        Example { name: "sparse irregular 4-8-4", shape: GemmShape::new(4, 8, 4), density_b: 0.5 },
     ]
 }
 
@@ -41,10 +37,8 @@ pub fn table() -> Table {
         &["example", "design", "stat util", "total cycles", "SRAM reads"],
     );
     let systolic = SystolicArray::new(4, 4);
-    let sigma = SigmaSim::new(
-        SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap(),
-    )
-    .unwrap();
+    let sigma =
+        SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap()).unwrap();
 
     for ex in examples() {
         let p = GemmProblem::sparse(ex.shape, 1.0, ex.density_b);
@@ -58,12 +52,7 @@ pub fn table() -> Table {
         ]);
 
         let a = sparse_uniform(ex.shape.m, ex.shape.k, Density::DENSE, 5);
-        let b = sparse_uniform(
-            ex.shape.k,
-            ex.shape.n,
-            Density::new(ex.density_b).unwrap(),
-            6,
-        );
+        let b = sparse_uniform(ex.shape.k, ex.shape.n, Density::new(ex.density_b).unwrap(), 6);
         let (_, run) = sigma.run_best_stationary(&a, &b).unwrap();
         t.push(vec![
             ex.name.to_string(),
@@ -84,18 +73,12 @@ mod tests {
     fn flex_dpe_wins_the_irregular_and_sparse_examples() {
         let systolic = SystolicArray::new(4, 4);
         let sigma =
-            SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap())
-                .unwrap();
+            SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap()).unwrap();
         for ex in examples().into_iter().skip(1) {
             let p = GemmProblem::sparse(ex.shape, 1.0, ex.density_b);
             let sys = systolic.simulate_best(&p);
             let a = sparse_uniform(ex.shape.m, ex.shape.k, Density::DENSE, 5);
-            let b = sparse_uniform(
-                ex.shape.k,
-                ex.shape.n,
-                Density::new(ex.density_b).unwrap(),
-                6,
-            );
+            let b = sparse_uniform(ex.shape.k, ex.shape.n, Density::new(ex.density_b).unwrap(), 6);
             let (_, run) = sigma.run_best_stationary(&a, &b).unwrap();
             assert!(
                 run.stats.total_cycles() < sys.total_cycles(),
@@ -111,16 +94,10 @@ mod tests {
     #[test]
     fn sigma_stat_utilization_is_always_full() {
         let sigma =
-            SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap())
-                .unwrap();
+            SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap()).unwrap();
         for ex in examples() {
             let a = sparse_uniform(ex.shape.m, ex.shape.k, Density::DENSE, 5);
-            let b = sparse_uniform(
-                ex.shape.k,
-                ex.shape.n,
-                Density::new(ex.density_b).unwrap(),
-                6,
-            );
+            let b = sparse_uniform(ex.shape.k, ex.shape.n, Density::new(ex.density_b).unwrap(), 6);
             let (_, run) = sigma.run_best_stationary(&a, &b).unwrap();
             assert_eq!(run.stats.stationary_utilization(), 1.0, "{}", ex.name);
         }

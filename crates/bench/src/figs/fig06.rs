@@ -59,8 +59,7 @@ mod tests {
         // Linear wins EDP at small sizes; FAN wins at large sizes.
         let edp_ratio = |size| {
             EnergyDelay::of_fold_experiment(ReductionKind::Fan, size, FOLDS, STREAM).edp()
-                / EnergyDelay::of_fold_experiment(ReductionKind::Linear, size, FOLDS, STREAM)
-                    .edp()
+                / EnergyDelay::of_fold_experiment(ReductionKind::Linear, size, FOLDS, STREAM).edp()
         };
         assert!(edp_ratio(16) > 1.0, "linear should win at 16 PEs");
         assert!(edp_ratio(512) < 0.7, "FAN should win big at 512 PEs");
@@ -70,7 +69,8 @@ mod tests {
     fn speedup_grows_monotonically_with_size() {
         let mut last = 0.0;
         for size in SIZES {
-            let s = ReductionNetwork::new(ReductionKind::Fan, size).speedup_vs_linear(FOLDS, STREAM);
+            let s =
+                ReductionNetwork::new(ReductionKind::Fan, size).speedup_vs_linear(FOLDS, STREAM);
             assert!(s >= last);
             last = s;
         }

@@ -24,10 +24,7 @@ pub fn table() -> Table {
     let mut headers: Vec<String> = vec!["sparsity".to_string()];
     headers.extend(CompressionKind::ALL.iter().map(|k| format!("{k} (Mb)")));
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "Fig. 7 — metadata overhead, M=1632 x K=36548 (megabits)",
-        &href,
-    );
+    let mut t = Table::new("Fig. 7 — metadata overhead, M=1632 x K=36548 (megabits)", &href);
     for s in SPARSITIES {
         let mut row = vec![format!("{:.0}%", s * 100.0)];
         for kind in CompressionKind::ALL {

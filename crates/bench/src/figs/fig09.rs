@@ -118,10 +118,8 @@ mod tests {
         // Paper: Flex-DPE-128 consumes the least energy. Allow one size
         // class of slack around it.
         let points = sweep();
-        let best = points
-            .iter()
-            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
-            .unwrap();
+        let best =
+            points.iter().min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap()).unwrap();
         assert!(
             [64, 128, 256].contains(&best.dpe_size),
             "energy optimum at Flex-DPE-{} (paper: 128)",

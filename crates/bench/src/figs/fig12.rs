@@ -2,43 +2,36 @@
 //! 128x128 TPU; (b) sparse GEMMs — SIGMA vs the TPU across sparsity
 //! combinations.
 
+use crate::harness::{speedup_over, SigmaAnalytic};
 use crate::util::{fmt_pct, fmt_x, geomean, Table};
 use sigma_baselines::{GemmAccelerator, SystolicArray};
-use sigma_core::model::{estimate_best, GemmProblem};
-use sigma_core::SigmaConfig;
+use sigma_core::model::GemmProblem;
 use sigma_workloads::{evaluation_suite, SparsityProfile};
 
 /// The rectangular TPU aspect ratios of Fig. 12a.
 #[must_use]
 pub fn tpu_variants() -> Vec<SystolicArray> {
-    vec![
-        SystolicArray::new(128, 128),
-        SystolicArray::new(256, 64),
-        SystolicArray::new(512, 32),
-    ]
+    vec![SystolicArray::new(128, 128), SystolicArray::new(256, 64), SystolicArray::new(512, 32)]
 }
 
 /// Fig. 12a: dense speedups and efficiencies over TPU 128x128.
 #[must_use]
 pub fn table_dense() -> Table {
     let base = SystolicArray::new(128, 128);
-    let cfg = SigmaConfig::paper();
+    let sigma = SigmaAnalytic::paper();
     let mut t = Table::new(
         "Fig. 12a — dense GEMMs: speedup over TPU 128x128 (and overall efficiency)",
         &["GEMM", "TPU 256x64", "TPU 512x32", "SIGMA", "TPU eff", "SIGMA eff"],
     );
     for g in evaluation_suite() {
         let p = GemmProblem::dense(g.shape);
-        let base_stats = base.simulate(&p);
-        let base_cycles = base_stats.total_cycles();
         let mut row = vec![g.shape.to_string()];
         for v in tpu_variants().into_iter().skip(1) {
-            row.push(fmt_x(base_cycles as f64 / v.simulate(&p).total_cycles() as f64));
+            row.push(fmt_x(speedup_over(&base, &v, &p)));
         }
-        let (_, s) = estimate_best(&cfg, &p);
-        row.push(fmt_x(base_cycles as f64 / s.total_cycles() as f64));
-        row.push(fmt_pct(base_stats.overall_efficiency()));
-        row.push(fmt_pct(s.overall_efficiency()));
+        row.push(fmt_x(speedup_over(&base, &sigma, &p)));
+        row.push(fmt_pct(base.simulate(&p).overall_efficiency()));
+        row.push(fmt_pct(sigma.simulate(&p).overall_efficiency()));
         t.push(row);
     }
     t
@@ -48,7 +41,7 @@ pub fn table_dense() -> Table {
 #[must_use]
 pub fn table_sparse() -> Table {
     let base = SystolicArray::new(128, 128);
-    let cfg = SigmaConfig::paper();
+    let sigma = SigmaAnalytic::paper();
     let mut t = Table::new(
         "Fig. 12b — sparse GEMMs: SIGMA speedup over TPU 128x128 by sparsity combo",
         &["GEMM", "MK50-KN50", "MK50-KN80", "MK80-KN50", "MK80-KN80"],
@@ -56,10 +49,7 @@ pub fn table_sparse() -> Table {
     for g in evaluation_suite() {
         let mut row = vec![g.shape.to_string()];
         for (_, profile) in SparsityProfile::fig12b_sweep() {
-            let p = profile.problem(g.shape);
-            let tpu = base.simulate(&p).total_cycles();
-            let (_, s) = estimate_best(&cfg, &p);
-            row.push(fmt_x(tpu as f64 / s.total_cycles() as f64));
+            row.push(fmt_x(speedup_over(&base, &sigma, &profile.problem(g.shape))));
         }
         t.push(row);
     }
@@ -70,17 +60,13 @@ pub fn table_sparse() -> Table {
 #[must_use]
 pub fn headline_speedups() -> (f64, f64) {
     let base = SystolicArray::new(128, 128);
-    let cfg = SigmaConfig::paper();
+    let sigma = SigmaAnalytic::paper();
     let mut dense = Vec::new();
     let mut sparse = Vec::new();
     for g in evaluation_suite() {
-        let p = GemmProblem::dense(g.shape);
-        let (_, s) = estimate_best(&cfg, &p);
-        dense.push(base.simulate(&p).total_cycles() as f64 / s.total_cycles() as f64);
+        dense.push(speedup_over(&base, &sigma, &GemmProblem::dense(g.shape)));
         for (_, profile) in SparsityProfile::fig12b_sweep() {
-            let ps = profile.problem(g.shape);
-            let (_, ss) = estimate_best(&cfg, &ps);
-            sparse.push(base.simulate(&ps).total_cycles() as f64 / ss.total_cycles() as f64);
+            sparse.push(speedup_over(&base, &sigma, &profile.problem(g.shape)));
         }
     }
     (geomean(&dense), geomean(&sparse))
@@ -102,11 +88,10 @@ mod tests {
     fn sigma_efficiency_high_on_dense() {
         // Paper: SIGMA ~82% overall efficiency dense vs 59% for the TPU,
         // except tiny GEMMs where loading dominates.
-        let cfg = SigmaConfig::paper();
+        let sigma = SigmaAnalytic::paper();
         let mut effs = Vec::new();
         for g in evaluation_suite() {
-            let (_, s) = estimate_best(&cfg, &GemmProblem::dense(g.shape));
-            effs.push(s.overall_efficiency());
+            effs.push(sigma.simulate(&GemmProblem::dense(g.shape)).overall_efficiency());
         }
         let avg = effs.iter().sum::<f64>() / effs.len() as f64;
         assert!((0.6..=1.0).contains(&avg), "SIGMA dense avg efficiency {avg}");
@@ -117,7 +102,8 @@ mod tests {
         // The 2048-1-128 GEMM: "smaller sizes cause loading latency from
         // limited bandwidth to dominate" — visible when the bulky MK
         // operand is the stationary one.
-        let cfg = SigmaConfig::paper().with_dataflow(sigma_core::Dataflow::InputStationary);
+        let cfg =
+            sigma_core::SigmaConfig::paper().with_dataflow(sigma_core::Dataflow::InputStationary);
         let p = GemmProblem::dense(sigma_matrix::GemmShape::new(2048, 1, 128));
         let s = sigma_core::model::estimate(&cfg, &p);
         assert!(
@@ -127,8 +113,7 @@ mod tests {
             s.streaming_cycles
         );
         // Either way, the tiny GEMM cannot reach high overall efficiency.
-        let (_, best) = estimate_best(&SigmaConfig::paper(), &p);
-        assert!(best.overall_efficiency() < 0.6);
+        assert!(SigmaAnalytic::paper().simulate(&p).overall_efficiency() < 0.6);
     }
 
     #[test]
@@ -136,13 +121,11 @@ mod tests {
         // More KN sparsity -> fewer folds for weight-stationary SIGMA ->
         // larger win over the zero-mapping TPU.
         let base = SystolicArray::new(128, 128);
-        let cfg = SigmaConfig::paper();
+        let sigma = SigmaAnalytic::paper();
         let shape = sigma_matrix::GemmShape::new(4096, 4096, 4096);
         let mut speedups = Vec::new();
         for profile in [SparsityProfile::new(0.5, 0.5), SparsityProfile::new(0.5, 0.8)] {
-            let p = profile.problem(shape);
-            let (_, s) = estimate_best(&cfg, &p);
-            speedups.push(base.simulate(&p).total_cycles() as f64 / s.total_cycles() as f64);
+            speedups.push(speedup_over(&base, &sigma, &profile.problem(shape)));
         }
         assert!(speedups[1] > speedups[0]);
     }

@@ -22,10 +22,9 @@ pub fn ratios() -> Vec<(String, f64, f64)> {
             let tpu_cycles = tpu.simulate(&p).total_cycles();
             let (_, s) = estimate_best(&cfg, &p);
             let sigma_cycles = s.total_cycles();
-            let energy_reduction =
-                tpu_rep.energy_j(tpu_cycles) / sigma_rep.energy_j(sigma_cycles);
-            let perf_area = sigma_rep.perf_per_area(sigma_cycles)
-                / tpu_rep.perf_per_area(tpu_cycles);
+            let energy_reduction = tpu_rep.energy_j(tpu_cycles) / sigma_rep.energy_j(sigma_cycles);
+            let perf_area =
+                sigma_rep.perf_per_area(sigma_cycles) / tpu_rep.perf_per_area(tpu_cycles);
             (g.shape.to_string(), energy_reduction, perf_area)
         })
         .collect()

@@ -2,10 +2,10 @@
 //! the two matrices. Per the paper's methodology, each design gets the
 //! best of the (matrix, sparsity) assignments.
 
+use crate::harness::SigmaAnalytic;
 use crate::util::{fmt_x, geomean, Table};
 use sigma_baselines::{GemmAccelerator, SparseAccelerator, SparseAcceleratorKind};
-use sigma_core::model::{estimate_best, GemmProblem};
-use sigma_core::SigmaConfig;
+use sigma_core::model::GemmProblem;
 use sigma_matrix::GemmShape;
 
 /// The GEMMs compared in Fig. 14: the substantial workload shapes (the
@@ -28,19 +28,17 @@ pub fn combos(shape: GemmShape) -> [GemmProblem; 2] {
     [GemmProblem::sparse(shape, 0.2, 0.7), GemmProblem::sparse(shape, 0.7, 0.2)]
 }
 
-/// Best-case cycles for one accelerator across the combos.
+/// Best-case cycles for one accelerator across the combos (SIGMA goes
+/// through the same [`GemmAccelerator`] face via
+/// [`SigmaAnalytic`]).
 fn best_cycles(acc: &dyn GemmAccelerator, shape: GemmShape) -> u64 {
     combos(shape).iter().map(|p| acc.simulate(p).total_cycles()).min().unwrap()
-}
-
-fn best_sigma(shape: GemmShape) -> u64 {
-    let cfg = SigmaConfig::paper();
-    combos(shape).iter().map(|p| estimate_best(&cfg, p).1.total_cycles()).min().unwrap()
 }
 
 /// SIGMA's speedup over each accelerator per GEMM.
 #[must_use]
 pub fn speedups() -> Vec<(SparseAcceleratorKind, Vec<(String, f64)>)> {
+    let sigma = SigmaAnalytic::paper();
     SparseAcceleratorKind::ALL
         .iter()
         .map(|&kind| {
@@ -49,8 +47,8 @@ pub fn speedups() -> Vec<(SparseAcceleratorKind, Vec<(String, f64)>)> {
                 .into_iter()
                 .map(|shape| {
                     let other = best_cycles(&acc, shape);
-                    let sigma = best_sigma(shape);
-                    (shape.to_string(), other as f64 / sigma as f64)
+                    let best_sigma = best_cycles(&sigma, shape);
+                    (shape.to_string(), other as f64 / best_sigma as f64)
                 })
                 .collect();
             (kind, rows)
@@ -65,10 +63,8 @@ pub fn table() -> Table {
     let mut headers = vec!["GEMM".to_string()];
     headers.extend(data.iter().map(|(k, _)| k.to_string()));
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "Fig. 14 — SIGMA speedup over sparse accelerators (80%/30% sparsity)",
-        &href,
-    );
+    let mut t =
+        Table::new("Fig. 14 — SIGMA speedup over sparse accelerators (80%/30% sparsity)", &href);
     for (i, shape) in gemms().iter().enumerate() {
         let mut row = vec![shape.to_string()];
         for (_, rows) in &data {
@@ -111,11 +107,7 @@ mod tests {
     fn eyeriss_v2_wins_at_least_one_gemm() {
         // The paper reports SIGMA slower than Eyeriss v2 on two GEMMs.
         let data = speedups();
-        let (_, rows) =
-            data.iter().find(|(k, _)| *k == SparseAcceleratorKind::EyerissV2).unwrap();
-        assert!(
-            rows.iter().any(|(_, s)| *s < 1.0),
-            "Eyeriss v2 should win somewhere: {rows:?}"
-        );
+        let (_, rows) = data.iter().find(|(k, _)| *k == SparseAcceleratorKind::EyerissV2).unwrap();
+        assert!(rows.iter().any(|(_, s)| *s < 1.0), "Eyeriss v2 should win somewhere: {rows:?}");
     }
 }

@@ -18,7 +18,6 @@
 
 pub mod ablations;
 pub mod fig01;
-pub mod tables;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;
@@ -31,6 +30,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod tables;
 
 use crate::util::Table;
 
@@ -38,7 +38,13 @@ use crate::util::Table;
 /// `EXPERIMENTS.md` records.
 #[must_use]
 pub fn all_tables() -> Vec<Table> {
-    let mut t = vec![tables::table01(), fig01::table(), fig02::table(), fig03::table_dense(), fig03::table_sparse()];
+    let mut t = vec![
+        tables::table01(),
+        fig01::table(),
+        fig02::table(),
+        fig03::table_dense(),
+        fig03::table_sparse(),
+    ];
     t.push(fig04::table());
     t.push(fig06::table());
     t.push(fig07::table());

@@ -1,0 +1,88 @@
+//! The analytic SIGMA model behind the shared [`GemmAccelerator`] face,
+//! plus the speedup helper the figure modules share.
+
+use sigma_baselines::GemmAccelerator;
+use sigma_core::model::{estimate_best, GemmProblem};
+use sigma_core::{CycleStats, SigmaConfig};
+
+/// Analytic SIGMA at its best stationary dataflow per problem — the
+/// design the evaluation figures (12, 14) compare against baselines.
+/// Implements [`GemmAccelerator`], so figure code treats it exactly like
+/// the analytic TPU / sparse-accelerator models instead of re-deriving
+/// `estimate_best` calls inline.
+#[derive(Debug, Clone)]
+pub struct SigmaAnalytic {
+    cfg: SigmaConfig,
+}
+
+impl SigmaAnalytic {
+    /// The paper's 128 x Flex-DPE-128 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { cfg: SigmaConfig::paper() }
+    }
+
+    /// Any other configuration.
+    #[must_use]
+    pub fn new(cfg: SigmaConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The wrapped configuration.
+    #[must_use]
+    pub fn config(&self) -> &SigmaConfig {
+        &self.cfg
+    }
+}
+
+impl GemmAccelerator for SigmaAnalytic {
+    fn name(&self) -> String {
+        format!("SIGMA {}x{}", self.cfg.num_dpes(), self.cfg.dpe_size())
+    }
+
+    fn pes(&self) -> usize {
+        self.cfg.total_pes()
+    }
+
+    fn simulate(&self, problem: &GemmProblem) -> CycleStats {
+        estimate_best(&self.cfg, problem).1
+    }
+}
+
+/// Speedup of `contender` over `base` on `p` (total cycles of `base`
+/// divided by total cycles of `contender`).
+#[must_use]
+pub fn speedup_over(
+    base: &dyn GemmAccelerator,
+    contender: &dyn GemmAccelerator,
+    p: &GemmProblem,
+) -> f64 {
+    base.simulate(p).total_cycles() as f64 / contender.simulate(p).total_cycles() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_baselines::SystolicArray;
+    use sigma_matrix::GemmShape;
+
+    #[test]
+    fn sigma_analytic_matches_estimate_best() {
+        let p = GemmProblem::sparse(GemmShape::new(1024, 1024, 1024), 0.5, 0.2);
+        let s = SigmaAnalytic::paper().simulate(&p);
+        assert_eq!(s, estimate_best(&SigmaConfig::paper(), &p).1);
+        assert_eq!(SigmaAnalytic::paper().pes(), SigmaConfig::paper().total_pes());
+        assert!(SigmaAnalytic::paper().name().contains("SIGMA"));
+    }
+
+    #[test]
+    fn speedup_over_is_a_cycle_ratio() {
+        let p = GemmProblem::sparse(GemmShape::new(2048, 2048, 2048), 0.5, 0.2);
+        let tpu = SystolicArray::new(128, 128);
+        let sigma = SigmaAnalytic::paper();
+        let s = speedup_over(&tpu, &sigma, &p);
+        assert!(s > 1.0, "SIGMA should beat the TPU on sparse GEMMs, got {s}");
+        let inv = speedup_over(&sigma, &tpu, &p);
+        assert!((s * inv - 1.0).abs() < 1e-12);
+    }
+}

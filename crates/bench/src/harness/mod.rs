@@ -1,0 +1,34 @@
+//! The shared experiment harness: one registry of [`Engine`]s, one sweep
+//! driver, one record schema.
+//!
+//! Every figure module and binary used to carry its own per-engine
+//! driving loop; they now all go through this module:
+//!
+//! * [`registry`] — the named fleet of functional engines (SIGMA plus
+//!   all baselines) buildable by slug, for `sigma_cli --engine` and the
+//!   cross-engine agreement tests;
+//! * [`sweep`] — the parallel sweep driver: a workload suite fanned
+//!   across engines on scoped threads, with deterministic per-workload
+//!   seeding and results in a thread-count-independent order;
+//! * [`record`] — the structured [`RunRecord`] row every sweep produces,
+//!   rendered via [`Table`](crate::util::Table) (text/CSV) or JSON;
+//! * [`analytic`] — [`SigmaAnalytic`], the best-dataflow analytic SIGMA
+//!   model behind the same [`GemmAccelerator`] face as the analytic
+//!   baselines, so figure modules stop re-deriving it;
+//! * [`emit`] — the common figure-binary entry point (`--csv`, `--json`,
+//!   `--quiet`).
+//!
+//! [`Engine`]: sigma_core::Engine
+//! [`GemmAccelerator`]: sigma_baselines::GemmAccelerator
+
+pub mod analytic;
+pub mod emit;
+pub mod record;
+pub mod registry;
+pub mod sweep;
+
+pub use analytic::{speedup_over, SigmaAnalytic};
+pub use emit::{emit_tables, emit_tables_with};
+pub use record::{records_table, records_to_json, RunRecord};
+pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};
+pub use sweep::{demo_suite, derive_seed, par_map, Sweep, WorkloadSpec};

@@ -1,0 +1,309 @@
+//! The structured result row every sweep produces, and its CSV/JSON
+//! renderings.
+
+use crate::util::{json_string, Table};
+use sigma_core::model::GemmProblem;
+use sigma_core::EngineRun;
+
+/// One (engine, workload) execution, flattened for CSV/JSON emission.
+///
+/// Field order here is the column order of [`records_table`] and the key
+/// order of [`records_to_json`]; both are fixed so two identical sweeps
+/// render byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Registry slug of the engine.
+    pub engine_slug: String,
+    /// Human-readable engine name.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// GEMM rows.
+    pub m: usize,
+    /// GEMM columns.
+    pub n: usize,
+    /// Contraction length.
+    pub k: usize,
+    /// Density of the MK operand.
+    pub density_a: f64,
+    /// Density of the KN operand.
+    pub density_b: f64,
+    /// Seed the operands were materialized from.
+    pub seed: u64,
+    /// PEs in the engine.
+    pub pes: usize,
+    /// Table-II loading cycles.
+    pub loading_cycles: u64,
+    /// Table-II streaming cycles.
+    pub streaming_cycles: u64,
+    /// Table-II add cycles.
+    pub add_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Stationary folds executed.
+    pub folds: u64,
+    /// Useful (both-non-zero) MACs.
+    pub useful_macs: u128,
+    /// Issued MACs.
+    pub issued_macs: u128,
+    /// Stationary utilization in [0, 1].
+    pub stationary_utilization: f64,
+    /// Compute efficiency in [0, 1].
+    pub compute_efficiency: f64,
+    /// Overall efficiency in [0, 1].
+    pub overall_efficiency: f64,
+    /// Max absolute element error vs the reference GEMM.
+    pub max_abs_err: f64,
+    /// Whether the result matched the reference within tolerance.
+    pub verified: bool,
+    /// Engine error message, when the engine refused the problem.
+    pub error: Option<String>,
+}
+
+impl RunRecord {
+    /// Column headers, in field order.
+    pub const HEADERS: [&'static str; 23] = [
+        "engine_slug",
+        "engine",
+        "workload",
+        "m",
+        "n",
+        "k",
+        "density_a",
+        "density_b",
+        "seed",
+        "pes",
+        "loading_cycles",
+        "streaming_cycles",
+        "add_cycles",
+        "total_cycles",
+        "folds",
+        "useful_macs",
+        "issued_macs",
+        "stationary_utilization",
+        "compute_efficiency",
+        "overall_efficiency",
+        "max_abs_err",
+        "verified",
+        "error",
+    ];
+
+    /// Builds a record from a successful engine run.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_run(
+        slug: &str,
+        engine_name: &str,
+        pes: usize,
+        workload: &str,
+        problem: &GemmProblem,
+        seed: u64,
+        run: &EngineRun,
+        max_abs_err: f64,
+        verified: bool,
+    ) -> Self {
+        let s = &run.stats;
+        Self {
+            engine_slug: slug.to_string(),
+            engine: engine_name.to_string(),
+            workload: workload.to_string(),
+            m: problem.shape.m,
+            n: problem.shape.n,
+            k: problem.shape.k,
+            density_a: problem.density_a,
+            density_b: problem.density_b,
+            seed,
+            pes,
+            loading_cycles: s.loading_cycles,
+            streaming_cycles: s.streaming_cycles,
+            add_cycles: s.add_cycles,
+            total_cycles: s.total_cycles(),
+            folds: s.folds,
+            useful_macs: s.useful_macs,
+            issued_macs: s.issued_macs,
+            stationary_utilization: s.stationary_utilization(),
+            compute_efficiency: s.compute_efficiency(),
+            overall_efficiency: s.overall_efficiency(),
+            max_abs_err,
+            verified,
+            error: None,
+        }
+    }
+
+    /// Builds a record for an engine that refused the problem.
+    #[must_use]
+    pub fn from_error(
+        slug: &str,
+        engine_name: &str,
+        pes: usize,
+        workload: &str,
+        problem: &GemmProblem,
+        seed: u64,
+        error: String,
+    ) -> Self {
+        Self {
+            engine_slug: slug.to_string(),
+            engine: engine_name.to_string(),
+            workload: workload.to_string(),
+            m: problem.shape.m,
+            n: problem.shape.n,
+            k: problem.shape.k,
+            density_a: problem.density_a,
+            density_b: problem.density_b,
+            seed,
+            pes,
+            loading_cycles: 0,
+            streaming_cycles: 0,
+            add_cycles: 0,
+            total_cycles: 0,
+            folds: 0,
+            useful_macs: 0,
+            issued_macs: 0,
+            stationary_utilization: 0.0,
+            compute_efficiency: 0.0,
+            overall_efficiency: 0.0,
+            max_abs_err: f64::INFINITY,
+            verified: false,
+            error: Some(error),
+        }
+    }
+
+    /// The record as one table row, in [`Self::HEADERS`] order.
+    #[must_use]
+    pub fn row(&self) -> Vec<String> {
+        vec![
+            self.engine_slug.clone(),
+            self.engine.clone(),
+            self.workload.clone(),
+            self.m.to_string(),
+            self.n.to_string(),
+            self.k.to_string(),
+            format!("{:?}", self.density_a),
+            format!("{:?}", self.density_b),
+            self.seed.to_string(),
+            self.pes.to_string(),
+            self.loading_cycles.to_string(),
+            self.streaming_cycles.to_string(),
+            self.add_cycles.to_string(),
+            self.total_cycles.to_string(),
+            self.folds.to_string(),
+            self.useful_macs.to_string(),
+            self.issued_macs.to_string(),
+            format!("{:.6}", self.stationary_utilization),
+            format!("{:.6}", self.compute_efficiency),
+            format!("{:.6}", self.overall_efficiency),
+            format!("{:e}", self.max_abs_err),
+            self.verified.to_string(),
+            self.error.clone().unwrap_or_default(),
+        ]
+    }
+
+    /// The record as one JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let kv: Vec<(&str, String)> = vec![
+            ("engine_slug", json_string(&self.engine_slug)),
+            ("engine", json_string(&self.engine)),
+            ("workload", json_string(&self.workload)),
+            ("m", self.m.to_string()),
+            ("n", self.n.to_string()),
+            ("k", self.k.to_string()),
+            ("density_a", format!("{:?}", self.density_a)),
+            ("density_b", format!("{:?}", self.density_b)),
+            ("seed", self.seed.to_string()),
+            ("pes", self.pes.to_string()),
+            ("loading_cycles", self.loading_cycles.to_string()),
+            ("streaming_cycles", self.streaming_cycles.to_string()),
+            ("add_cycles", self.add_cycles.to_string()),
+            ("total_cycles", self.total_cycles.to_string()),
+            ("folds", self.folds.to_string()),
+            ("useful_macs", self.useful_macs.to_string()),
+            ("issued_macs", self.issued_macs.to_string()),
+            ("stationary_utilization", format!("{:?}", self.stationary_utilization)),
+            ("compute_efficiency", format!("{:?}", self.compute_efficiency)),
+            ("overall_efficiency", format!("{:?}", self.overall_efficiency)),
+            (
+                "max_abs_err",
+                if self.max_abs_err.is_finite() {
+                    format!("{:?}", self.max_abs_err)
+                } else {
+                    "null".to_string()
+                },
+            ),
+            ("verified", self.verified.to_string()),
+            ("error", self.error.as_deref().map_or_else(|| "null".to_string(), json_string)),
+        ];
+        let body: Vec<String> =
+            kv.into_iter().map(|(k, v)| format!("{}: {v}", json_string(k))).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Renders records as a [`Table`] (text and CSV come for free).
+#[must_use]
+pub fn records_table(title: impl Into<String>, records: &[RunRecord]) -> Table {
+    let mut t = Table::new(title, &RunRecord::HEADERS);
+    for r in records {
+        t.push(r.row());
+    }
+    t
+}
+
+/// Renders records as a JSON array, one object per record, stable key
+/// order — byte-identical for identical sweeps.
+#[must_use]
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_core::CycleStats;
+    use sigma_matrix::{GemmShape, Matrix};
+
+    fn sample() -> RunRecord {
+        let p = GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.25);
+        let run = EngineRun::new(
+            Matrix::zeros(4, 5),
+            CycleStats { streaming_cycles: 10, pes: 8, ..CycleStats::default() },
+        );
+        RunRecord::from_run("eng", "Engine", 8, "wl", &p, 7, &run, 1e-6, true)
+    }
+
+    #[test]
+    fn row_width_matches_headers() {
+        assert_eq!(sample().row().len(), RunRecord::HEADERS.len());
+        let p = GemmProblem::dense(GemmShape::new(2, 2, 2));
+        let err = RunRecord::from_error("e", "E", 1, "w", &p, 0, "boom".into());
+        assert_eq!(err.row().len(), RunRecord::HEADERS.len());
+        assert!(!err.verified);
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let r = sample();
+        assert_eq!(r.to_json(), r.clone().to_json());
+        let j = records_to_json(&[r.clone(), r]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.ends_with("]\n"));
+        assert!(j.contains("\"engine_slug\": \"eng\""));
+        assert!(j.contains("\"error\": null"));
+        assert_eq!(j.matches("\"total_cycles\"").count(), 2);
+    }
+
+    #[test]
+    fn table_rendering_round_trips() {
+        let t = records_table("sweep", &[sample()]);
+        assert_eq!(t.headers.len(), RunRecord::HEADERS.len());
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.to_csv().lines().count() == 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! The parallel sweep driver: a workload suite fanned across a fleet of
+//! engines on scoped threads.
+//!
+//! Determinism contract: operands are materialized up front from seeds
+//! derived only from the sweep seed and the workload index, jobs are
+//! indexed `engine-major x workload-minor`, and [`par_map`] returns
+//! results in job order regardless of thread count — so a parallel sweep
+//! is byte-identical to a serial one.
+
+use crate::harness::record::RunRecord;
+use crate::harness::registry::EngineEntry;
+use sigma_core::model::GemmProblem;
+use sigma_matrix::{GemmShape, Matrix, SparseMatrix};
+use sigma_workloads::materialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One named workload of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display name (goes into the `workload` record column).
+    pub name: String,
+    /// The GEMM problem (shape + densities) to materialize.
+    pub problem: GemmProblem,
+}
+
+impl WorkloadSpec {
+    /// Creates a workload.
+    #[must_use]
+    pub fn new(name: impl Into<String>, problem: GemmProblem) -> Self {
+        Self { name: name.into(), problem }
+    }
+}
+
+/// Derives the seed for workload `index` from the sweep seed
+/// (SplitMix64), so per-workload operands are independent of engine
+/// order and thread count.
+#[must_use]
+pub fn derive_seed(global: u64, index: u64) -> u64 {
+    let mut z = global ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order (a worker pool over an atomic index
+/// counter; results are re-sorted by index, so the order — and anything
+/// derived from it — is independent of scheduling).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(i, &items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    let mut all: Vec<(usize, R)> = chunks.into_iter().flatten().collect();
+    all.sort_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A deterministic (engine x workload) sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    workloads: Vec<WorkloadSpec>,
+    seed: u64,
+    threads: usize,
+}
+
+impl Sweep {
+    /// Creates a sweep over `workloads` with the default seed and a
+    /// thread count taken from the machine (capped at 8).
+    #[must_use]
+    pub fn new(workloads: Vec<WorkloadSpec>) -> Self {
+        let threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
+        Self { workloads, seed: 0x0053_4947_4d41, threads }
+    }
+
+    /// Overrides the sweep seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the worker-thread count (1 = serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The sweep seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The workloads.
+    #[must_use]
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// Runs every engine on every workload (engine-major record order),
+    /// verifying each result against the reference GEMM.
+    #[must_use]
+    pub fn run(&self, engines: &[EngineEntry]) -> Vec<RunRecord> {
+        self.execute(engines, self.threads)
+    }
+
+    /// Serial variant of [`Sweep::run`] — same records, one thread.
+    #[must_use]
+    pub fn run_serial(&self, engines: &[EngineEntry]) -> Vec<RunRecord> {
+        self.execute(engines, 1)
+    }
+
+    fn execute(&self, engines: &[EngineEntry], threads: usize) -> Vec<RunRecord> {
+        struct Prepared {
+            seed: u64,
+            a: SparseMatrix,
+            b: SparseMatrix,
+            reference: Matrix,
+            tol: f32,
+        }
+        let prepared: Vec<Prepared> = self
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, w)| {
+                let seed = derive_seed(self.seed, wi as u64);
+                let (a, b) = materialize(&w.problem, seed);
+                let reference = a.to_dense().matmul(&b.to_dense());
+                // Accumulation-order slack grows with the contraction
+                // length, like the agreement tests elsewhere.
+                let tol = 1e-3 * w.problem.shape.k.max(1) as f32;
+                Prepared { seed, a, b, reference, tol }
+            })
+            .collect();
+
+        let jobs: Vec<(usize, usize)> = (0..engines.len())
+            .flat_map(|ei| (0..self.workloads.len()).map(move |wi| (ei, wi)))
+            .collect();
+
+        par_map(&jobs, threads, |_, &(ei, wi)| {
+            let entry = &engines[ei];
+            let w = &self.workloads[wi];
+            let input = &prepared[wi];
+            match entry.engine.run(&input.a, &input.b) {
+                Ok(run) => {
+                    let max_abs_err = f64::from(run.result.max_abs_diff(&input.reference));
+                    let verified = run.result.approx_eq(&input.reference, input.tol);
+                    RunRecord::from_run(
+                        &entry.slug,
+                        &entry.engine.name(),
+                        entry.engine.pes(),
+                        &w.name,
+                        &w.problem,
+                        input.seed,
+                        &run,
+                        max_abs_err,
+                        verified,
+                    )
+                }
+                Err(e) => RunRecord::from_error(
+                    &entry.slug,
+                    &entry.engine.name(),
+                    entry.engine.pes(),
+                    &w.name,
+                    &w.problem,
+                    input.seed,
+                    e.to_string(),
+                ),
+            }
+        })
+    }
+}
+
+/// A small functional-scale suite (dense, paper-sparse, irregular, tall)
+/// used by `sigma_cli --sweep` and the harness tests.
+#[must_use]
+pub fn demo_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::new("dense 32x32x32", GemmProblem::dense(GemmShape::new(32, 32, 32))),
+        WorkloadSpec::new(
+            "sparse 48x48x48 (50%/80%)",
+            GemmProblem::sparse(GemmShape::new(48, 48, 48), 0.5, 0.2),
+        ),
+        WorkloadSpec::new(
+            "irregular 24x64x16 (30%/50%)",
+            GemmProblem::sparse(GemmShape::new(24, 64, 16), 0.7, 0.5),
+        ),
+        WorkloadSpec::new(
+            "tall 64x8x40 (70%/70%)",
+            GemmProblem::sparse(GemmShape::new(64, 8, 40), 0.3, 0.3),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::registry::default_registry;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let doubled = par_map(&items, 7, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(par_map(&items, 1, |_, &x| x), items);
+        assert!(par_map(&[] as &[usize], 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn derived_seeds_are_spread() {
+        let seeds: Vec<u64> = (0..16).map(|i| derive_seed(42, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn par_map_really_runs_jobs_on_concurrent_threads() {
+        // Four items, four workers, and a barrier only all four jobs
+        // together can pass: the map can only complete if every job is
+        // simultaneously in flight on its own thread.
+        use std::sync::{Barrier, Mutex};
+        let barrier = Barrier::new(4);
+        let seen = Mutex::new(Vec::new());
+        let items = [0u8; 4];
+        par_map(&items, 4, |_, _| {
+            seen.lock().unwrap().push(std::thread::current().id());
+            barrier.wait();
+        });
+        let ids: std::collections::HashSet<_> = seen.into_inner().unwrap().into_iter().collect();
+        assert_eq!(ids.len(), 4, "expected 4 distinct worker threads");
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial_sweep() {
+        let engines: Vec<_> =
+            default_registry().into_iter().filter(|e| e.slug != "sigma").take(4).collect();
+        let sweep =
+            Sweep::new(demo_suite().into_iter().take(2).collect()).with_seed(9).with_threads(4);
+        assert_eq!(sweep.run(&engines), sweep.run_serial(&engines));
+    }
+
+    #[test]
+    fn records_are_engine_major_and_verified() {
+        let engines: Vec<_> = default_registry()
+            .into_iter()
+            .filter(|e| e.slug == "eie" || e.slug == "scnn")
+            .collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let records = Sweep::new(suite.clone()).with_threads(2).run(&engines);
+        assert_eq!(records.len(), engines.len() * suite.len());
+        assert_eq!(records[0].engine_slug, "eie");
+        assert_eq!(records[1].engine_slug, "eie");
+        assert_eq!(records[2].engine_slug, "scnn");
+        assert!(records.iter().all(|r| r.verified), "all demo runs verify");
+        // Same workload -> same operands -> same seed for every engine.
+        assert_eq!(records[0].seed, records[2].seed);
+    }
+}

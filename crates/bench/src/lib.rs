@@ -2,12 +2,19 @@
 //!
 //! Each `figs::figNN` module computes the figure's data series through the
 //! workspace's models and renders it as an ASCII table whose rows mirror
-//! what the paper plots. Thin binaries (`src/bin/figNN_*.rs`) print them;
-//! `src/bin/all_figures.rs` prints everything (and is what
-//! `EXPERIMENTS.md` records); the Criterion benches exercise the same
-//! entry points plus the simulator's own hot loops.
+//! what the paper plots. Thin binaries (`src/bin/figNN_*.rs`) emit them
+//! through [`harness::emit_tables`]; `src/bin/all_figures.rs` prints
+//! everything (and is what `EXPERIMENTS.md` records); the Criterion
+//! benches exercise the same entry points plus the simulator's own hot
+//! loops.
+//!
+//! The [`harness`] module is the engine-facing layer: a registry of every
+//! functional [`Engine`](sigma_core::Engine), a deterministic parallel
+//! [`Sweep`](harness::Sweep) driver, and the [`RunRecord`](harness::RunRecord)
+//! schema with CSV/JSON emission.
 
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod harness;
 pub mod util;

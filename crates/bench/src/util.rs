@@ -23,17 +23,40 @@ impl Table {
     }
 
     /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers; use
+    /// [`Table::try_push`] to handle that case gracefully.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
-        self.rows.push(row);
+        self.try_push(row).expect("row width must match headers");
     }
 
-    /// Renders as CSV (header row first). Cells containing commas or
-    /// quotes are quoted.
+    /// Appends a row, rejecting rows whose width does not match the
+    /// headers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowWidthError`] when `row.len() != self.headers.len()`;
+    /// the table is left unchanged.
+    pub fn try_push(&mut self, row: Vec<String>) -> Result<(), RowWidthError> {
+        if row.len() != self.headers.len() {
+            return Err(RowWidthError { expected: self.headers.len(), got: row.len() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Renders as CSV (header row first). Cells containing commas,
+    /// quotes or CR/LF are quoted.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let escape = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            if cell.contains(',')
+                || cell.contains('"')
+                || cell.contains('\n')
+                || cell.contains('\r')
+            {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()
@@ -46,6 +69,28 @@ impl Table {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
+        out
+    }
+
+    /// Renders as JSON: `{"title": ..., "rows": [{header: cell, ...}]}`.
+    /// Field order is fixed (headers in table order), so equal tables
+    /// render byte-identically.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (j, (h, c)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(h), json_string(c)));
+            }
+            out.push_str(if i + 1 < self.rows.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -74,12 +119,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&line(&self.headers, &widths));
         out.push('\n');
@@ -97,6 +137,43 @@ impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// A row whose width does not match the table's headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowWidthError {
+    /// Header count of the table.
+    pub expected: usize,
+    /// Width of the rejected row.
+    pub got: usize,
+}
+
+impl std::fmt::Display for RowWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "row width {} does not match {} headers", self.got, self.expected)
+    }
+}
+
+impl std::error::Error for RowWidthError {}
+
+/// Quotes and escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Geometric mean of a slice of positive values.
@@ -181,5 +258,34 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new("t", &["a", "b"]);
         t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_push_reports_width_mismatch() {
+        let mut t = Table::new("t", &["a", "b"]);
+        let err = t.try_push(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err, RowWidthError { expected: 2, got: 1 });
+        assert!(err.to_string().contains("row width 1"));
+        assert!(t.rows.is_empty(), "failed push must not mutate the table");
+        assert!(t.try_push(vec!["x".into(), "y".into()]).is_ok());
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_carriage_returns() {
+        let mut t = Table::new("t", &["a"]);
+        t.push(vec!["line\rbreak".into()]);
+        assert!(t.to_csv().contains("\"line\rbreak\""));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_ordered() {
+        let mut t = Table::new("T \"quoted\"", &["x", "y"]);
+        t.push(vec!["a\nb".into(), "c".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"T \\\"quoted\\\"\""));
+        assert!(j.contains("{\"x\": \"a\\nb\", \"y\": \"c\"}"));
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

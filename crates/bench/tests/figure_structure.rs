@@ -32,7 +32,7 @@ fn all_figures_present_with_expected_structure() {
         ("Ablation — SRAM", 3, 5),
         ("Ablation — front-end", 4, 4),
         ("Ablation — fold packing", 5, 2),
-        ("Functional engines", 4, 8),
+        ("Functional engines", 5, 11),
     ];
     assert_eq!(tables.len(), expected.len(), "figure count changed");
     for ((fragment, cols, min_rows), table) in expected.into_iter().zip(&tables) {

@@ -1,0 +1,79 @@
+//! Integration tests for the shared experiment harness: every registered
+//! engine must agree with the reference GEMM on a shared problem set, and
+//! a sweep must be bit-for-bit deterministic regardless of thread count.
+
+use sigma_bench::harness::{
+    default_registry, demo_suite, records_table, records_to_json, Sweep, WorkloadSpec,
+};
+use sigma_core::model::GemmProblem;
+use sigma_matrix::GemmShape;
+use sigma_workloads::materialize;
+
+fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::new("dense-24", GemmProblem::dense(GemmShape::new(24, 24, 24))),
+        WorkloadSpec::new("sparse-40", GemmProblem::sparse(GemmShape::new(40, 40, 40), 0.5, 0.2)),
+        WorkloadSpec::new("irregular", GemmProblem::sparse(GemmShape::new(17, 33, 9), 0.7, 0.6)),
+    ]
+}
+
+/// Every engine in the registry, on every workload, reproduces the
+/// reference GEMM within the sweep's tolerance. This is the cross-engine
+/// agreement contract the whole figure pipeline rests on.
+#[test]
+fn every_registered_engine_agrees_with_the_reference() {
+    let records = Sweep::new(suite()).with_seed(42).run(&default_registry());
+    assert_eq!(records.len(), default_registry().len() * suite().len());
+    for r in &records {
+        assert!(r.error.is_none(), "{} on {}: {:?}", r.engine, r.workload, r.error);
+        assert!(
+            r.verified,
+            "{} on {} diverged from the reference (max abs err {})",
+            r.engine, r.workload, r.max_abs_err
+        );
+    }
+}
+
+/// The sweep's per-workload seeding is reproducible: materializing the
+/// same workload with the recorded seed yields operands whose useful-MAC
+/// count matches what the engines saw.
+#[test]
+fn recorded_seeds_reproduce_the_operands() {
+    let records = Sweep::new(suite()).with_seed(7).run(&default_registry());
+    for r in records.iter().take(suite().len()) {
+        let spec = suite().into_iter().find(|w| w.name == r.workload).unwrap();
+        let (a, b) = materialize(&spec.problem, r.seed);
+        let macs = sigma_baselines::useful_macs(&a, &b);
+        assert_eq!(macs, r.useful_macs, "{}: operands do not reproduce", r.workload);
+    }
+}
+
+/// Two sweeps with the same seed emit byte-identical CSV and JSON, and a
+/// parallel run (>= 4 threads) matches a serial one record-for-record —
+/// thread scheduling must never leak into results or their order.
+#[test]
+fn same_seed_sweeps_are_byte_identical_across_thread_counts() {
+    let registry = default_registry;
+    let serial = Sweep::new(demo_suite()).with_seed(99).with_threads(1).run(&registry());
+    let parallel = Sweep::new(demo_suite()).with_seed(99).with_threads(4).run(&registry());
+    let again = Sweep::new(demo_suite()).with_seed(99).with_threads(4).run(&registry());
+
+    let csv = |rs: &[_]| records_table("determinism", rs).to_csv();
+    assert_eq!(csv(&serial), csv(&parallel), "parallel CSV differs from serial");
+    assert_eq!(csv(&parallel), csv(&again), "same-seed CSV not reproducible");
+    assert_eq!(
+        records_to_json(&parallel),
+        records_to_json(&again),
+        "same-seed JSON not reproducible"
+    );
+    assert_eq!(records_to_json(&serial), records_to_json(&parallel));
+}
+
+/// Changing the sweep seed changes the sampled operands (and therefore
+/// the recorded per-workload seeds), so runs are not accidentally pinned.
+#[test]
+fn different_seeds_sample_different_operands() {
+    let a = Sweep::new(suite()).with_seed(1).run(&default_registry());
+    let b = Sweep::new(suite()).with_seed(2).run(&default_registry());
+    assert!(a.iter().zip(&b).any(|(x, y)| x.seed != y.seed));
+}

@@ -152,9 +152,7 @@ impl ControllerPlan {
             PackingOrder::GroupMajor => {
                 mapped.chunks(total_pes).map(<[MappedElement]>::to_vec).collect()
             }
-            PackingOrder::ContractionMajor => {
-                Self::contraction_major_folds(mapped, total_pes)
-            }
+            PackingOrder::ContractionMajor => Self::contraction_major_folds(mapped, total_pes),
         };
         let mut folds = Vec::new();
         for chunk in chunks {
@@ -400,10 +398,7 @@ mod tests {
         assert_eq!(fold.occupied(), 5);
         // Groups 0, 2, 3 survive; group 1 is empty.
         assert_eq!(fold.cluster_groups, vec![0, 2, 3]);
-        assert_eq!(
-            &fold.vec_ids[..5],
-            &[Some(0), Some(0), Some(1), Some(1), Some(2)]
-        );
+        assert_eq!(&fold.vec_ids[..5], &[Some(0), Some(0), Some(1), Some(1), Some(2)]);
         assert_eq!(fold.vec_ids[5], None);
         assert_eq!(fold.distinct_contractions, vec![0, 1, 2]);
     }

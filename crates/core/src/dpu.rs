@@ -144,12 +144,7 @@ impl DpuAllocator {
                     estimate_best(&sub, p).1.total_cycles()
                 };
                 let makespan = |shares: &[usize]| -> u64 {
-                    problems
-                        .iter()
-                        .zip(shares)
-                        .map(|(p, &d)| job_cycles(p, d))
-                        .max()
-                        .unwrap_or(0)
+                    problems.iter().zip(shares).map(|(p, &d)| job_cycles(p, d)).max().unwrap_or(0)
                 };
                 let mut best = makespan(&shares);
                 // Greedy improvement: donate one DPE from the fastest
@@ -208,8 +203,13 @@ impl DpuAllocator {
                 noc = noc.merged(&mesh.merge_boundary_partials(&range));
             }
             makespan = makespan.max(stats.total_cycles());
-            allocations
-                .push(DpuAllocation { gemm: i, first_dpe: first, num_dpes: dpes, stats, noc });
+            allocations.push(DpuAllocation {
+                gemm: i,
+                first_dpe: first,
+                num_dpes: dpes,
+                stats,
+                noc,
+            });
             first += dpes;
         }
         Ok((allocations, makespan))
@@ -281,8 +281,7 @@ mod tests {
     fn partition_rejects_bad_batches() {
         let alloc = DpuAllocator::new(cfg());
         assert!(alloc.partition(&[]).is_err());
-        let too_many =
-            vec![GemmProblem::dense(GemmShape::new(8, 8, 8)); 17];
+        let too_many = vec![GemmProblem::dense(GemmShape::new(8, 8, 8)); 17];
         assert!(alloc.partition(&too_many).is_err());
     }
 
@@ -322,11 +321,9 @@ mod tests {
             GemmProblem::dense(GemmShape::new(64, 64, 64)),
             GemmProblem::dense(GemmShape::new(128, 128, 128)),
         ];
-        for policy in [
-            PartitionPolicy::Proportional,
-            PartitionPolicy::Equal,
-            PartitionPolicy::MakespanGreedy,
-        ] {
+        for policy in
+            [PartitionPolicy::Proportional, PartitionPolicy::Equal, PartitionPolicy::MakespanGreedy]
+        {
             let shares = alloc.partition_with_policy(&problems, policy).unwrap();
             assert_eq!(shares.iter().sum::<usize>(), 16, "{policy:?}");
             assert!(shares.iter().all(|&s| s >= 1), "{policy:?}");
@@ -358,12 +355,9 @@ mod tests {
                 .max()
                 .unwrap()
         };
-        let prop = alloc
-            .partition_with_policy(&problems, PartitionPolicy::Proportional)
-            .unwrap();
-        let greedy = alloc
-            .partition_with_policy(&problems, PartitionPolicy::MakespanGreedy)
-            .unwrap();
+        let prop = alloc.partition_with_policy(&problems, PartitionPolicy::Proportional).unwrap();
+        let greedy =
+            alloc.partition_with_policy(&problems, PartitionPolicy::MakespanGreedy).unwrap();
         assert!(cycles_for(&greedy) <= cycles_for(&prop));
     }
 
@@ -386,10 +380,7 @@ mod tests {
             assert!(run.result.approx_eq(&reference, 1e-3));
             assert!(run.stats.total_cycles() <= makespan);
         }
-        assert_eq!(
-            makespan,
-            runs.iter().map(|r| r.stats.total_cycles()).max().unwrap()
-        );
+        assert_eq!(makespan, runs.iter().map(|r| r.stats.total_cycles()).max().unwrap());
     }
 
     #[test]

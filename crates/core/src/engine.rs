@@ -106,11 +106,10 @@ impl SigmaSim {
                 let bt = b.transposed();
                 let at = a.transposed();
                 let mut out = Matrix::zeros(m, n);
-                let stats =
-                    self.run_stationary(&bt, &at, trace, |group, step, v| {
-                        let cur = out.get(step, group);
-                        out.set(step, group, cur + v);
-                    });
+                let stats = self.run_stationary(&bt, &at, trace, |group, step, v| {
+                    let cur = out.get(step, group);
+                    out.set(step, group, cur + v);
+                });
                 Ok((GemmRun { result: out, stats }, ()))
             }
             Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b), ())),
@@ -157,10 +156,9 @@ impl SigmaSim {
         a: &SparseMatrix,
         b: &SparseMatrix,
     ) -> Result<(Dataflow, GemmRun), SigmaError> {
-        let ws = Self::new(self.config.with_dataflow(Dataflow::WeightStationary))?
-            .run_gemm(a, b)?;
-        let is = Self::new(self.config.with_dataflow(Dataflow::InputStationary))?
-            .run_gemm(a, b)?;
+        let ws =
+            Self::new(self.config.with_dataflow(Dataflow::WeightStationary))?.run_gemm(a, b)?;
+        let is = Self::new(self.config.with_dataflow(Dataflow::InputStationary))?.run_gemm(a, b)?;
         if ws.stats.total_cycles() <= is.stats.total_cycles() {
             Ok((Dataflow::WeightStationary, ws))
         } else {
@@ -326,8 +324,7 @@ impl SigmaSim {
                     products[slot] = x * y;
                     ids[slot] = Some(cid);
                 }
-                let red =
-                    self.fan.reduce(&products, &ids).expect("output clusters are contiguous");
+                let red = self.fan.reduce(&products, &ids).expect("output clusters are contiguous");
                 drain = drain.max(red.critical_cycles);
                 for s in red.sums {
                     let (i, j) = cluster_outputs[s.vec_id as usize];
@@ -506,8 +503,7 @@ mod tests {
         assert_eq!(plain, run);
         // One load + one drain per fold, `steps` stream events per fold.
         let folds = run.stats.folds as usize;
-        let loads =
-            trace.events().iter().filter(|e| e.phase == crate::trace::Phase::Load).count();
+        let loads = trace.events().iter().filter(|e| e.phase == crate::trace::Phase::Load).count();
         assert_eq!(loads, folds);
         let streams =
             trace.events().iter().filter(|e| e.phase == crate::trace::Phase::Stream).count();

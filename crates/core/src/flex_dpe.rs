@@ -42,8 +42,7 @@ impl FlexDpe {
     /// Returns [`SigmaError::DpeSizeNotPowerOfTwo`] unless `size` is a
     /// power of two at least 2 (required by the Benes/FAN networks).
     pub fn new(size: usize) -> Result<Self, SigmaError> {
-        let benes =
-            BenesNetwork::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
+        let benes = BenesNetwork::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
         let fan = Fan::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
         Ok(Self { size, benes, fan, stationary: vec![None; size], vec_ids: vec![None; size] })
     }
@@ -237,13 +236,7 @@ mod tests {
     fn load_and_step_computes_dot_products() {
         let mut dpe = FlexDpe::new(8).unwrap();
         // Two clusters: group 0 holds k={0,1,2}, group 1 holds k={1,3}.
-        let els = elements(&[
-            (0, 0, 2.0),
-            (0, 1, 3.0),
-            (0, 2, 4.0),
-            (1, 1, 5.0),
-            (1, 3, 6.0),
-        ]);
+        let els = elements(&[(0, 0, 2.0), (0, 1, 3.0), (0, 2, 4.0), (1, 1, 5.0), (1, 3, 6.0)]);
         dpe.load(&els, &ids(&[0, 0, 0, 1, 1], 8)).unwrap();
         assert_eq!(dpe.occupied(), 5);
 
@@ -297,13 +290,7 @@ mod tests {
         // The same streamed vector through the closure path and through
         // the routed Benes path must produce identical results.
         let mut dpe = FlexDpe::new(8).unwrap();
-        let els = elements(&[
-            (0, 0, 2.0),
-            (0, 2, 3.0),
-            (1, 1, 4.0),
-            (1, 2, 5.0),
-            (1, 3, 6.0),
-        ]);
+        let els = elements(&[(0, 0, 2.0), (0, 2, 3.0), (1, 1, 4.0), (1, 2, 5.0), (1, 3, 6.0)]);
         dpe.load(&els, &ids(&[0, 0, 1, 1, 1], 8)).unwrap();
 
         // Streamed vector x[k] = k + 1, arriving in contraction order
@@ -322,8 +309,7 @@ mod tests {
     #[test]
     fn step_routed_monotone_single_pass() {
         let mut dpe = FlexDpe::new(4).unwrap();
-        dpe.load(&elements(&[(0, 0, 1.0), (0, 1, 1.0), (0, 3, 1.0)]), &ids(&[0, 0, 0], 4))
-            .unwrap();
+        dpe.load(&elements(&[(0, 0, 1.0), (0, 1, 1.0), (0, 3, 1.0)]), &ids(&[0, 0, 0], 4)).unwrap();
         let arrivals = [10.0f32, 20.0, 30.0, 0.0];
         let request = vec![Some(0), Some(1), Some(2), None];
         let (step, passes) = dpe.step_routed(&arrivals, &request).unwrap();

@@ -51,6 +51,7 @@ pub mod config;
 pub mod controller;
 pub mod dpu;
 pub mod engine;
+pub mod engine_api;
 pub mod flex_dpe;
 pub mod model;
 pub mod noc;
@@ -61,6 +62,7 @@ pub use config::{Dataflow, SigmaConfig, SigmaError};
 pub use controller::{ControllerPlan, Fold, MappedElement, PackingOrder};
 pub use dpu::{DpuAllocation, DpuAllocator, PartitionPolicy};
 pub use engine::{GemmRun, SigmaSim};
+pub use engine_api::{Engine, EngineError, EngineRun};
 pub use flex_dpe::{DpeStep, FlexDpe};
 pub use noc::{MeshNoc, NocStats};
 pub use stats::CycleStats;

@@ -54,22 +54,12 @@ impl GemmProblem {
 #[must_use]
 pub fn estimate(config: &SigmaConfig, p: &GemmProblem) -> CycleStats {
     match config.dataflow() {
-        Dataflow::InputStationary => estimate_stationary(
-            config,
-            p.shape.m,
-            p.shape.k,
-            p.shape.n,
-            p.density_a,
-            p.density_b,
-        ),
-        Dataflow::WeightStationary => estimate_stationary(
-            config,
-            p.shape.n,
-            p.shape.k,
-            p.shape.m,
-            p.density_b,
-            p.density_a,
-        ),
+        Dataflow::InputStationary => {
+            estimate_stationary(config, p.shape.m, p.shape.k, p.shape.n, p.density_a, p.density_b)
+        }
+        Dataflow::WeightStationary => {
+            estimate_stationary(config, p.shape.n, p.shape.k, p.shape.m, p.density_b, p.density_a)
+        }
         Dataflow::NoLocalReuse => estimate_no_local_reuse(config, p),
     }
 }
@@ -148,19 +138,16 @@ fn estimate_stationary(
     // fold holds fewer columns, so it is modeled separately.
     let full_folds = (folds - 1.0).max(0.0);
     let last_occupancy = nnz - full_folds * pes;
-    let cycles_per_step_full =
-        (k_in_fold(full_fold_occupancy) * d_str / stream_bw).ceil().max(1.0);
+    let cycles_per_step_full = (k_in_fold(full_fold_occupancy) * d_str / stream_bw).ceil().max(1.0);
     let cycles_per_step_last = (k_in_fold(last_occupancy) * d_str / stream_bw).ceil().max(1.0);
     let sends_per_step =
         (full_folds * k_in_fold(full_fold_occupancy) + k_in_fold(last_occupancy)) * d_str / folds;
-    let streaming =
-        (full_folds * cycles_per_step_full + cycles_per_step_last) * steps as f64;
+    let streaming = (full_folds * cycles_per_step_full + cycles_per_step_last) * steps as f64;
 
     let loading = if config.double_buffered() {
         // Hidden behind the previous fold's streaming when it fits.
         let stream_per_fold = cycles_per_step_full * steps as f64;
-        let visible_rest =
-            (folds - 1.0).max(0.0) * (per_full_load - stream_per_fold).max(0.0);
+        let visible_rest = (folds - 1.0).max(0.0) * (per_full_load - stream_per_fold).max(0.0);
         let first = (nnz.min(pes) / bw).ceil();
         first + visible_rest
     } else {
@@ -259,10 +246,8 @@ mod tests {
     fn sparsity_reduces_folds_and_latency() {
         let shape = GemmShape::new(64, 64, 64);
         let dense = estimate(&cfg(Dataflow::InputStationary), &GemmProblem::dense(shape));
-        let sparse = estimate(
-            &cfg(Dataflow::InputStationary),
-            &GemmProblem::sparse(shape, 0.2, 1.0),
-        );
+        let sparse =
+            estimate(&cfg(Dataflow::InputStationary), &GemmProblem::sparse(shape, 0.2, 1.0));
         assert!(sparse.folds < dense.folds);
         assert!(sparse.total_cycles() < dense.total_cycles());
         assert_eq!(sparse.stationary_utilization(), 1.0);

@@ -109,7 +109,11 @@ impl MeshNoc {
         let span = (dpu.len() - 1) as u64;
         let serialization = words.div_ceil(self.bandwidth as u64);
         // Every link in the chain carries the whole serialized stream.
-        NocStats { hops: span * serialization, cycles: serialization + span, switches_configured: 0 }
+        NocStats {
+            hops: span * serialization,
+            cycles: serialization + span,
+            switches_configured: 0,
+        }
     }
 
     /// Forwards `words` hop-by-hop between two Flex-DPEs in different

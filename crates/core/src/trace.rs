@@ -103,11 +103,7 @@ impl Trace {
         let max_fold = self.events.iter().map(|e| e.fold).max().unwrap_or(0);
         for f in 0..=max_fold {
             let of = |p: Phase| -> u64 {
-                self.events
-                    .iter()
-                    .filter(|e| e.fold == f && e.phase == p)
-                    .map(|e| e.cycles)
-                    .sum()
+                self.events.iter().filter(|e| e.fold == f && e.phase == p).map(|e| e.cycles).sum()
             };
             let steps =
                 self.events.iter().filter(|e| e.fold == f && e.phase == Phase::Stream).count();

@@ -103,9 +103,8 @@ fn stationary_loading_routes_on_benes() {
     let net = BenesNetwork::new(16).unwrap();
     for fold in &plan.folds {
         // Loading: value i (in SRAM arrival order) goes to PE slot i.
-        let req: Vec<Option<usize>> = (0..16)
-            .map(|slot| if slot < fold.occupied() { Some(slot) } else { None })
-            .collect();
+        let req: Vec<Option<usize>> =
+            (0..16).map(|slot| if slot < fold.occupied() { Some(slot) } else { None }).collect();
         let cfg = net.route_monotone_multicast(&req).unwrap();
         let inputs: Vec<Option<u32>> = (0..16).map(|i| Some(i as u32)).collect();
         let out = cfg.apply(&inputs);
@@ -127,9 +126,8 @@ fn per_cluster_streaming_patterns_are_monotone_and_routable() {
     let net = BenesNetwork::new(32).unwrap();
     for fold in &plan.folds {
         // Streaming arrival order: sorted distinct contraction indices.
-        let rank_of = |k: usize| {
-            fold.distinct_contractions.binary_search(&k).expect("k present in fold")
-        };
+        let rank_of =
+            |k: usize| fold.distinct_contractions.binary_search(&k).expect("k present in fold");
         // Build one request per cluster; verify monotonicity and route it.
         let mut cluster_start = 0usize;
         while cluster_start < fold.occupied() {

@@ -48,9 +48,8 @@ impl EnergyBreakdown {
         let stages = if dpe_size >= 2 { 2 * log2_ceil(dpe_size) as u64 - 1 } else { 1 };
         // Static power: everything not explained by events (controller,
         // clock tree, idle PEs), about a third of the calibrated total.
-        let static_power = 0.33
-            * (stats.pes as f64
-                * (c.fp32_mult_power + c.fp32_add_power + c.pe_regs_power));
+        let static_power =
+            0.33 * (stats.pes as f64 * (c.fp32_mult_power + c.fp32_add_power + c.pe_regs_power));
 
         EnergyBreakdown {
             multiply_j: stats.issued_macs as f64 * mult_e,

@@ -98,9 +98,7 @@ impl DistributionModel {
         let n = self.size as u64;
         match self.kind {
             DistributionKind::Crossbar => n * n,
-            DistributionKind::Benes => {
-                u64::from(2 * log2_ceil(self.size).max(1) - 1) * n / 2
-            }
+            DistributionKind::Benes => u64::from(2 * log2_ceil(self.size).max(1) - 1) * n / 2,
             DistributionKind::Bus => n, // one tap per port
             DistributionKind::Butterfly => u64::from(log2_ceil(self.size).max(1)) * n / 2,
             DistributionKind::Mesh => n, // one small router per port

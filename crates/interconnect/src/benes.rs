@@ -530,7 +530,11 @@ fn route_perm(src: &[usize]) -> BenesConfig {
     let mut input_states = Vec::with_capacity(half);
     for i in 0..half {
         debug_assert_ne!(color[2 * i], color[2 * i + 1], "looping produced same-subnet siblings");
-        input_states.push(if color[2 * i] == 0 { SwitchState::Straight } else { SwitchState::Cross });
+        input_states.push(if color[2 * i] == 0 {
+            SwitchState::Straight
+        } else {
+            SwitchState::Cross
+        });
     }
 
     // Sub-permutations: upper subnet output port j carries the color-0

@@ -128,9 +128,7 @@ impl Butterfly {
         for _ in 0..samples.max(1) {
             let mut perm: Vec<usize> = (0..n).collect();
             for i in (1..n).rev() {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % (i + 1);
                 perm.swap(i, j);
             }

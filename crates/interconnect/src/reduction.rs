@@ -31,7 +31,8 @@ pub enum ReductionKind {
 
 impl ReductionKind {
     /// All kinds in Fig. 6b's order.
-    pub const ALL: [ReductionKind; 3] = [ReductionKind::Linear, ReductionKind::Art, ReductionKind::Fan];
+    pub const ALL: [ReductionKind; 3] =
+        [ReductionKind::Linear, ReductionKind::Art, ReductionKind::Fan];
 
     /// Display name used in the figure legends.
     #[must_use]
@@ -140,7 +141,11 @@ impl ReductionNetwork {
     /// # Errors
     ///
     /// Propagates [`FanError`] for malformed segment requests.
-    pub fn reduce(&self, values: &[f32], vec_ids: &[Option<u32>]) -> Result<FanReduction, FanError> {
+    pub fn reduce(
+        &self,
+        values: &[f32],
+        vec_ids: &[Option<u32>],
+    ) -> Result<FanReduction, FanError> {
         match self.kind {
             ReductionKind::Fan | ReductionKind::Art => {
                 let fan = Fan::new(self.size.next_power_of_two().max(2))?;
@@ -216,11 +221,12 @@ mod tests {
         let s512 = ReductionNetwork::new(ReductionKind::Fan, 512).speedup_vs_linear(folds, stream);
         assert!(s512 > s64);
         assert!(s512 > 1.4, "512-PE FAN speedup {s512}");
-        assert!((ReductionNetwork::new(ReductionKind::Linear, 512)
-            .speedup_vs_linear(folds, stream)
-            - 1.0)
-            .abs()
-            < 1e-12);
+        assert!(
+            (ReductionNetwork::new(ReductionKind::Linear, 512).speedup_vs_linear(folds, stream)
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -271,10 +277,7 @@ mod tests {
     fn linear_rejects_non_contiguous() {
         let net = ReductionNetwork::new(ReductionKind::Linear, 4);
         let ids: Vec<Option<u32>> = [0, 1, 0, 1].iter().map(|&x| Some(x)).collect();
-        assert!(matches!(
-            net.reduce(&[1.0; 4], &ids),
-            Err(FanError::NonContiguousSegments(0))
-        ));
+        assert!(matches!(net.reduce(&[1.0; 4], &ids), Err(FanError::NonContiguousSegments(0))));
     }
 
     #[test]

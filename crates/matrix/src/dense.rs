@@ -278,11 +278,7 @@ impl Matrix {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// `true` if every element differs from `other` by at most `tol`.

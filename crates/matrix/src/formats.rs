@@ -599,10 +599,7 @@ mod tests {
         let d = sample();
         let bm = crate::SparseMatrix::from_dense(&d).bitmap().clone();
         for kind in CompressionKind::ALL {
-            assert_eq!(
-                total_bits(kind, &bm),
-                metadata_bits(kind, &bm) + value_bits(kind, &bm)
-            );
+            assert_eq!(total_bits(kind, &bm), metadata_bits(kind, &bm) + value_bits(kind, &bm));
         }
     }
 

@@ -157,11 +157,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            &[0.0, 1.5, 0.0, 2.5],
-            &[0.0, 0.0, 0.0, 0.0],
-            &[3.5, 0.0, 0.0, 4.5],
-        ])
+        Matrix::from_rows(&[&[0.0, 1.5, 0.0, 2.5], &[0.0, 0.0, 0.0, 0.0], &[3.5, 0.0, 0.0, 4.5]])
     }
 
     #[test]

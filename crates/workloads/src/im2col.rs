@@ -55,11 +55,7 @@ impl ConvLayer {
     #[must_use]
     pub fn im2col_gemm(&self, batch: usize) -> GemmShape {
         let out = self.output_size();
-        GemmShape::new(
-            out * out * batch.max(1),
-            self.c_out,
-            self.c_in * self.kernel * self.kernel,
-        )
+        GemmShape::new(out * out * batch.max(1), self.c_out, self.c_in * self.kernel * self.kernel)
     }
 
     /// Multiply-accumulates of the convolution itself (must equal the

@@ -70,7 +70,8 @@ impl std::fmt::Display for NamedGemm {
 /// workloads, spanning tall-skinny to fat-short.
 #[must_use]
 pub fn fig1b_suite() -> Vec<NamedGemm> {
-    let g = |workload, layer, m, n, k| NamedGemm { workload, layer, shape: GemmShape::new(m, n, k) };
+    let g =
+        |workload, layer, m, n, k| NamedGemm { workload, layer, shape: GemmShape::new(m, n, k) };
     vec![
         // Transformer big: d_model 1024, d_ff 4096, vocab 32k, seq 512.
         g(Workload::Transformer, "QKV proj (fwd)", 512, 3072, 1024),

@@ -143,8 +143,8 @@ pub fn step_breakdown(model: TrainingModel, gpu: &GpuModel) -> Vec<(OpClass, f64
     let mut activation_elems: u64 = 0;
     for g in &gemms {
         for shape in training_gemms(g.shape) {
-            matmul += gpu.dense_gemm_time_s(shape, crate::training::precision_for_fig2())
-                * layers as f64;
+            matmul +=
+                gpu.dense_gemm_time_s(shape, crate::training::precision_for_fig2()) * layers as f64;
         }
         activation_elems += (g.shape.mn_elems() as u64) * layers as u64;
     }
@@ -174,11 +174,7 @@ pub fn step_breakdown(model: TrainingModel, gpu: &GpuModel) -> Vec<(OpClass, f64
 pub fn matmul_fraction(model: TrainingModel, gpu: &GpuModel) -> f64 {
     let breakdown = step_breakdown(model, gpu);
     let total: f64 = breakdown.iter().map(|(_, t)| t).sum();
-    breakdown
-        .iter()
-        .find(|(c, _)| *c == OpClass::MatMul)
-        .map(|(_, t)| t / total)
-        .unwrap_or(0.0)
+    breakdown.iter().find(|(c, _)| *c == OpClass::MatMul).map(|(_, t)| t / total).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -202,10 +198,7 @@ mod tests {
         let gpu = GpuModel::v100();
         for model in [TrainingModel::Transformer, TrainingModel::Gnmt] {
             let frac = matmul_fraction(model, &gpu);
-            assert!(
-                (0.55..=0.85).contains(&frac),
-                "{model}: MatMul fraction {frac} (paper ~0.7)"
-            );
+            assert!((0.55..=0.85).contains(&frac), "{model}: MatMul fraction {frac} (paper ~0.7)");
         }
     }
 

@@ -7,11 +7,9 @@
 //! ```
 //! (arguments: M N K input-sparsity weight-sparsity)
 
-use sigma::arch::SigmaConfig;
-use sigma::baselines::{
-    GemmAccelerator, SparseAccelerator, SparseAcceleratorKind, SystolicArray,
-};
 use sigma::arch::model::estimate_best;
+use sigma::arch::SigmaConfig;
+use sigma::baselines::{GemmAccelerator, SparseAccelerator, SparseAcceleratorKind, SystolicArray};
 use sigma::matrix::GemmShape;
 use sigma::workloads::SparsityProfile;
 
@@ -32,11 +30,9 @@ fn main() {
     let mut rows: Vec<(String, u64)> = Vec::new();
     let (df, s) = estimate_best(&SigmaConfig::paper(), &p);
     rows.push((format!("SIGMA ({df})"), s.total_cycles()));
-    for array in [
-        SystolicArray::new(128, 128),
-        SystolicArray::new(256, 64),
-        SystolicArray::new(512, 32),
-    ] {
+    for array in
+        [SystolicArray::new(128, 128), SystolicArray::new(256, 64), SystolicArray::new(512, 32)]
+    {
         rows.push((array.name(), array.simulate(&p).total_cycles()));
     }
     for kind in SparseAcceleratorKind::ALL {
@@ -48,9 +44,6 @@ fn main() {
     rows.sort_by_key(|(_, c)| *c);
     println!("{:>22} {:>14} {:>12}", "design", "cycles", "vs SIGMA");
     for (name, cycles) in &rows {
-        println!(
-            "{name:>22} {cycles:>14} {:>11.2}x",
-            *cycles as f64 / sigma_cycles as f64
-        );
+        println!("{name:>22} {cycles:>14} {:>11.2}x", *cycles as f64 / sigma_cycles as f64);
     }
 }

@@ -7,13 +7,12 @@
 //! ```
 //! (arguments are M N K; defaults to 1024 2048 512)
 
-use sigma::arch::{Dataflow, SigmaConfig};
 use sigma::arch::model::{estimate, GemmProblem};
+use sigma::arch::{Dataflow, SigmaConfig};
 use sigma::matrix::GemmShape;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let (m, n, k) = match args.as_slice() {
         [m, n, k, ..] => (*m, *n, *k),
         _ => (1024, 2048, 512),

@@ -12,8 +12,7 @@ use sigma::baselines::{GemmAccelerator, SystolicArray};
 use sigma::workloads::{resnet50_gemms, SparsityProfile};
 
 fn main() {
-    let batch: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
     // ReLU gives ~40% activation sparsity; pruning gives ~70% weight
     // sparsity (paper Sec. II).
     let profile = SparsityProfile::new(0.4, 0.7);

@@ -7,17 +7,16 @@
 //! cargo run --example train_gnmt
 //! ```
 
+use sigma::arch::model::estimate_best;
 use sigma::arch::SigmaConfig;
 use sigma::baselines::{GemmAccelerator, SystolicArray};
-use sigma::arch::model::estimate_best;
 use sigma::workloads::training::training_gemms;
 use sigma::workloads::{fig1b_suite, pruning_schedule, SparsityProfile, Workload};
 
 fn main() {
     let cfg = SigmaConfig::paper();
     let tpu = SystolicArray::new(128, 128);
-    let gnmt: Vec<_> =
-        fig1b_suite().into_iter().filter(|g| g.workload == Workload::Gnmt).collect();
+    let gnmt: Vec<_> = fig1b_suite().into_iter().filter(|g| g.workload == Workload::Gnmt).collect();
 
     // Weight sparsity rises 0% -> 90% over pruning steps (Sec. II); we
     // sample the beginning, middle and end of the schedule.

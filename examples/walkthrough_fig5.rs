@@ -62,10 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if table.is_empty() {
                 continue;
             }
-            let offsets: Vec<i64> = table
-                .iter()
-                .map(|&(s, d)| ControllerPlan::routing_offset(s, d))
-                .collect();
+            let offsets: Vec<i64> =
+                table.iter().map(|&(s, d)| ControllerPlan::routing_offset(s, d)).collect();
             println!(
                 "Step v/vi — column {step}, Flex-DPE {dpe}: SRC-DEST {table:?} -> offsets {offsets:?}"
             );

@@ -18,10 +18,8 @@ fn scaled(shape: GemmShape, cap: usize) -> GemmShape {
 
 #[test]
 fn workload_suite_runs_functionally_and_correctly() {
-    let sim = SigmaSim::new(
-        SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).unwrap(),
-    )
-    .unwrap();
+    let sim =
+        SigmaSim::new(SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).unwrap()).unwrap();
     for (i, g) in fig1b_suite().into_iter().enumerate() {
         let shape = scaled(g.shape, 48);
         let p = SparsityProfile::PAPER_SPARSE.problem(shape);
@@ -49,10 +47,7 @@ fn analytic_model_tracks_functional_engine_across_suite() {
         let est = sigma::arch::model::estimate(&cfg, &p);
         let f = run.stats.total_cycles() as f64;
         let e = est.total_cycles() as f64;
-        assert!(
-            (f - e).abs() / f.max(1.0) < 0.4,
-            "{g} ({shape}): functional {f} vs analytic {e}"
-        );
+        assert!((f - e).abs() / f.max(1.0) < 0.4, "{g} ({shape}): functional {f} vs analytic {e}");
     }
 }
 
@@ -62,8 +57,7 @@ fn all_dataflows_agree_numerically() {
     let (a, b) = materialize(&p, 9);
     let reference = a.to_dense().matmul(&b.to_dense());
     for df in Dataflow::ALL {
-        let sim =
-            SigmaSim::new(SigmaConfig::new(2, 16, 32, df).unwrap()).unwrap();
+        let sim = SigmaSim::new(SigmaConfig::new(2, 16, 32, df).unwrap()).unwrap();
         let run = sim.run_gemm(&a, &b).unwrap();
         assert!(run.result.approx_eq(&reference, 0.05), "{df}");
     }
@@ -71,9 +65,7 @@ fn all_dataflows_agree_numerically() {
 
 #[test]
 fn multi_gemm_batch_schedules_over_dpus() {
-    let alloc = DpuAllocator::new(
-        SigmaConfig::new(8, 32, 64, Dataflow::WeightStationary).unwrap(),
-    );
+    let alloc = DpuAllocator::new(SigmaConfig::new(8, 32, 64, Dataflow::WeightStationary).unwrap());
     let problems: Vec<GemmProblem> = fig1b_suite()
         .into_iter()
         .take(4)

@@ -13,10 +13,8 @@ fn sigma_latency_is_structure_agnostic() {
     // Same density, same shape, two very different patterns: random
     // unstructured vs. perfectly row-balanced. SIGMA maps only non-zeros
     // either way, so cycle counts are (near-)identical.
-    let sim = SigmaSim::new(
-        SigmaConfig::new(4, 16, 64, Dataflow::InputStationary).unwrap(),
-    )
-    .unwrap();
+    let sim =
+        SigmaSim::new(SigmaConfig::new(4, 16, 64, Dataflow::InputStationary).unwrap()).unwrap();
     let density = Density::new(0.25).unwrap();
     let unstructured = sparse_uniform(32, 32, density, 1);
     let balanced = sparse_row_balanced(32, 32, density, 2);
@@ -27,8 +25,7 @@ fn sigma_latency_is_structure_agnostic() {
     let s = sim.run_gemm(&balanced, &b).unwrap().stats;
     assert_eq!(u.folds, s.folds);
     assert_eq!(u.loading_cycles, s.loading_cycles);
-    let diff = (u.total_cycles() as f64 - s.total_cycles() as f64).abs()
-        / u.total_cycles() as f64;
+    let diff = (u.total_cycles() as f64 - s.total_cycles() as f64).abs() / u.total_cycles() as f64;
     assert!(diff < 0.05, "structure should not matter to SIGMA: {u} vs {s}");
 }
 
@@ -66,10 +63,8 @@ fn column_combining_prefers_structure() {
 fn sigma_handles_the_clumped_pattern_the_packer_hates() {
     // The clumped matrix that defeats column combining runs on SIGMA at
     // full stationary utilization like anything else.
-    let sim = SigmaSim::new(
-        SigmaConfig::new(4, 16, 64, Dataflow::InputStationary).unwrap(),
-    )
-    .unwrap();
+    let sim =
+        SigmaSim::new(SigmaConfig::new(4, 16, 64, Dataflow::InputStationary).unwrap()).unwrap();
     let mut clumped = sigma::matrix::Matrix::zeros(32, 32);
     for r in 0..4 {
         for c in 0..32 {

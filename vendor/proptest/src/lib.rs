@@ -1,0 +1,514 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the slice of proptest its test suites use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_shuffle`, range and tuple
+//! strategies, [`collection::vec`], [`option::of`], [`bool::ANY`],
+//! [`Just`], `any::<T>()`, and the [`proptest!`] /
+//! [`prop_assert!`]-family macros.
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases`
+//! iterations with values drawn from a deterministic per-test RNG
+//! (seeded from the test's module path and case index), and assertion
+//! failures panic like normal `assert!`s. There is no shrinking — a
+//! failing case prints the panic message from the raw inputs; rerunning
+//! reproduces it exactly because the stream is deterministic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG driving value generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for one case of one named test: the stream is a pure function
+    /// of `(name, case)`, so failures replay exactly.
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Randomly permutes a generated `Vec`.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.inner.generate(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+int_strategies!(u8, u16, u32, u64, usize, i64);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical "anything" strategy (subset of proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type AnyStrategy: Strategy<Value = Self>;
+    /// The canonical full-domain strategy.
+    fn arbitrary() -> Self::AnyStrategy;
+}
+
+/// Full-domain strategy for an `Arbitrary` scalar.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyScalar<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type AnyStrategy = AnyScalar<$t>;
+            fn arbitrary() -> Self::AnyStrategy {
+                AnyScalar(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for AnyScalar<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type AnyStrategy = AnyScalar<bool>;
+    fn arbitrary() -> Self::AnyStrategy {
+        AnyScalar(std::marker::PhantomData)
+    }
+}
+
+/// The full-domain strategy for `T`: `any::<u64>()` etc.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::AnyStrategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact size or a half-open
+    /// range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` 25% of the time and `Some(inner)`
+    /// otherwise (proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    /// The uniform `bool` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prop {
+    //! `prop::*` aliases matching proptest's prelude module.
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! Everything a proptest suite conventionally imports.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a normal `#[test]` running `cases` random iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ($($pat,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the proptest bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `assert_eq!` under a name the proptest bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `assert_ne!` under a name the proptest bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case("shim::bounds", 0);
+        let strat = (1usize..12, 0u8..=10, 0.0f64..0.5, any::<u64>());
+        for _ in 0..200 {
+            let (a, b, c, _d) = strat.generate(&mut rng);
+            assert!((1..12).contains(&a));
+            assert!(b <= 10);
+            assert!((0.0..0.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::TestRng::for_case("shim::combinators", 3);
+        let strat = (1u32..=5)
+            .prop_map(|e| 1usize << e)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(crate::option::of(0usize..n), n)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!(n.is_power_of_two() && (2..=32).contains(&n));
+            assert_eq!(v.len(), n);
+            assert!(v.iter().flatten().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = crate::TestRng::for_case("shim::shuffle", 1);
+        let strat = Just((0..16).collect::<Vec<usize>>()).prop_shuffle();
+        let v = strat.generate(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_case() {
+        let a: Vec<u64> =
+            (0..4).map(|c| crate::TestRng::for_case("shim::det", c).next_u64()).collect();
+        let b: Vec<u64> =
+            (0..4).map(|c| crate::TestRng::for_case("shim::det", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_with_patterns((n, flag) in (1usize..8, crate::bool::ANY), x in 0u8..=3) {
+            prop_assert!(n < 8);
+            prop_assert!(x <= 3);
+            prop_assume!(flag || n < 8);
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n + 1, n);
+        }
+    }
+}
