@@ -7,3 +7,4 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet

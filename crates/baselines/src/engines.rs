@@ -39,7 +39,7 @@ fn check_dims(a: &SparseMatrix, b: &SparseMatrix) -> Result<(), EngineError> {
     if a.cols() != b.rows() {
         return Err(EngineError::DimensionMismatch { k_a: a.cols(), k_b: b.rows() });
     }
-    Ok(())
+    sigma_core::validate_finite(a, b)
 }
 
 /// The [`GemmProblem`] an operand pair actually poses: its shape and its
@@ -507,6 +507,26 @@ mod tests {
             );
             assert!(run.stats.total_cycles() > 0, "{} reports zero cycles", engine.name());
             assert!(engine.pes() > 0);
+        }
+    }
+
+    #[test]
+    fn every_engine_rejects_non_finite_operands() {
+        use sigma_matrix::Matrix;
+        let mut bad_dense = Matrix::zeros(4, 5);
+        bad_dense.set(2, 3, f32::NAN);
+        let bad = SparseMatrix::from_dense(&bad_dense);
+        let good = sparse_uniform(5, 4, Density::DENSE, 3);
+        let mut engines = all_functional_engines();
+        engines.push(Box::new(GpuEngine::new(GpuPrecision::Fp16Tensor)));
+        engines.push(Box::new(AnalyticEngine::new(SystolicArray::new(8, 8))));
+        for engine in engines {
+            let err = engine.run(&bad, &good).unwrap_err();
+            assert!(
+                matches!(err, EngineError::Numeric(_)),
+                "{} accepted a NaN operand: {err:?}",
+                engine.name()
+            );
         }
     }
 

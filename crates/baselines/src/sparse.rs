@@ -204,6 +204,7 @@ impl GemmAccelerator for SparseAccelerator {
             occupied_slots: 0,
             pes: self.pes as u64,
             sram_reads: 0,
+            ..CycleStats::default()
         }
     }
 }

@@ -146,6 +146,7 @@ impl SystolicArray {
             occupied_slots: slots,
             pes: (self.rows * self.cols) as u64,
             sram_reads: (stat_rows * stat_cols) as u64 + folds * (streamed * self.rows) as u64,
+            ..CycleStats::default()
         }
     }
 }

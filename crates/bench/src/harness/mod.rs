@@ -9,7 +9,11 @@
 //!   cross-engine agreement tests;
 //! * [`sweep`] — the parallel sweep driver: a workload suite fanned
 //!   across engines on scoped threads, with deterministic per-workload
-//!   seeding and results in a thread-count-independent order;
+//!   seeding, results in a thread-count-independent order, and per-cell
+//!   panic isolation plus a watchdog budget (`status` column:
+//!   `ok | error | panic | timeout`);
+//! * [`chaos`] — deliberately misbehaving engines (panic / wedge /
+//!   flake) used to prove the sweep's degradation contract;
 //! * [`record`] — the structured [`RunRecord`] row every sweep produces,
 //!   rendered via [`Table`](crate::util::Table) (text/CSV) or JSON;
 //! * [`analytic`] — [`SigmaAnalytic`], the best-dataflow analytic SIGMA
@@ -22,13 +26,15 @@
 //! [`GemmAccelerator`]: sigma_baselines::GemmAccelerator
 
 pub mod analytic;
+pub mod chaos;
 pub mod emit;
 pub mod record;
 pub mod registry;
 pub mod sweep;
 
 pub use analytic::{speedup_over, SigmaAnalytic};
+pub use chaos::{FlakyEngine, PanickingEngine, WedgingEngine};
 pub use emit::{emit_tables, emit_tables_with};
-pub use record::{records_table, records_to_json, RunRecord};
+pub use record::{records_table, records_to_json, RunRecord, RunStatus};
 pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};
 pub use sweep::{demo_suite, derive_seed, par_map, Sweep, WorkloadSpec};

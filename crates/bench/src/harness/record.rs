@@ -5,6 +5,33 @@ use crate::util::{json_string, Table};
 use sigma_core::model::GemmProblem;
 use sigma_core::EngineRun;
 
+/// How an (engine, workload) cell terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The engine returned a result.
+    Ok,
+    /// The engine refused the problem with an [`EngineError`]
+    /// (dimension mismatch, config limit, non-finite operand, ...).
+    ///
+    /// [`EngineError`]: sigma_core::EngineError
+    Error,
+    /// The engine panicked; the sweep caught it and carried on.
+    Panic,
+    /// The engine exceeded the watchdog budget and was abandoned.
+    Timeout,
+}
+
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Error => "error",
+            RunStatus::Panic => "panic",
+            RunStatus::Timeout => "timeout",
+        })
+    }
+}
+
 /// One (engine, workload) execution, flattened for CSV/JSON emission.
 ///
 /// Field order here is the column order of [`records_table`] and the key
@@ -56,13 +83,23 @@ pub struct RunRecord {
     pub max_abs_err: f64,
     /// Whether the result matched the reference within tolerance.
     pub verified: bool,
-    /// Engine error message, when the engine refused the problem.
+    /// How the cell terminated (`ok | error | panic | timeout`).
+    pub status: RunStatus,
+    /// Fault events that fired during the run (fault campaigns only).
+    pub faults_injected: u64,
+    /// Fault effects detected by the ABFT checksums.
+    pub faults_detected: u64,
+    /// Fault effects remediated with the result verified correct.
+    pub faults_corrected: u64,
+    /// Fault effects that left the final result wrong.
+    pub faults_escaped: u64,
+    /// Engine error / panic / timeout message, when the cell failed.
     pub error: Option<String>,
 }
 
 impl RunRecord {
     /// Column headers, in field order.
-    pub const HEADERS: [&'static str; 23] = [
+    pub const HEADERS: [&'static str; 28] = [
         "engine_slug",
         "engine",
         "workload",
@@ -85,6 +122,11 @@ impl RunRecord {
         "overall_efficiency",
         "max_abs_err",
         "verified",
+        "status",
+        "faults_injected",
+        "faults_detected",
+        "faults_corrected",
+        "faults_escaped",
         "error",
     ];
 
@@ -126,6 +168,11 @@ impl RunRecord {
             overall_efficiency: s.overall_efficiency(),
             max_abs_err,
             verified,
+            status: RunStatus::Ok,
+            faults_injected: s.faults_injected,
+            faults_detected: s.faults_detected,
+            faults_corrected: s.faults_corrected,
+            faults_escaped: s.faults_escaped,
             error: None,
         }
     }
@@ -139,6 +186,23 @@ impl RunRecord {
         workload: &str,
         problem: &GemmProblem,
         seed: u64,
+        error: String,
+    ) -> Self {
+        Self::from_failure(slug, engine_name, pes, workload, problem, seed, RunStatus::Error, error)
+    }
+
+    /// Builds a record for a cell that did not produce a result: an
+    /// engine error, a caught panic, or a watchdog timeout.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_failure(
+        slug: &str,
+        engine_name: &str,
+        pes: usize,
+        workload: &str,
+        problem: &GemmProblem,
+        seed: u64,
+        status: RunStatus,
         error: String,
     ) -> Self {
         Self {
@@ -164,6 +228,11 @@ impl RunRecord {
             overall_efficiency: 0.0,
             max_abs_err: f64::INFINITY,
             verified: false,
+            status,
+            faults_injected: 0,
+            faults_detected: 0,
+            faults_corrected: 0,
+            faults_escaped: 0,
             error: Some(error),
         }
     }
@@ -194,6 +263,11 @@ impl RunRecord {
             format!("{:.6}", self.overall_efficiency),
             format!("{:e}", self.max_abs_err),
             self.verified.to_string(),
+            self.status.to_string(),
+            self.faults_injected.to_string(),
+            self.faults_detected.to_string(),
+            self.faults_corrected.to_string(),
+            self.faults_escaped.to_string(),
             self.error.clone().unwrap_or_default(),
         ]
     }
@@ -231,6 +305,11 @@ impl RunRecord {
                 },
             ),
             ("verified", self.verified.to_string()),
+            ("status", json_string(&self.status.to_string())),
+            ("faults_injected", self.faults_injected.to_string()),
+            ("faults_detected", self.faults_detected.to_string()),
+            ("faults_corrected", self.faults_corrected.to_string()),
+            ("faults_escaped", self.faults_escaped.to_string()),
             ("error", self.error.as_deref().map_or_else(|| "null".to_string(), json_string)),
         ];
         let body: Vec<String> =
@@ -285,6 +364,22 @@ mod tests {
         let err = RunRecord::from_error("e", "E", 1, "w", &p, 0, "boom".into());
         assert_eq!(err.row().len(), RunRecord::HEADERS.len());
         assert!(!err.verified);
+        assert_eq!(err.status, RunStatus::Error);
+    }
+
+    #[test]
+    fn status_column_reflects_failure_kind() {
+        let p = GemmProblem::dense(GemmShape::new(2, 2, 2));
+        let panic =
+            RunRecord::from_failure("e", "E", 1, "w", &p, 0, RunStatus::Panic, "kaboom".into());
+        let timeout =
+            RunRecord::from_failure("e", "E", 1, "w", &p, 0, RunStatus::Timeout, "wedged".into());
+        let status_col = RunRecord::HEADERS.iter().position(|h| *h == "status").unwrap();
+        assert_eq!(panic.row()[status_col], "panic");
+        assert_eq!(timeout.row()[status_col], "timeout");
+        assert_eq!(sample().row()[status_col], "ok");
+        assert!(panic.to_json().contains("\"status\": \"panic\""));
+        assert!(timeout.to_json().contains("\"status\": \"timeout\""));
     }
 
     #[test]

@@ -11,13 +11,18 @@ use sigma_baselines::{
     OuterSpaceEngine, PackedSystolicEngine, ScnnEngine, SystolicArray, SystolicEngine,
 };
 use sigma_core::{Dataflow, Engine, SigmaConfig, SigmaSim};
+use std::sync::Arc;
 
-/// A registered engine: a stable slug plus the boxed engine itself.
+/// A registered engine: a stable slug plus the shared engine itself.
+///
+/// Engines are held behind [`Arc`] so a sweep can hand a clone of the
+/// handle to a watchdog thread without cloning (or consuming) the
+/// registry entry.
 pub struct EngineEntry {
     /// Stable lookup key (e.g. `"sigma"`, `"eie"`).
     pub slug: String,
     /// The engine.
-    pub engine: Box<dyn Engine>,
+    pub engine: Arc<dyn Engine>,
 }
 
 impl std::fmt::Debug for EngineEntry {
@@ -33,7 +38,7 @@ impl EngineEntry {
     /// Creates an entry.
     #[must_use]
     pub fn new(slug: impl Into<String>, engine: Box<dyn Engine>) -> Self {
-        Self { slug: slug.into(), engine }
+        Self { slug: slug.into(), engine: Arc::from(engine) }
     }
 }
 
@@ -67,7 +72,7 @@ pub fn default_registry() -> Vec<EngineEntry> {
 
 /// Builds one engine by slug (the `sigma_cli --engine` lookup).
 #[must_use]
-pub fn engine_by_name(slug: &str) -> Option<Box<dyn Engine>> {
+pub fn engine_by_name(slug: &str) -> Option<Arc<dyn Engine>> {
     default_registry().into_iter().find(|e| e.slug == slug).map(|e| e.engine)
 }
 

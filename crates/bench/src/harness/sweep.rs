@@ -6,13 +6,25 @@
 //! indexed `engine-major x workload-minor`, and [`par_map`] returns
 //! results in job order regardless of thread count — so a parallel sweep
 //! is byte-identical to a serial one.
+//!
+//! Degradation contract: each (engine, workload) cell runs on its own
+//! watchdog thread behind `catch_unwind`, so a panicking engine yields a
+//! `status=panic` record, a wedged engine yields `status=timeout` once
+//! the budget lapses, and every other cell is unaffected — a sweep never
+//! dies because one engine does. A cell that times out leaves its worker
+//! thread running detached until the engine returns on its own (Rust has
+//! no safe thread cancellation); the sweep simply stops waiting for it.
 
-use crate::harness::record::RunRecord;
+use crate::harness::record::{RunRecord, RunStatus};
 use crate::harness::registry::EngineEntry;
 use sigma_core::model::GemmProblem;
+use sigma_core::{Engine, EngineError, EngineRun};
 use sigma_matrix::{GemmShape, Matrix, SparseMatrix};
 use sigma_workloads::materialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::time::Duration;
 
 /// One named workload of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,22 +97,113 @@ where
     all.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Name given to per-cell watchdog threads; the quiet panic hook keys
+/// off it so deliberate chaos-engine panics don't spam stderr.
+const CELL_THREAD_NAME: &str = "sweep-cell";
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// backtrace printout for panics on [`CELL_THREAD_NAME`] threads — those
+/// panics are caught, recorded as `status=panic`, and surfaced in the
+/// record's `error` column instead. All other threads keep the previous
+/// hook's behavior.
+fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::thread::current().name() != Some(CELL_THREAD_NAME) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// How one attempt at one (engine, workload) cell ended.
+enum CellOutcome {
+    /// The engine returned a run.
+    Done(Box<EngineRun>),
+    /// The cell failed; carry the status and a message for the record.
+    Failed(RunStatus, String),
+}
+
+/// Runs one attempt of `engine` on `(a, b)` on a dedicated watchdog
+/// thread, converting panics and budget overruns into [`CellOutcome`]s.
+fn attempt_cell(
+    engine: &Arc<dyn Engine>,
+    a: &Arc<SparseMatrix>,
+    b: &Arc<SparseMatrix>,
+    budget: Option<Duration>,
+) -> CellOutcome {
+    install_quiet_panic_hook();
+    let engine = Arc::clone(engine);
+    let (a, b) = (Arc::clone(a), Arc::clone(b));
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new().name(CELL_THREAD_NAME.to_string()).spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(&a, &b)));
+        // The receiver may have given up (timeout); a failed send is fine.
+        let _ = tx.send(outcome);
+    });
+    if spawned.is_err() {
+        return CellOutcome::Failed(RunStatus::Error, "could not spawn watchdog thread".into());
+    }
+    let received = match budget {
+        Some(budget) => match rx.recv_timeout(budget) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                let budget_ms = u64::try_from(budget.as_millis()).unwrap_or(u64::MAX);
+                let msg = EngineError::Timeout { budget_ms }.to_string();
+                return CellOutcome::Failed(RunStatus::Timeout, msg);
+            }
+        },
+        None => match rx.recv() {
+            Ok(outcome) => outcome,
+            // Only reachable if the cell thread died without sending.
+            Err(_) => return CellOutcome::Failed(RunStatus::Panic, "cell thread died".into()),
+        },
+    };
+    match received {
+        Ok(Ok(run)) => CellOutcome::Done(Box::new(run)),
+        Ok(Err(e)) => CellOutcome::Failed(RunStatus::Error, e.to_string()),
+        Err(payload) => CellOutcome::Failed(RunStatus::Panic, panic_message(payload.as_ref())),
+    }
+}
+
 /// A deterministic (engine x workload) sweep.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     workloads: Vec<WorkloadSpec>,
     seed: u64,
     threads: usize,
+    budget: Option<Duration>,
+    retries: u32,
 }
 
 impl Sweep {
-    /// Creates a sweep over `workloads` with the default seed and a
-    /// thread count taken from the machine (capped at 8).
+    /// Creates a sweep over `workloads` with the default seed, a thread
+    /// count taken from the machine (capped at 8), a 30 s per-cell
+    /// watchdog budget, and no retries.
     #[must_use]
     pub fn new(workloads: Vec<WorkloadSpec>) -> Self {
         let threads =
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
-        Self { workloads, seed: 0x0053_4947_4d41, threads }
+        Self {
+            workloads,
+            seed: 0x0053_4947_4d41,
+            threads,
+            budget: Some(Duration::from_secs(30)),
+            retries: 0,
+        }
     }
 
     /// Overrides the sweep seed.
@@ -114,6 +217,21 @@ impl Sweep {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-cell watchdog budget (`None` = wait forever).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<Duration>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Allows up to `retries` extra attempts for a cell that panicked,
+    /// errored, or timed out (the record keeps the *last* outcome).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 
@@ -145,8 +263,8 @@ impl Sweep {
     fn execute(&self, engines: &[EngineEntry], threads: usize) -> Vec<RunRecord> {
         struct Prepared {
             seed: u64,
-            a: SparseMatrix,
-            b: SparseMatrix,
+            a: Arc<SparseMatrix>,
+            b: Arc<SparseMatrix>,
             reference: Matrix,
             tol: f32,
         }
@@ -161,7 +279,7 @@ impl Sweep {
                 // Accumulation-order slack grows with the contraction
                 // length, like the agreement tests elsewhere.
                 let tol = 1e-3 * w.problem.shape.k.max(1) as f32;
-                Prepared { seed, a, b, reference, tol }
+                Prepared { seed, a: Arc::new(a), b: Arc::new(b), reference, tol }
             })
             .collect();
 
@@ -173,8 +291,14 @@ impl Sweep {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
             let input = &prepared[wi];
-            match entry.engine.run(&input.a, &input.b) {
-                Ok(run) => {
+            let mut outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
+            let mut attempts = 0;
+            while attempts < self.retries && matches!(outcome, CellOutcome::Failed(..)) {
+                attempts += 1;
+                outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
+            }
+            match outcome {
+                CellOutcome::Done(run) => {
                     let max_abs_err = f64::from(run.result.max_abs_diff(&input.reference));
                     let verified = run.result.approx_eq(&input.reference, input.tol);
                     RunRecord::from_run(
@@ -189,14 +313,15 @@ impl Sweep {
                         verified,
                     )
                 }
-                Err(e) => RunRecord::from_error(
+                CellOutcome::Failed(status, msg) => RunRecord::from_failure(
                     &entry.slug,
                     &entry.engine.name(),
                     entry.engine.pes(),
                     &w.name,
                     &w.problem,
                     input.seed,
-                    e.to_string(),
+                    status,
+                    msg,
                 ),
             }
         })
@@ -275,6 +400,58 @@ mod tests {
         let sweep =
             Sweep::new(demo_suite().into_iter().take(2).collect()).with_seed(9).with_threads(4);
         assert_eq!(sweep.run(&engines), sweep.run_serial(&engines));
+    }
+
+    /// The acceptance scenario: the full 11-engine registry plus one
+    /// deliberately panicking and one deliberately wedged engine. The
+    /// sweep completes, those cells (and only those) report
+    /// `status=panic` / `status=timeout`, and every healthy cell is
+    /// byte-identical to a chaos-free sweep.
+    #[test]
+    fn chaos_engines_degrade_to_status_rows_without_poisoning_the_sweep() {
+        use crate::harness::chaos::{PanickingEngine, WedgingEngine};
+        let clean = default_registry();
+        let mut fleet = default_registry();
+        fleet.push(EngineEntry::new("chaos-panic", Box::new(PanickingEngine)));
+        fleet.push(EngineEntry::new(
+            "chaos-wedge",
+            Box::new(WedgingEngine::new(Duration::from_secs(60))),
+        ));
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let workloads = suite.len();
+        let sweep = Sweep::new(suite).with_threads(4).with_budget(Some(Duration::from_secs(2)));
+        let records = sweep.run(&fleet);
+        let baseline = sweep.run(&clean);
+        assert_eq!(records.len(), (clean.len() + 2) * workloads);
+        for r in &records {
+            match r.engine_slug.as_str() {
+                "chaos-panic" => {
+                    assert_eq!(r.status, RunStatus::Panic, "{}", r.workload);
+                    assert!(r.error.as_deref().unwrap().contains("deliberate panic"));
+                }
+                "chaos-wedge" => {
+                    assert_eq!(r.status, RunStatus::Timeout, "{}", r.workload);
+                    assert!(r.error.as_deref().unwrap().contains("watchdog"));
+                }
+                _ => assert_eq!(r.status, RunStatus::Ok, "{}", r.engine_slug),
+            }
+        }
+        // The healthy cells are byte-identical to a chaos-free sweep.
+        let ok_rows: Vec<_> =
+            records.iter().filter(|r| r.status == RunStatus::Ok).cloned().collect();
+        assert_eq!(ok_rows, baseline);
+    }
+
+    #[test]
+    fn retries_recover_flaky_cells() {
+        use crate::harness::chaos::FlakyEngine;
+        let suite = vec![demo_suite().remove(0)];
+        let flaky_fleet = || vec![EngineEntry::new("chaos-flaky", Box::new(FlakyEngine::new(2)))];
+        let no_retry = Sweep::new(suite.clone()).with_threads(1).run(&flaky_fleet());
+        assert_eq!(no_retry[0].status, RunStatus::Panic);
+        let with_retry = Sweep::new(suite).with_threads(1).with_retries(2).run(&flaky_fleet());
+        assert_eq!(with_retry[0].status, RunStatus::Ok);
+        assert!(with_retry[0].verified);
     }
 
     #[test]

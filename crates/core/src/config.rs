@@ -57,6 +57,16 @@ pub enum SigmaError {
         /// `B` is `k_b x n`.
         k_b: usize,
     },
+    /// A GEMM operand contains NaN or infinity; the datapath model is
+    /// only defined over finite values.
+    NonFiniteInput {
+        /// Which operand (`"A"` or `"B"`).
+        operand: &'static str,
+    },
+    /// An internal simulator invariant was violated (a bug, not a user
+    /// error); carried instead of panicking so sweep drivers can record
+    /// the cell and continue.
+    Internal(String),
 }
 
 impl fmt::Display for SigmaError {
@@ -69,6 +79,12 @@ impl fmt::Display for SigmaError {
             SigmaError::ZeroBandwidth => write!(f, "input bandwidth must be non-zero"),
             SigmaError::DimensionMismatch { k_a, k_b } => {
                 write!(f, "inner dimensions disagree: A has K={k_a}, B has K={k_b}")
+            }
+            SigmaError::NonFiniteInput { operand } => {
+                write!(f, "operand {operand} contains a non-finite value (NaN or infinity)")
+            }
+            SigmaError::Internal(what) => {
+                write!(f, "internal simulator invariant violated: {what}")
             }
         }
     }

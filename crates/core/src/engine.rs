@@ -10,11 +10,13 @@
 
 use crate::config::{Dataflow, SigmaConfig, SigmaError};
 use crate::controller::ControllerPlan;
+use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultReport};
 use crate::flex_dpe::FlexDpe;
 use crate::stats::CycleStats;
 use crate::trace::{Phase, Trace};
 use sigma_interconnect::Fan;
-use sigma_matrix::{Matrix, SparseMatrix};
+use sigma_matrix::abft::{check_product, correct_single, residual_tolerance, AbftVerdict};
+use sigma_matrix::{Bitmap, Matrix, SparseMatrix};
 
 /// The outcome of one GEMM on SIGMA: the numeric product and the cycle
 /// accounting.
@@ -24,6 +26,23 @@ pub struct GemmRun {
     pub result: Matrix,
     /// Table-II latency and utilization metrics.
     pub stats: CycleStats,
+}
+
+/// How [`SigmaSim::run_gemm_checked`] recovers from detected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Full re-executions allowed after a failed correction (bounded
+    /// recompute; 0 disables recompute entirely).
+    pub max_recomputes: u32,
+    /// ABFT residual tolerance override; `None` derives one from the
+    /// problem shape via [`sigma_matrix::abft::residual_tolerance`].
+    pub tolerance: Option<f32>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_recomputes: 2, tolerance: None }
+    }
 }
 
 /// A SIGMA instance ready to execute GEMMs functionally.
@@ -59,7 +78,7 @@ impl SigmaSim {
     ///
     /// Returns [`SigmaError::DimensionMismatch`] when `A.cols() != B.rows()`.
     pub fn run_gemm(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<GemmRun, SigmaError> {
-        self.run_gemm_impl(a, b, None).map(|(run, _)| run)
+        self.run_gemm_impl(a, b, None, None).map(|(run, _)| run)
     }
 
     /// Like [`SigmaSim::run_gemm`], but also returns a cycle-stamped
@@ -75,7 +94,7 @@ impl SigmaSim {
         b: &SparseMatrix,
     ) -> Result<(GemmRun, Trace), SigmaError> {
         let mut trace = Trace::new();
-        let (run, _) = self.run_gemm_impl(a, b, Some(&mut trace))?;
+        let (run, _) = self.run_gemm_impl(a, b, Some(&mut trace), None)?;
         Ok((run, trace))
     }
 
@@ -84,19 +103,32 @@ impl SigmaSim {
         a: &SparseMatrix,
         b: &SparseMatrix,
         mut trace: Option<&mut Trace>,
+        mut faults: Option<&mut FaultInjector<'_>>,
     ) -> Result<(GemmRun, ()), SigmaError> {
         if a.cols() != b.rows() {
             return Err(SigmaError::DimensionMismatch { k_a: a.cols(), k_b: b.rows() });
+        }
+        if !a.all_finite() {
+            return Err(SigmaError::NonFiniteInput { operand: "A" });
+        }
+        if !b.all_finite() {
+            return Err(SigmaError::NonFiniteInput { operand: "B" });
         }
         let (m, n) = (a.rows(), b.cols());
         match self.config.dataflow() {
             Dataflow::InputStationary => {
                 // MK stationary (groups = rows m), KN streaming (steps = n).
                 let mut out = Matrix::zeros(m, n);
-                let stats = self.run_stationary(a, b, trace.as_deref_mut(), |group, step, v| {
-                    let cur = out.get(group, step);
-                    out.set(group, step, cur + v);
-                });
+                let stats = self.run_stationary(
+                    a,
+                    b,
+                    trace.as_deref_mut(),
+                    faults.as_deref_mut(),
+                    |group, step, v| {
+                        let cur = out.get(group, step);
+                        out.set(group, step, cur + v);
+                    },
+                )?;
                 Ok((GemmRun { result: out, stats }, ()))
             }
             Dataflow::WeightStationary => {
@@ -106,13 +138,19 @@ impl SigmaSim {
                 let bt = b.transposed();
                 let at = a.transposed();
                 let mut out = Matrix::zeros(m, n);
-                let stats = self.run_stationary(&bt, &at, trace, |group, step, v| {
-                    let cur = out.get(step, group);
-                    out.set(step, group, cur + v);
-                });
+                let stats = self.run_stationary(
+                    &bt,
+                    &at,
+                    trace,
+                    faults.as_deref_mut(),
+                    |group, step, v| {
+                        let cur = out.get(step, group);
+                        out.set(step, group, cur + v);
+                    },
+                )?;
                 Ok((GemmRun { result: out, stats }, ()))
             }
-            Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b), ())),
+            Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b, faults)?, ())),
         }
     }
 
@@ -166,24 +204,165 @@ impl SigmaSim {
         }
     }
 
+    /// Executes `C = A x B` with a [`FaultPlan`] armed: faults fire at
+    /// their sites, and the returned [`FaultReport`] lists what fired,
+    /// stamped with cycle and site. No detection or recovery is attempted
+    /// — use [`SigmaSim::run_gemm_checked`] for the ABFT-protected path.
+    ///
+    /// An empty plan makes this byte-identical to [`SigmaSim::run_gemm`]
+    /// (asserted by property tests in the bench crate).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SigmaSim::run_gemm`].
+    pub fn run_gemm_with_faults(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        plan: &FaultPlan,
+    ) -> Result<(GemmRun, FaultReport), SigmaError> {
+        let mut injector = FaultInjector::new(plan);
+        let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector))?;
+        let report = injector.into_report();
+        run.stats.faults_injected = report.counters.injected;
+        Ok((run, report))
+    }
+
+    /// Executes `C = A x B` with a [`FaultPlan`] armed *and* the ABFT
+    /// row/column checksums watching the result: detected corruptions are
+    /// corrected in place when single-site, otherwise the GEMM is
+    /// recomputed up to [`RecoveryPolicy::max_recomputes`] times (transient
+    /// faults stay consumed across recomputes; stuck-at defects keep
+    /// firing). The returned stats merge the cycle cost of every attempt
+    /// and carry the fault counters; the report additionally says whether
+    /// the faults had any numeric effect and how many attempts ran.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SigmaSim::run_gemm`].
+    pub fn run_gemm_checked(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> Result<(GemmRun, FaultReport), SigmaError> {
+        let ad = a.to_dense();
+        let bd = b.to_dense();
+        let tol =
+            policy.tolerance.unwrap_or_else(|| residual_tolerance(a.rows(), b.cols(), a.cols()));
+        // Ground truth for escape accounting: the fault-free execution has
+        // the identical accumulation order, so agreement is exact up to
+        // the faults themselves. Only needed when faults are armed.
+        let baseline =
+            if plan.is_empty() { None } else { Some(self.run_gemm_impl(a, b, None, None)?.0) };
+
+        let mut injector = FaultInjector::new(plan);
+        let mut counters = FaultCounters::default();
+        let mut attempts = 0u32;
+        let mut numeric_effect = false;
+        let mut merged: Option<CycleStats> = None;
+        let (mut current, clean) = loop {
+            attempts += 1;
+            let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector))?;
+            merged = Some(match merged {
+                Some(m) => m.merged(&run.stats),
+                None => run.stats,
+            });
+            if attempts == 1 {
+                if let Some(base) = &baseline {
+                    numeric_effect =
+                        !run.result.all_finite() || run.result.max_abs_diff(&base.result) > tol;
+                }
+            }
+            match check_product(&ad, &bd, &run.result, tol) {
+                AbftVerdict::Clean => break (run, true),
+                AbftVerdict::SingleSite { row, col, delta } => {
+                    counters.detected += 1;
+                    correct_single(&mut run.result, row, col, delta);
+                    if check_product(&ad, &bd, &run.result, tol).is_clean() {
+                        counters.corrected += 1;
+                        break (run, true);
+                    }
+                }
+                AbftVerdict::MultiSite { .. } => {
+                    counters.detected += 1;
+                }
+            }
+            if attempts > policy.max_recomputes {
+                break (run, false);
+            }
+        };
+        // A recompute that came back clean is a successful remediation.
+        if clean && attempts > 1 && counters.corrected == 0 {
+            counters.corrected += 1;
+        }
+        // Escape accounting against ground truth: a final result that
+        // still disagrees with the fault-free execution escaped recovery —
+        // whether the checksums missed it or the recompute budget ran out.
+        if let Some(base) = &baseline {
+            let wrong =
+                !current.result.all_finite() || current.result.max_abs_diff(&base.result) > tol;
+            if wrong {
+                counters.escaped += 1;
+            }
+        }
+
+        counters.injected = injector.fired().len() as u64;
+        let mut stats = merged.unwrap_or_default();
+        stats.faults_injected = counters.injected;
+        stats.faults_detected = counters.detected;
+        stats.faults_corrected = counters.corrected;
+        stats.faults_escaped = counters.escaped;
+        current.stats = stats;
+        let report =
+            FaultReport { fired: injector.into_report().fired, counters, attempts, numeric_effect };
+        Ok((current, report))
+    }
+
     /// Canonical stationary execution: `stationary` is `G x K` (one FAN
     /// cluster per row), `streaming` is `K x S` (one streamed vector per
     /// step). `emit(group, step, partial)` accumulates output.
+    ///
+    /// With an armed injector, bitmap-word corruptions are applied to the
+    /// streaming metadata *before* the controller plans (the controller
+    /// then believes the corrupted occupancy, skipping values whose bits
+    /// were cleared), and datapath faults fire inside each Flex-DPE step.
     fn run_stationary(
         &self,
         stationary: &SparseMatrix,
         streaming: &SparseMatrix,
         mut trace: Option<&mut Trace>,
+        mut faults: Option<&mut FaultInjector<'_>>,
         mut emit: impl FnMut(usize, usize, f32),
-    ) -> CycleStats {
+    ) -> Result<CycleStats, SigmaError> {
         let pes = self.config.total_pes();
         let bw = self.config.input_bandwidth() as u64;
         let stream_bw = self.config.stream_bandwidth() as u64;
         let dpe = self.config.dpe_size();
         let steps = streaming.cols();
+
+        // A corrupted copy of the streaming bitmap, when the plan says so.
+        // The controller and the compressed-stream reads both consult the
+        // corrupted metadata; the true values are untouched.
+        let mut corrupted: Option<Bitmap> = None;
+        if let Some(inj) = faults.as_deref_mut() {
+            let events = inj.take_bitmap_corruptions(0);
+            if !events.is_empty() {
+                let mut bm = streaming.bitmap().clone();
+                for (word, mask) in events {
+                    if word < bm.word_count() {
+                        bm.xor_word(word, mask);
+                    }
+                }
+                corrupted = Some(bm);
+            }
+        }
+        let stream_bitmap: &Bitmap = corrupted.as_ref().unwrap_or_else(|| streaming.bitmap());
+
         let plan = ControllerPlan::build_with_order(
             stationary,
-            streaming.bitmap(),
+            stream_bitmap,
             pes,
             self.config.packing_order(),
         );
@@ -217,7 +396,7 @@ impl SigmaSim {
             // (Fig. 5 Step iv: unicast into the multiplier buffers).
             let active_dpes = occupied.div_ceil(dpe);
             while engines.len() < active_dpes {
-                let unit = FlexDpe::new(dpe).expect("config validated dpe size");
+                let unit = FlexDpe::new(dpe)?;
                 engines.push(unit);
             }
             for (d, unit) in engines.iter_mut().enumerate().take(active_dpes) {
@@ -225,8 +404,7 @@ impl SigmaSim {
                 let hi = (lo + dpe).min(occupied);
                 let mut local_ids = vec![None; dpe];
                 local_ids[..hi - lo].copy_from_slice(&fold.vec_ids[lo..hi]);
-                unit.load(&fold.elements[lo..hi], &local_ids)
-                    .expect("fold slice fits the flex-dpe");
+                unit.load(&fold.elements[lo..hi], &local_ids)?;
             }
 
             let mut last_step_drain = 0u32;
@@ -236,7 +414,7 @@ impl SigmaSim {
                 let sends = fold
                     .distinct_contractions
                     .iter()
-                    .filter(|&&k| streaming.bitmap().get(k, step))
+                    .filter(|&&k| stream_bitmap.get(k, step))
                     .count() as u64;
                 let step_cycles = sends.div_ceil(stream_bw).max(1);
                 stats.streaming_cycles += step_cycles;
@@ -249,9 +427,22 @@ impl SigmaSim {
 
                 // Multiply + reduce on each Flex-DPE.
                 last_step_drain = 0;
-                let operand = |k: usize| stream_dense.get(k, step);
-                for unit in engines.iter().take(active_dpes) {
-                    let out = unit.step(&operand).expect("controller clusters are contiguous");
+                for (d, unit) in engines.iter().enumerate().take(active_dpes) {
+                    let out = if let Some(inj) = faults.as_deref_mut() {
+                        // The compressed stream is fetched per the (possibly
+                        // corrupted) metadata: a cleared bit reads as zero.
+                        let operand = |k: usize| {
+                            if stream_bitmap.get(k, step) {
+                                stream_dense.get(k, step)
+                            } else {
+                                0.0
+                            }
+                        };
+                        let cycle = stats.total_cycles();
+                        unit.step_faulted(&operand, inj, d, cycle)?
+                    } else {
+                        unit.step(&|k: usize| stream_dense.get(k, step))?
+                    };
                     stats.useful_macs += out.useful_macs as u128;
                     last_step_drain = last_step_drain.max(out.reduction.critical_cycles);
                     for s in out.reduction.sums {
@@ -268,13 +459,22 @@ impl SigmaSim {
             }
             prev_fold_stream = this_fold_stream;
         }
-        stats
+        Ok(stats)
     }
 
     /// The No-Local-Reuse dataflow (Fig. 4e): only useful multiplication
     /// pairs stream; nothing is stationary. Pairs are grouped by output
     /// element into FAN clusters and packed into full-array waves.
-    fn run_no_local_reuse(&self, a: &SparseMatrix, b: &SparseMatrix) -> GemmRun {
+    ///
+    /// Fault support covers [`crate::fault::FaultSite::MultiplierOutput`]
+    /// and [`crate::fault::FaultSite::FanAdder`]; NLR has no stationary
+    /// metadata or per-slot Benes delivery to corrupt.
+    fn run_no_local_reuse(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        mut faults: Option<&mut FaultInjector<'_>>,
+    ) -> Result<GemmRun, SigmaError> {
         let pes = self.config.total_pes();
         let stream_bw = self.config.stream_bandwidth() as u64;
         let dpe = self.config.dpe_size();
@@ -311,7 +511,6 @@ impl SigmaSim {
 
             let mut drain = 0u32;
             for (d, chunk) in wave.chunks(dpe).enumerate() {
-                let _ = d;
                 let mut products = vec![0.0f32; dpe];
                 let mut ids = vec![None; dpe];
                 let mut cluster_outputs: Vec<(usize, usize)> = Vec::new();
@@ -324,7 +523,17 @@ impl SigmaSim {
                     products[slot] = x * y;
                     ids[slot] = Some(cid);
                 }
-                let red = self.fan.reduce(&products, &ids).expect("output clusters are contiguous");
+                let red = if let Some(inj) = faults.as_deref_mut() {
+                    let cycle = stats.total_cycles();
+                    for (slot, p) in products.iter_mut().enumerate().take(chunk.len()) {
+                        *p = inj.apply_multiplier(d, slot, *p, cycle);
+                    }
+                    let adder_faults = inj.adder_faults(d, cycle);
+                    self.fan.reduce_with_faults(&products, &ids, &adder_faults)
+                } else {
+                    self.fan.reduce(&products, &ids)
+                }
+                .map_err(|e| SigmaError::Internal(format!("NLR fan reduction rejected: {e}")))?;
                 drain = drain.max(red.critical_cycles);
                 for s in red.sums {
                     let (i, j) = cluster_outputs[s.vec_id as usize];
@@ -334,7 +543,7 @@ impl SigmaSim {
             stats.add_cycles += u64::from(drain);
         }
 
-        GemmRun { result: out, stats }
+        Ok(GemmRun { result: out, stats })
     }
 }
 
@@ -595,6 +804,130 @@ mod tests {
         let run = sim.run_gemm(&a, &b).unwrap();
         assert_eq!(run.stats.loading_cycles, 0);
         assert_eq!(run.stats.useful_macs, run.stats.issued_macs);
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        let sim = cfg(2, 8, 8, Dataflow::InputStationary);
+        let mut bad = Matrix::zeros(4, 4);
+        bad.set(1, 2, f32::NAN);
+        let a = SparseMatrix::from_dense(&bad);
+        let b = sparse_uniform(4, 4, Density::DENSE, 2);
+        assert_eq!(sim.run_gemm(&a, &b).unwrap_err(), SigmaError::NonFiniteInput { operand: "A" });
+        let mut inf = Matrix::zeros(4, 4);
+        inf.set(0, 0, f32::INFINITY);
+        let b_bad = SparseMatrix::from_dense(&inf);
+        let good = sparse_uniform(4, 4, Density::DENSE, 3);
+        assert_eq!(
+            sim.run_gemm(&good, &b_bad).unwrap_err(),
+            SigmaError::NonFiniteInput { operand: "B" }
+        );
+    }
+
+    fn fault_fixture(df: Dataflow) -> (SigmaSim, SparseMatrix, SparseMatrix) {
+        let sim = cfg(2, 8, 16, df);
+        let a = sparse_uniform(10, 12, Density::new(0.7).unwrap(), 51);
+        let b = sparse_uniform(12, 9, Density::new(0.8).unwrap(), 52);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical() {
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary, Dataflow::NoLocalReuse] {
+            let (sim, a, b) = fault_fixture(df);
+            let plain = sim.run_gemm(&a, &b).unwrap();
+            let (faulted, report) = sim.run_gemm_with_faults(&a, &b, &FaultPlan::none()).unwrap();
+            assert_eq!(plain, faulted, "{df}");
+            assert!(report.fired.is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_flip_is_detected_and_recovered() {
+        let (sim, a, b) = fault_fixture(Dataflow::InputStationary);
+        let clean = sim.run_gemm(&a, &b).unwrap();
+        // Flip an exponent bit of the first multiplier's output: a large,
+        // detectable corruption.
+        let plan = FaultPlan::single(
+            crate::fault::FaultSite::MultiplierOutput { dpe: 0, slot: 0 },
+            crate::fault::FaultKind::TransientFlip { bit: 26 },
+        );
+        let (run, report) =
+            sim.run_gemm_checked(&a, &b, &plan, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(report.counters.injected, 1);
+        assert!(report.counters.detected >= 1, "report: {report:?}");
+        assert!(report.counters.corrected >= 1, "report: {report:?}");
+        assert_eq!(report.counters.escaped, 0);
+        assert!(report.numeric_effect);
+        // Recovery restored the fault-free result (the subtracted residual
+        // is itself a float estimate, so equality holds to the ABFT
+        // tolerance, not bitwise).
+        let tol = sigma_matrix::abft::residual_tolerance(10, 9, 12);
+        assert!(run.result.approx_eq(&clean.result, tol));
+        assert_eq!(run.stats.faults_corrected, report.counters.corrected);
+    }
+
+    #[test]
+    fn stuck_adder_exhausts_recompute_and_escapes() {
+        let (sim, a, b) = fault_fixture(Dataflow::InputStationary);
+        // A persistent sign-stuck adder near the FAN root corrupts a whole
+        // cluster every cycle: multi-site, uncorrectable, survives
+        // recompute.
+        let plan = FaultPlan::single(
+            crate::fault::FaultSite::FanAdder { dpe: 0, adder: 4 },
+            crate::fault::FaultKind::StuckBit {
+                bit: 31,
+                level: sigma_interconnect::StuckLevel::One,
+            },
+        );
+        let policy = RecoveryPolicy { max_recomputes: 1, tolerance: None };
+        let (run, report) = sim.run_gemm_checked(&a, &b, &plan, &policy).unwrap();
+        assert!(report.counters.detected >= 1, "report: {report:?}");
+        assert_eq!(report.counters.escaped, 1, "report: {report:?}");
+        assert_eq!(report.attempts, 2); // initial + 1 recompute
+        assert_eq!(run.stats.faults_escaped, 1);
+    }
+
+    #[test]
+    fn bitmap_corruption_perturbs_the_plan() {
+        let (sim, a, b) = fault_fixture(Dataflow::InputStationary);
+        let clean = sim.run_gemm(&a, &b).unwrap();
+        // Clear/flip the first metadata word of the streaming operand:
+        // the controller drops (or invents) streamed values.
+        let plan = FaultPlan::single(
+            crate::fault::FaultSite::BitmapWord { word: 0 },
+            crate::fault::FaultKind::CorruptWord { mask: u64::MAX },
+        );
+        let (run, report) = sim.run_gemm_with_faults(&a, &b, &plan).unwrap();
+        assert_eq!(report.fired.len(), 1);
+        assert!(
+            run.result.max_abs_diff(&clean.result) > 0.0,
+            "flipping a dense streaming word must change the result"
+        );
+    }
+
+    #[test]
+    fn dropped_port_fires_with_site_and_cycle() {
+        let (sim, a, b) = fault_fixture(Dataflow::WeightStationary);
+        let plan = FaultPlan::single(
+            crate::fault::FaultSite::BenesPort { dpe: 0, port: 2 },
+            crate::fault::FaultKind::DroppedPort,
+        );
+        let (_, report) = sim.run_gemm_with_faults(&a, &b, &plan).unwrap();
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].site, crate::fault::FaultSite::BenesPort { dpe: 0, port: 2 });
+    }
+
+    #[test]
+    fn checked_run_without_faults_is_clean_and_uncounted() {
+        let (sim, a, b) = fault_fixture(Dataflow::InputStationary);
+        let (run, report) =
+            sim.run_gemm_checked(&a, &b, &FaultPlan::none(), &RecoveryPolicy::default()).unwrap();
+        assert_eq!(report.counters, crate::fault::FaultCounters::default());
+        assert_eq!(report.attempts, 1);
+        assert!(!report.numeric_effect);
+        assert_eq!(run.result, sim.run_gemm(&a, &b).unwrap().result);
+        assert_eq!(run.stats.faults_injected, 0);
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub enum EngineError {
     },
     /// The engine's configuration cannot execute this problem.
     Config(String),
+    /// An operand (or an intermediate) contains NaN or infinity; the
+    /// functional models only define behaviour over finite values.
+    Numeric(String),
+    /// The engine exceeded the harness watchdog budget and was abandoned.
+    Timeout {
+        /// The watchdog budget that was exhausted, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The engine panicked; the payload is the panic message.
+    Panicked(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -56,6 +66,11 @@ impl std::fmt::Display for EngineError {
                 write!(f, "dimension mismatch: A has K={k_a}, B has K={k_b}")
             }
             EngineError::Config(msg) => write!(f, "engine configuration error: {msg}"),
+            EngineError::Numeric(msg) => write!(f, "non-finite value: {msg}"),
+            EngineError::Timeout { budget_ms } => {
+                write!(f, "engine exceeded the {budget_ms} ms watchdog budget")
+            }
+            EngineError::Panicked(msg) => write!(f, "engine panicked: {msg}"),
         }
     }
 }
@@ -68,9 +83,29 @@ impl From<SigmaError> for EngineError {
             SigmaError::DimensionMismatch { k_a, k_b } => {
                 EngineError::DimensionMismatch { k_a, k_b }
             }
+            SigmaError::NonFiniteInput { .. } => EngineError::Numeric(e.to_string()),
             other => EngineError::Config(other.to_string()),
         }
     }
+}
+
+/// Rejects GEMM operands containing NaN or infinity.
+///
+/// Every engine's `run` calls this before touching the datapath: a NaN
+/// silently propagates through a functional model and poisons the sweep's
+/// verification, so it is an input error, not a numeric result.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Numeric`] naming the offending operand.
+pub fn validate_finite(a: &SparseMatrix, b: &SparseMatrix) -> Result<(), EngineError> {
+    if !a.all_finite() {
+        return Err(EngineError::Numeric("operand A contains NaN or infinity".into()));
+    }
+    if !b.all_finite() {
+        return Err(EngineError::Numeric("operand B contains NaN or infinity".into()));
+    }
+    Ok(())
 }
 
 /// A GEMM engine the experiment harness can drive.

@@ -145,6 +145,55 @@ impl FlexDpe {
         Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: distinct.len() })
     }
 
+    /// [`FlexDpe::step`] with an armed [`FaultInjector`]: Benes delivery
+    /// faults perturb the streamed operands, multiplier-output faults
+    /// perturb the products, and stuck FAN adders corrupt the reduction.
+    /// With an empty plan this is value-identical to [`FlexDpe::step`].
+    ///
+    /// `dpe_index` names this engine in the injector's site space and
+    /// `cycle` stamps any fault that fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FAN errors, as [`FlexDpe::step`] does.
+    pub fn step_faulted(
+        &self,
+        operand: &dyn Fn(usize) -> f32,
+        injector: &mut crate::fault::FaultInjector<'_>,
+        dpe_index: usize,
+        cycle: u64,
+    ) -> Result<DpeStep, SigmaError> {
+        let mut delivered = vec![0.0f32; self.size];
+        let mut occupied = vec![false; self.size];
+        let mut distinct: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (slot, st) in self.stationary.iter().enumerate() {
+            if let Some(e) = st {
+                delivered[slot] = operand(e.contraction);
+                occupied[slot] = true;
+                distinct.insert(e.contraction);
+            }
+        }
+        injector.apply_port_faults(dpe_index, &mut delivered, &occupied, cycle);
+
+        let mut products = vec![0.0f32; self.size];
+        let mut useful = 0usize;
+        for (slot, st) in self.stationary.iter().enumerate() {
+            if let Some(e) = st {
+                let v = delivered[slot];
+                if v != 0.0 {
+                    useful += 1;
+                }
+                products[slot] = injector.apply_multiplier(dpe_index, slot, e.value * v, cycle);
+            }
+        }
+        let adder_faults = injector.adder_faults(dpe_index, cycle);
+        let reduction = self
+            .fan
+            .reduce_with_faults(&products, &self.vec_ids, &adder_faults)
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
+        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: distinct.len() })
+    }
+
     /// Latency components of this engine: (distribution, multiply,
     /// reduction-levels) in cycles — the paper's "1-cycle distribution,
     /// 1-cycle multiplication, 1-cycle per reduction level" pipeline.

@@ -52,6 +52,7 @@ pub mod controller;
 pub mod dpu;
 pub mod engine;
 pub mod engine_api;
+pub mod fault;
 pub mod flex_dpe;
 pub mod model;
 pub mod noc;
@@ -61,8 +62,12 @@ pub mod trace;
 pub use config::{Dataflow, SigmaConfig, SigmaError};
 pub use controller::{ControllerPlan, Fold, MappedElement, PackingOrder};
 pub use dpu::{DpuAllocation, DpuAllocator, PartitionPolicy};
-pub use engine::{GemmRun, SigmaSim};
-pub use engine_api::{Engine, EngineError, EngineRun};
+pub use engine::{GemmRun, RecoveryPolicy, SigmaSim};
+pub use engine_api::{validate_finite, Engine, EngineError, EngineRun};
+pub use fault::{
+    FaultCounters, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, FaultSite,
+    FiredFault,
+};
 pub use flex_dpe::{DpeStep, FlexDpe};
 pub use noc::{MeshNoc, NocStats};
 pub use stats::CycleStats;

@@ -188,6 +188,7 @@ fn estimate_stationary(
         occupied_slots: nnz as u64,
         pes: config.total_pes() as u64,
         sram_reads: sram as u64,
+        ..CycleStats::default()
     }
 }
 
@@ -213,6 +214,7 @@ fn estimate_no_local_reuse(config: &SigmaConfig, p: &GemmProblem) -> CycleStats 
         occupied_slots: 0,
         pes: config.total_pes() as u64,
         sram_reads: (2.0 * pairs) as u64,
+        ..CycleStats::default()
     }
 }
 

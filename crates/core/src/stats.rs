@@ -37,6 +37,17 @@ pub struct CycleStats {
     pub pes: u64,
     /// Words read from SRAM (each unique word once; multicast is free).
     pub sram_reads: u64,
+    /// Fault events that fired during the run (zero unless a
+    /// [`FaultPlan`](crate::fault::FaultPlan) was armed).
+    pub faults_injected: u64,
+    /// Fault effects the ABFT checksums detected.
+    pub faults_detected: u64,
+    /// Fault effects remediated (in-place correction or recompute) with the
+    /// final result verified correct.
+    pub faults_corrected: u64,
+    /// Fault effects that left the final result wrong — either undetected
+    /// by the checksums or uncorrectable within the recompute budget.
+    pub faults_escaped: u64,
 }
 
 impl CycleStats {
@@ -102,6 +113,10 @@ impl CycleStats {
             occupied_slots: self.occupied_slots + other.occupied_slots,
             pes: self.pes.max(other.pes),
             sram_reads: self.sram_reads + other.sram_reads,
+            faults_injected: self.faults_injected + other.faults_injected,
+            faults_detected: self.faults_detected + other.faults_detected,
+            faults_corrected: self.faults_corrected + other.faults_corrected,
+            faults_escaped: self.faults_escaped + other.faults_escaped,
         }
     }
 }
@@ -140,6 +155,7 @@ mod tests {
             occupied_slots: 100,
             pes: 100,
             sram_reads: 5_000,
+            ..CycleStats::default()
         }
     }
 

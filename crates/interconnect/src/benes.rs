@@ -248,6 +248,11 @@ pub enum BenesError {
     NotMonotone,
     /// A request referenced a source index outside the network.
     SourceOutOfRange(usize),
+    /// A routing invariant failed mid-recursion. This indicates a bug in
+    /// the routing algorithm (or a violated precondition that validation
+    /// missed); it is surfaced as an error instead of a panic so a sweep
+    /// harness can degrade gracefully.
+    Internal(&'static str),
 }
 
 impl fmt::Display for BenesError {
@@ -264,6 +269,7 @@ impl fmt::Display for BenesError {
                 write!(f, "multicast request sources must be non-decreasing across outputs")
             }
             BenesError::SourceOutOfRange(s) => write!(f, "source index {s} is out of range"),
+            BenesError::Internal(what) => write!(f, "benes routing invariant violated: {what}"),
         }
     }
 }
@@ -391,7 +397,7 @@ impl BenesNetwork {
             }
             seen[s] = true;
         }
-        Ok(route_perm(src))
+        route_perm(src)
     }
 
     /// Routes an *arbitrary* multicast by decomposing it into the minimal
@@ -476,19 +482,19 @@ impl BenesNetwork {
             }
             last = Some(s);
         }
-        Ok(route_multicast(src))
+        route_multicast(src)
     }
 }
 
 /// Recursive looping-algorithm permutation routing. `src[o]` = input index.
-fn route_perm(src: &[usize]) -> BenesConfig {
+fn route_perm(src: &[usize]) -> Result<BenesConfig, BenesError> {
     let n = src.len();
     if n == 2 {
-        return BenesConfig::Leaf(if src[0] == 0 {
+        return Ok(BenesConfig::Leaf(if src[0] == 0 {
             SwitchState::Straight
         } else {
             SwitchState::Cross
-        });
+        }));
     }
     let half = n / 2;
 
@@ -524,7 +530,10 @@ fn route_perm(src: &[usize]) -> BenesConfig {
             }
         }
     }
-    let color: Vec<u8> = color.into_iter().map(|c| c.expect("all sources colored")).collect();
+    let color: Vec<u8> = color
+        .into_iter()
+        .map(|c| c.ok_or(BenesError::Internal("looping left a source uncolored")))
+        .collect::<Result<_, _>>()?;
 
     // Input switch states and the input-switch index carrying each source.
     let mut input_states = Vec::with_capacity(half);
@@ -556,12 +565,12 @@ fn route_perm(src: &[usize]) -> BenesConfig {
         }
     }
 
-    BenesConfig::Node {
+    Ok(BenesConfig::Node {
         input: input_states,
-        upper: Box::new(route_perm(&up_src)),
-        lower: Box::new(route_perm(&low_src)),
+        upper: Box::new(route_perm(&up_src)?),
+        lower: Box::new(route_perm(&low_src)?),
         output: output_states,
-    }
+    })
 }
 
 /// Recursive monotone-multicast routing. `src[o]` = Some(input) or None.
@@ -570,7 +579,7 @@ fn route_perm(src: &[usize]) -> BenesConfig {
 /// input switch or an output switch) are *adjacent* in source order, so the
 /// conflict graph is a path and greedy alternating coloring suffices; the
 /// sub-requests are again monotone, giving routability by induction.
-fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
+fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
     let n = src.len();
     if n == 2 {
         let state = match (src[0], src[1]) {
@@ -604,7 +613,7 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
                 }
             }
         };
-        return BenesConfig::Leaf(state);
+        return Ok(BenesConfig::Leaf(state));
     }
     let half = n / 2;
 
@@ -671,6 +680,12 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
     }
 
     // Sub-requests and output switch states.
+    let subnet_of = |s: usize| {
+        color_of
+            .get(&s)
+            .copied()
+            .ok_or(BenesError::Internal("multicast source missing a subnet color"))
+    };
     let mut up_src: Vec<Option<usize>> = vec![None; half];
     let mut low_src: Vec<Option<usize>> = vec![None; half];
     let mut output_states = Vec::with_capacity(half);
@@ -678,7 +693,7 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
         let (a, b) = (src[2 * j], src[2 * j + 1]);
         let state = match (a, b) {
             (Some(a), Some(b)) if a == b => {
-                let c = color_of[&a];
+                let c = subnet_of(a)?;
                 if c == 0 {
                     up_src[j] = Some(a / 2);
                     SwitchState::BroadcastUpper
@@ -688,7 +703,7 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
                 }
             }
             (Some(a), Some(b)) => {
-                let (ca, cb) = (color_of[&a], color_of[&b]);
+                let (ca, cb) = (subnet_of(a)?, subnet_of(b)?);
                 debug_assert_ne!(ca, cb, "output pair colored to the same subnet");
                 if ca == 0 {
                     up_src[j] = Some(a / 2);
@@ -701,7 +716,7 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
                 }
             }
             (Some(a), None) => {
-                if color_of[&a] == 0 {
+                if subnet_of(a)? == 0 {
                     up_src[j] = Some(a / 2);
                     SwitchState::Straight
                 } else {
@@ -710,7 +725,7 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
                 }
             }
             (None, Some(b)) => {
-                if color_of[&b] == 1 {
+                if subnet_of(b)? == 1 {
                     low_src[j] = Some(b / 2);
                     SwitchState::Straight
                 } else {
@@ -723,12 +738,12 @@ fn route_multicast(src: &[Option<usize>]) -> BenesConfig {
         output_states.push(state);
     }
 
-    BenesConfig::Node {
+    Ok(BenesConfig::Node {
         input: input_states,
-        upper: Box::new(route_multicast(&up_src)),
-        lower: Box::new(route_multicast(&low_src)),
+        upper: Box::new(route_multicast(&up_src)?),
+        lower: Box::new(route_multicast(&low_src)?),
         output: output_states,
-    }
+    })
 }
 
 #[cfg(test)]

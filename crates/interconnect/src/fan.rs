@@ -222,6 +222,25 @@ impl Fan {
         values: &[f32],
         vec_ids: &[Option<u32>],
     ) -> Result<FanReduction, FanError> {
+        self.reduce_with_faults(values, vec_ids, &[])
+    }
+
+    /// [`Fan::reduce`] with persistent stuck-at defects on selected
+    /// adders: every activation of a faulted adder has the corresponding
+    /// output bit latched (see [`crate::fault::AdderFault`]). An empty
+    /// `faults` slice is byte-identical to [`Fan::reduce`]; adders whose
+    /// ids never activate (because no cluster spans them) corrupt
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fan::reduce`].
+    pub fn reduce_with_faults(
+        &self,
+        values: &[f32],
+        vec_ids: &[Option<u32>],
+        faults: &[crate::fault::AdderFault],
+    ) -> Result<FanReduction, FanError> {
         if values.len() != self.size {
             return Err(FanError::SizeMismatch { expected: self.size, actual: values.len() });
         }
@@ -277,7 +296,13 @@ impl Fan {
                 let same_cluster = adjacent && vec_ids[e0] == vec_ids[s1];
                 let adder_id = e0; // adder between leaves e0 and e0+1
                 if same_cluster && self.adder_level(adder_id) == lvl {
-                    intervals[i] = (s0, e1, v0 + v1);
+                    let mut sum = v0 + v1;
+                    if !faults.is_empty() {
+                        for fault in faults.iter().filter(|f| f.adder == adder_id) {
+                            sum = fault.corrupt(sum);
+                        }
+                    }
+                    intervals[i] = (s0, e1, sum);
                     intervals.remove(i + 1);
                     adds += 1;
                     // If the merged interval now covers its whole cluster,
@@ -451,6 +476,28 @@ mod tests {
         let f4 = Fan::new(4).unwrap();
         assert_eq!(f4.forwarding_link_count(), 2);
         assert_eq!(f4.mux_count(), 0);
+    }
+
+    #[test]
+    fn stuck_adder_corrupts_only_activations_through_it() {
+        use crate::fault::{AdderFault, StuckLevel};
+        let fan = Fan::new(8).unwrap();
+        let values = [1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let v = ids(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        // Adder 5 (level 1) belongs to cluster 1's reduction; latch its
+        // sign bit high. Cluster 0 must be untouched.
+        let fault = AdderFault { adder: 5, bit: 31, level: StuckLevel::One };
+        let r = fan.reduce_with_faults(&values, &v, &[fault]).unwrap();
+        assert_eq!(r.sums[0].value, 10.0, "cluster 0 does not pass through adder 5");
+        // Cluster 1: level 0 gives (10+20)=30 at adder 4 and (30+40)=70 at
+        // adder 6; level 1 at adder 5 computes 30+70=100 -> sign forced -> -100.
+        assert_eq!(r.sums[1].value, -100.0);
+        // Empty fault slice is byte-identical to the plain reduce.
+        let clean = fan.reduce(&values, &v).unwrap();
+        assert_eq!(fan.reduce_with_faults(&values, &v, &[]).unwrap(), clean);
+        // A fault on an adder no cluster spans changes nothing.
+        let idle = AdderFault { adder: 3, bit: 31, level: StuckLevel::One };
+        assert_eq!(fan.reduce_with_faults(&values, &v, &[idle]).unwrap(), clean);
     }
 
     #[test]

@@ -30,11 +30,13 @@ pub mod alternatives;
 pub mod benes;
 pub mod butterfly;
 pub mod fan;
+pub mod fault;
 pub mod reduction;
 
 pub use benes::{BenesConfig, BenesError, BenesNetwork, MultipassRouting, SwitchState};
 pub use butterfly::{Butterfly, ButterflyRouting};
 pub use fan::{Fan, FanError, FanReduction, SegmentSum};
+pub use fault::{flip_bit, force_bit, AdderFault, StuckLevel};
 pub use reduction::{ReductionKind, ReductionNetwork};
 
 /// `true` if `n` is a power of two (and non-zero).

@@ -87,6 +87,29 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of backing `u64` storage words.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// XORs `mask` into storage word `word` — a bitmap-word upset in the
+    /// sparsity controller's metadata SRAM. Bits past the logical end of
+    /// the bitmap are masked off so the corruption cannot create
+    /// out-of-range occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= word_count()`.
+    pub fn xor_word(&mut self, word: usize, mask: u64) {
+        assert!(word < self.words.len(), "bitmap word {word} out of range");
+        let bits = self.rows * self.cols;
+        let first_bit = word * 64;
+        let valid = bits.saturating_sub(first_bit).min(64);
+        let keep = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+        self.words[word] ^= mask & keep;
+    }
+
     /// Number of set bits in row `r`.
     ///
     /// # Panics
@@ -253,6 +276,26 @@ mod tests {
         b.set(0, 2, true);
         let v: Vec<_> = b.iter_ones().collect();
         assert_eq!(v, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn xor_word_flips_bits_and_masks_tail() {
+        let mut bm = Bitmap::new(3, 3); // 9 bits -> one word, 9 valid bits
+        assert_eq!(bm.word_count(), 1);
+        bm.xor_word(0, u64::MAX);
+        // Only the 9 in-range bits may flip.
+        assert_eq!(bm.count_ones(), 9);
+        bm.xor_word(0, 0b101);
+        assert!(!bm.get(0, 0));
+        assert!(bm.get(0, 1));
+        assert!(!bm.get(0, 2));
+        assert_eq!(bm.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xor_word_out_of_range_panics() {
+        Bitmap::new(2, 2).xor_word(1, 1);
     }
 
     #[test]

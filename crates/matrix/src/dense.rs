@@ -32,10 +32,15 @@ impl Matrix {
     ///
     /// # Errors
     ///
-    /// Returns [`MatrixError::DataLength`] if `data.len() != rows * cols`.
+    /// Returns [`MatrixError::DataLength`] if `data.len() != rows * cols`,
+    /// or [`MatrixError::NonFinite`] if the buffer contains a NaN or
+    /// infinite value.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
             return Err(MatrixError::DataLength { expected: rows * cols, actual: data.len() });
+        }
+        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
+            return Err(MatrixError::NonFinite { index });
         }
         Ok(Self { rows, cols, data })
     }
@@ -267,6 +272,12 @@ impl Matrix {
         out
     }
 
+    /// `true` if every element is finite (no NaN or infinity).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
     /// Maximum absolute element-wise difference to another matrix.
     ///
     /// Useful for comparing tree-reduced (simulator) results against the
@@ -333,6 +344,30 @@ mod tests {
             Matrix::from_vec(2, 2, vec![1.0; 3]),
             Err(MatrixError::DataLength { expected: 4, actual: 3 })
         ));
+    }
+
+    #[test]
+    fn from_vec_rejects_non_finite() {
+        assert!(matches!(
+            Matrix::from_vec(1, 3, vec![1.0, f32::NAN, 2.0]),
+            Err(MatrixError::NonFinite { index: 1 })
+        ));
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![0.0, 1.0, 2.0, f32::INFINITY]),
+            Err(MatrixError::NonFinite { index: 3 })
+        ));
+        assert!(matches!(
+            Matrix::from_vec(1, 1, vec![f32::NEG_INFINITY]),
+            Err(MatrixError::NonFinite { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn all_finite_flags_bad_values() {
+        let mut m = seq(2, 2);
+        assert!(m.all_finite());
+        m.set(0, 1, f32::NAN);
+        assert!(!m.all_finite());
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub enum MatrixError {
     },
     /// A dimension mismatch between two operands.
     Dimension(DimensionError),
+    /// A buffer element was NaN or infinite. Operand matrices must be
+    /// finite — non-finite values poison every downstream accumulation
+    /// and make verification meaningless.
+    NonFinite {
+        /// Index of the first offending element in the row-major buffer.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -48,6 +55,9 @@ impl fmt::Display for MatrixError {
                 write!(f, "data length {actual} does not match rows*cols = {expected}")
             }
             MatrixError::Dimension(d) => d.fmt(f),
+            MatrixError::NonFinite { index } => {
+                write!(f, "non-finite value (NaN or infinity) at buffer index {index}")
+            }
         }
     }
 }
@@ -56,7 +66,7 @@ impl Error for MatrixError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MatrixError::Dimension(d) => Some(d),
-            MatrixError::DataLength { .. } => None,
+            MatrixError::DataLength { .. } | MatrixError::NonFinite { .. } => None,
         }
     }
 }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod abft;
 mod bitmap;
 mod dense;
 mod error;
@@ -43,6 +44,7 @@ pub mod formats;
 pub mod gen;
 mod sparse;
 
+pub use abft::AbftVerdict;
 pub use bitmap::Bitmap;
 pub use dense::Matrix;
 pub use error::{DimensionError, MatrixError};

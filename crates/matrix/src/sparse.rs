@@ -96,6 +96,12 @@ impl SparseMatrix {
         self.values.len()
     }
 
+    /// `true` if every stored value is finite (no NaN or infinity).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
     /// Fraction of elements that are zero, in `[0, 1]`.
     #[must_use]
     pub fn sparsity(&self) -> f64 {

@@ -95,4 +95,48 @@ proptest! {
         let per_col: usize = (0..s.cols()).map(|c| s.bitmap().col_count_ones(c)).sum();
         prop_assert_eq!(per_col, s.nnz());
     }
+
+    /// ABFT detects (and at single-site granularity, locates) every
+    /// injected single bit flip whose delta clears the tolerance, and
+    /// never flags the uncorrupted product.
+    #[test]
+    fn abft_flags_every_single_bit_flip(
+        m in 1usize..10, n in 1usize..10, k in 1usize..10,
+        r_pick in any::<u64>(), c_pick in any::<u64>(),
+        bit in 20u32..31, seed in any::<u64>()
+    ) {
+        use sigma_matrix::abft::{check_product, correct_single, residual_tolerance, AbftVerdict};
+
+        let a = sparse_uniform(m, k, Density::new(0.8).unwrap(), seed).to_dense();
+        let b = sparse_uniform(k, n, Density::new(0.8).unwrap(), seed ^ 0xf1).to_dense();
+        let c = a.matmul(&b);
+        let tol = residual_tolerance(m, n, k);
+        prop_assert!(check_product(&a, &b, &c, tol).is_clean(), "false positive");
+
+        let (row, col) = (r_pick as usize % m, c_pick as usize % n);
+        let clean_value = c.get(row, col);
+        let flipped = f32::from_bits(clean_value.to_bits() ^ (1u32 << bit));
+        let mut corrupted = c.clone();
+        corrupted.set(row, col, flipped);
+        let delta = flipped - clean_value;
+        if delta.is_nan() || delta.abs() > tol {
+            let verdict = check_product(&a, &b, &corrupted, tol);
+            prop_assert!(!verdict.is_clean(), "numeric-effect flip escaped");
+            if let AbftVerdict::SingleSite { row: fr, col: fc, delta: fd } = verdict {
+                prop_assert_eq!((fr, fc), (row, col), "located the wrong element");
+                correct_single(&mut corrupted, fr, fc, fd);
+                // The repair subtracts a float *estimate* of the delta,
+                // so the restored element is tolerance-equal up to the
+                // estimate's own precision (huge exponent-bit deltas
+                // cannot land closer than |delta| * 2^-24).
+                if fd.is_finite() {
+                    let repair_err = (corrupted.get(row, col) - clean_value).abs();
+                    prop_assert!(
+                        repair_err <= tol + fd.abs() * 1e-5,
+                        "repair left error {repair_err} for delta {fd}"
+                    );
+                }
+            }
+        }
+    }
 }
