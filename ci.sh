@@ -8,3 +8,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
 cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet
+# Perf regression gate: compare simulated-cycles-per-second against the
+# committed BENCH_sim.json baseline (release build; the check self-skips
+# in debug builds where timings are incomparable).
+cargo run -q --release -p sigma-bench --bin perf_bench -- --check --smoke

@@ -1,0 +1,196 @@
+//! Simulator perf-regression gate: cycles-simulated-per-second.
+//!
+//! Runs the fixed benchmark ladder from [`sigma_bench::perf`] (dense,
+//! sparse, and irregular GEMMs at 128–16K PEs), prints a throughput table,
+//! and maintains the committed `BENCH_sim.json` baseline at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p sigma-bench --bin perf_bench            # refresh baseline
+//! cargo run --release -p sigma-bench --bin perf_bench -- --check # regression gate
+//! ```
+//!
+//! Modes:
+//!
+//! * default — measure the full ladder and (re)write `BENCH_sim.json`;
+//! * `--check` — measure and compare against the committed baseline
+//!   without writing; exits non-zero when any case regresses by more than
+//!   the tolerance (15%; 30% under `--smoke`, whose low rep count is
+//!   noisier; override with `SIGMA_PERF_TOLERANCE=<fraction>`);
+//! * `--smoke` — CI subset: the small end of the ladder at low rep count;
+//! * `--out PATH` / `--baseline PATH` — override the baseline location;
+//! * `--quiet` — suppress the table.
+//!
+//! `--check` requires an optimized build: debug timings are an order of
+//! magnitude off the committed numbers, so an unoptimized gate run warns
+//! and skips the comparison (force with `SIGMA_PERF_FORCE_CHECK=1`).
+
+use sigma_bench::perf::{cases, measure, parse_baseline, to_json, PerfMeasurement};
+use sigma_bench::util::Table;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Timed repetitions per case: best-of-3 normally, best-of-2 for smoke.
+const FULL_REPS: usize = 3;
+const SMOKE_REPS: usize = 2;
+
+fn default_baseline_path() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_sim.json")
+}
+
+struct Args {
+    check: bool,
+    smoke: bool,
+    quiet: bool,
+    baseline: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { check: false, smoke: false, quiet: false, baseline: default_baseline_path() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--smoke" => args.smoke = true,
+            "--quiet" => args.quiet = true,
+            "--out" | "--baseline" => {
+                let path = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
+                args.baseline = PathBuf::from(path);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf_bench [--check] [--smoke] [--quiet] [--out PATH] \
+                     [--baseline PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn tolerance(smoke: bool) -> f64 {
+    if let Ok(v) = std::env::var("SIGMA_PERF_TOLERANCE") {
+        if let Ok(t) = v.parse::<f64>() {
+            if t > 0.0 {
+                return t;
+            }
+        }
+        eprintln!("perf_bench: ignoring invalid SIGMA_PERF_TOLERANCE={v:?}");
+    }
+    if smoke {
+        0.30
+    } else {
+        0.15
+    }
+}
+
+fn render(measurements: &[PerfMeasurement], baseline: &[(String, f64)]) -> Table {
+    let mut t = Table::new(
+        "perf_bench - simulated cycles per second",
+        &["case", "pes", "gemm", "dataflow", "cycles", "wall_ms", "Mcyc/s", "vs baseline"],
+    );
+    for m in measurements {
+        let vs = baseline.iter().find(|(n, _)| n == m.case.name).map_or_else(
+            || "-".to_string(),
+            |(_, old)| format!("{:+.1}%", 100.0 * (m.cycles_per_sec / old - 1.0)),
+        );
+        t.push(vec![
+            m.case.name.to_string(),
+            m.case.pes().to_string(),
+            m.case.shape(),
+            m.case.dataflow.name().to_string(),
+            m.cycles.to_string(),
+            format!("{:.2}", m.best_secs * 1e3),
+            format!("{:.3}", m.cycles_per_sec / 1e6),
+            vs,
+        ]);
+    }
+    t
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let reps = if args.smoke { SMOKE_REPS } else { FULL_REPS };
+    let ladder: Vec<_> = cases().into_iter().filter(|c| !args.smoke || c.smoke).collect();
+
+    let baseline_text = std::fs::read_to_string(&args.baseline).unwrap_or_default();
+    let baseline = parse_baseline(&baseline_text);
+
+    let mut measurements = Vec::with_capacity(ladder.len());
+    for case in &ladder {
+        if !args.quiet {
+            eprintln!("perf_bench: timing {} ({} PEs, {})...", case.name, case.pes(), case.shape());
+        }
+        measurements.push(measure(case, reps));
+    }
+
+    if !args.quiet {
+        print!("{}", render(&measurements, &baseline));
+    }
+
+    if args.check {
+        if cfg!(debug_assertions) && std::env::var_os("SIGMA_PERF_FORCE_CHECK").is_none() {
+            eprintln!(
+                "perf_bench: --check skipped: unoptimized build timings are not comparable \
+                 to the committed baseline (rerun with --release, or set \
+                 SIGMA_PERF_FORCE_CHECK=1)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        if baseline.is_empty() {
+            eprintln!(
+                "perf_bench: no baseline at {} - run perf_bench without --check to create it",
+                args.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let tol = tolerance(args.smoke);
+        let mut regressed = false;
+        for m in &measurements {
+            let Some((_, old)) = baseline.iter().find(|(n, _)| n == m.case.name) else {
+                eprintln!("perf_bench: note: case {} has no baseline entry yet", m.case.name);
+                continue;
+            };
+            let ratio = m.cycles_per_sec / old;
+            if ratio < 1.0 - tol {
+                eprintln!(
+                    "perf_bench: REGRESSION {}: {:.0} cyc/s vs baseline {:.0} ({:.1}% slower, \
+                     tolerance {:.0}%)",
+                    m.case.name,
+                    m.cycles_per_sec,
+                    old,
+                    100.0 * (1.0 - ratio),
+                    100.0 * tol,
+                );
+                regressed = true;
+            }
+        }
+        if regressed {
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("perf_bench: check passed (tolerance {:.0}%)", 100.0 * tolerance(args.smoke));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let json = to_json(&measurements);
+    if let Err(e) = std::fs::write(&args.baseline, &json) {
+        eprintln!("perf_bench: cannot write {}: {e}", args.baseline.display());
+        return ExitCode::FAILURE;
+    }
+    if !args.quiet {
+        eprintln!("perf_bench: baseline written to {}", args.baseline.display());
+    }
+    ExitCode::SUCCESS
+}

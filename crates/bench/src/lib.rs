@@ -17,4 +17,5 @@
 
 pub mod figs;
 pub mod harness;
+pub mod perf;
 pub mod util;

@@ -105,6 +105,7 @@ pub struct SigmaConfig {
     dataflow: Dataflow,
     double_buffered: bool,
     packing: PackingOrder,
+    route_cache: bool,
 }
 
 impl SigmaConfig {
@@ -139,6 +140,7 @@ impl SigmaConfig {
             dataflow,
             double_buffered: false,
             packing: PackingOrder::GroupMajor,
+            route_cache: true,
         })
     }
 
@@ -157,6 +159,7 @@ impl SigmaConfig {
             dataflow: Dataflow::WeightStationary,
             double_buffered: false,
             packing: PackingOrder::GroupMajor,
+            route_cache: true,
         }
     }
 
@@ -220,6 +223,23 @@ impl SigmaConfig {
     #[must_use]
     pub fn with_packing_order(mut self, packing: PackingOrder) -> Self {
         self.packing = packing;
+        self
+    }
+
+    /// Whether Benes route configurations are memoized across folds
+    /// (default: on). Caching is exact — cache hits replay switch
+    /// settings the cold router already produced and validated — so
+    /// simulated outputs and cycle statistics are identical either way;
+    /// disabling it exists for differential testing and perf analysis.
+    #[must_use]
+    pub fn route_cache(&self) -> bool {
+        self.route_cache
+    }
+
+    /// Returns a copy with Benes route memoization on or off.
+    #[must_use]
+    pub fn with_route_cache(mut self, enabled: bool) -> Self {
+        self.route_cache = enabled;
         self
     }
 

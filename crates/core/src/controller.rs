@@ -370,13 +370,14 @@ mod tests {
             &[3.0, 4.0, 0.0, 5.0],
             &[0.0, 0.0, 6.0, 0.0],
         ]));
-        let streaming = SparseMatrix::from_dense(&Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 0.0],
-            &[1.0, 1.0, 0.0],
-            &[0.0, 0.0, 0.0], // k=3 never streams: REGOR filters it
-        ]));
-        (stat, streaming.bitmap().clone())
+        // Streaming occupancy (only the metadata matters here):
+        //   k0: steps {0, 2}, k1: step {1}, k2: steps {0, 1},
+        //   k3: never streams — REGOR filters it.
+        let mut streaming = Bitmap::new(4, 3);
+        for (k, step) in [(0, 0), (0, 2), (1, 1), (2, 0), (2, 1)] {
+            streaming.set(k, step, true);
+        }
+        (stat, streaming)
     }
 
     #[test]

@@ -11,10 +11,10 @@
 use crate::config::{Dataflow, SigmaConfig, SigmaError};
 use crate::controller::ControllerPlan;
 use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultReport};
-use crate::flex_dpe::FlexDpe;
+use crate::flex_dpe::{DpeStep, FlexDpe};
 use crate::stats::CycleStats;
 use crate::trace::{Phase, Trace};
-use sigma_interconnect::Fan;
+use sigma_interconnect::{Fan, FanReduction, FanScratch};
 use sigma_matrix::abft::{check_product, correct_single, residual_tolerance, AbftVerdict};
 use sigma_matrix::{Bitmap, Matrix, SparseMatrix};
 
@@ -370,6 +370,10 @@ impl SigmaSim {
 
         let mut stats = CycleStats { pes: pes as u64, ..CycleStats::default() };
         let mut engines: Vec<FlexDpe> = Vec::new();
+        // Per-run scratch, reused across every fold and streaming step so
+        // the steady-state loop stays allocation-free.
+        let mut local_ids: Vec<Option<u32>> = vec![None; dpe];
+        let mut step_out = DpeStep::default();
 
         let mut prev_fold_stream = 0u64;
         for fold in &plan.folds {
@@ -396,13 +400,14 @@ impl SigmaSim {
             // (Fig. 5 Step iv: unicast into the multiplier buffers).
             let active_dpes = occupied.div_ceil(dpe);
             while engines.len() < active_dpes {
-                let unit = FlexDpe::new(dpe)?;
+                let mut unit = FlexDpe::new(dpe)?;
+                unit.set_route_caching(self.config.route_cache());
                 engines.push(unit);
             }
             for (d, unit) in engines.iter_mut().enumerate().take(active_dpes) {
                 let lo = d * dpe;
                 let hi = (lo + dpe).min(occupied);
-                let mut local_ids = vec![None; dpe];
+                local_ids.fill(None);
                 local_ids[..hi - lo].copy_from_slice(&fold.vec_ids[lo..hi]);
                 unit.load(&fold.elements[lo..hi], &local_ids)?;
             }
@@ -427,8 +432,8 @@ impl SigmaSim {
 
                 // Multiply + reduce on each Flex-DPE.
                 last_step_drain = 0;
-                for (d, unit) in engines.iter().enumerate().take(active_dpes) {
-                    let out = if let Some(inj) = faults.as_deref_mut() {
+                for (d, unit) in engines.iter_mut().enumerate().take(active_dpes) {
+                    if let Some(inj) = faults.as_deref_mut() {
                         // The compressed stream is fetched per the (possibly
                         // corrupted) metadata: a cleared bit reads as zero.
                         let operand = |k: usize| {
@@ -439,13 +444,13 @@ impl SigmaSim {
                             }
                         };
                         let cycle = stats.total_cycles();
-                        unit.step_faulted(&operand, inj, d, cycle)?
+                        step_out = unit.step_faulted(&operand, inj, d, cycle)?;
                     } else {
-                        unit.step(&|k: usize| stream_dense.get(k, step))?
-                    };
-                    stats.useful_macs += out.useful_macs as u128;
-                    last_step_drain = last_step_drain.max(out.reduction.critical_cycles);
-                    for s in out.reduction.sums {
+                        unit.step_into(&|k: usize| stream_dense.get(k, step), &mut step_out)?;
+                    }
+                    stats.useful_macs += step_out.useful_macs as u128;
+                    last_step_drain = last_step_drain.max(step_out.reduction.critical_cycles);
+                    for s in &step_out.reduction.sums {
                         let group = fold.cluster_groups[s.vec_id as usize];
                         emit(group, step, s.value);
                     }
@@ -503,6 +508,13 @@ impl SigmaSim {
         stats.mapped_nonzeros = 0;
         stats.occupied_slots = 0;
 
+        // Per-run scratch, reused across all waves and chunks.
+        let mut products = vec![0.0f32; dpe];
+        let mut ids: Vec<Option<u32>> = vec![None; dpe];
+        let mut cluster_outputs: Vec<(usize, usize)> = Vec::new();
+        let mut fan_scratch = FanScratch::default();
+        let mut red = FanReduction::default();
+
         for wave in pairs.chunks(pes) {
             stats.folds += 1;
             // Two operands per multiplier must be distributed.
@@ -511,9 +523,9 @@ impl SigmaSim {
 
             let mut drain = 0u32;
             for (d, chunk) in wave.chunks(dpe).enumerate() {
-                let mut products = vec![0.0f32; dpe];
-                let mut ids = vec![None; dpe];
-                let mut cluster_outputs: Vec<(usize, usize)> = Vec::new();
+                products.fill(0.0);
+                ids.fill(None);
+                cluster_outputs.clear();
                 for (slot, &(i, j, x, y)) in chunk.iter().enumerate() {
                     if cluster_outputs.last() != Some(&(i, j)) {
                         cluster_outputs.push((i, j));
@@ -523,19 +535,22 @@ impl SigmaSim {
                     products[slot] = x * y;
                     ids[slot] = Some(cid);
                 }
-                let red = if let Some(inj) = faults.as_deref_mut() {
+                let adder_faults = if let Some(inj) = faults.as_deref_mut() {
                     let cycle = stats.total_cycles();
                     for (slot, p) in products.iter_mut().enumerate().take(chunk.len()) {
                         *p = inj.apply_multiplier(d, slot, *p, cycle);
                     }
-                    let adder_faults = inj.adder_faults(d, cycle);
-                    self.fan.reduce_with_faults(&products, &ids, &adder_faults)
+                    inj.adder_faults(d, cycle)
                 } else {
-                    self.fan.reduce(&products, &ids)
-                }
-                .map_err(|e| SigmaError::Internal(format!("NLR fan reduction rejected: {e}")))?;
+                    Vec::new()
+                };
+                self.fan
+                    .reduce_into(&products, &ids, &adder_faults, &mut fan_scratch, &mut red)
+                    .map_err(|e| {
+                        SigmaError::Internal(format!("NLR fan reduction rejected: {e}"))
+                    })?;
                 drain = drain.max(red.critical_cycles);
-                for s in red.sums {
+                for s in &red.sums {
                     let (i, j) = cluster_outputs[s.vec_id as usize];
                     out.set(i, j, out.get(i, j) + s.value);
                 }

@@ -8,13 +8,24 @@
 //! FAN per the cluster (`vecID`) assignment. The engine composes many of
 //! these into the full SIGMA array; the unit is also usable standalone,
 //! as in `examples/walkthrough_fig5.rs`.
+//!
+//! ## Hot-loop design
+//!
+//! The stationary store is *flattened* — dense `values`/`contractions`
+//! arrays plus a `u64` occupancy bitmask instead of `Vec<Option<..>>` —
+//! and the unit owns its scratch state (product buffer,
+//! [`FanScratch`], [`RouteCache`], request buffer), so the steady-state
+//! streaming path ([`FlexDpe::step_into`]) performs **zero heap
+//! allocations** and the per-fold loading unicast is routed once and
+//! memoized. The allocating [`FlexDpe::step`] remains as a convenience
+//! wrapper with identical results.
 
 use crate::config::SigmaError;
 use crate::controller::MappedElement;
-use sigma_interconnect::{BenesNetwork, Fan, FanReduction};
+use sigma_interconnect::{BenesNetwork, Fan, FanReduction, FanScratch, RouteCache};
 
 /// The result of streaming one vector through a Flex-DPE.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DpeStep {
     /// Per-cluster sums out of the FAN.
     pub reduction: FanReduction,
@@ -30,8 +41,23 @@ pub struct FlexDpe {
     size: usize,
     benes: BenesNetwork,
     fan: Fan,
-    stationary: Vec<Option<MappedElement>>,
+    /// Stationary values, slot-indexed (0.0 in unoccupied slots).
+    values: Vec<f32>,
+    /// Contraction index per slot (meaningful only where occupied).
+    contractions: Vec<usize>,
+    /// Occupancy bitmask, one bit per multiplier slot.
+    occupied_words: Vec<u64>,
     vec_ids: Vec<Option<u32>>,
+    occupied_count: usize,
+    /// Distinct contraction indices among the loaded elements, computed
+    /// once at load time (it is invariant across steps).
+    distinct_operands: usize,
+    // Reusable hot-loop state.
+    products: Vec<f32>,
+    fan_scratch: FanScratch,
+    route_cache: RouteCache,
+    load_req: Vec<Option<usize>>,
+    distinct_scratch: std::collections::HashSet<usize>,
 }
 
 impl FlexDpe {
@@ -44,7 +70,22 @@ impl FlexDpe {
     pub fn new(size: usize) -> Result<Self, SigmaError> {
         let benes = BenesNetwork::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
         let fan = Fan::new(size).map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(size))?;
-        Ok(Self { size, benes, fan, stationary: vec![None; size], vec_ids: vec![None; size] })
+        Ok(Self {
+            size,
+            benes,
+            fan,
+            values: vec![0.0; size],
+            contractions: vec![0; size],
+            occupied_words: vec![0; size.div_ceil(64)],
+            vec_ids: vec![None; size],
+            occupied_count: 0,
+            distinct_operands: 0,
+            products: vec![0.0; size],
+            fan_scratch: FanScratch::default(),
+            route_cache: RouteCache::new(),
+            load_req: Vec::with_capacity(size),
+            distinct_scratch: std::collections::HashSet::new(),
+        })
     }
 
     /// Number of multipliers.
@@ -56,7 +97,7 @@ impl FlexDpe {
     /// Occupied multiplier buffers.
     #[must_use]
     pub fn occupied(&self) -> usize {
-        self.stationary.iter().filter(|s| s.is_some()).count()
+        self.occupied_count
     }
 
     /// The FAN cluster ids currently configured.
@@ -65,10 +106,31 @@ impl FlexDpe {
         &self.vec_ids
     }
 
+    /// Turns Benes route memoization on or off (on by default). Disabled,
+    /// every load/stream request is routed cold — the differential-testing
+    /// mode the cached-vs-cold equivalence tests drive.
+    pub fn set_route_caching(&mut self, enabled: bool) {
+        self.route_cache.set_enabled(enabled);
+    }
+
+    /// The unit's route cache (hit/miss observability).
+    #[must_use]
+    pub fn route_cache(&self) -> &RouteCache {
+        &self.route_cache
+    }
+
+    #[inline]
+    fn slot_occupied(&self, slot: usize) -> bool {
+        (self.occupied_words[slot / 64] >> (slot % 64)) & 1 == 1
+    }
+
     /// Loads stationary elements into the first `elements.len()`
     /// multiplier buffers, with their FAN cluster assignment. The
-    /// loading unicast is validated against the real Benes model (value
-    /// `i` arriving on port `i` routes to multiplier `i`).
+    /// loading unicast is routed through the (memoized) Benes model and
+    /// validated against real switch states the first time each prefix
+    /// pattern is seen (value `i` arriving on port `i` must route to
+    /// multiplier `i`); cache hits reuse the already-validated
+    /// configuration, making steady-state loads allocation-free.
     ///
     /// # Errors
     ///
@@ -89,36 +151,55 @@ impl FlexDpe {
             return Err(SigmaError::DpeSizeNotPowerOfTwo(elements.len()));
         }
         assert_eq!(vec_ids.len(), self.size, "vec_ids must cover every multiplier");
-        // Validate the loading unicast on the Benes (identity prefix).
-        let req: Vec<Option<usize>> =
-            (0..self.size).map(|i| (i < elements.len()).then_some(i)).collect();
-        let cfg = self
-            .benes
-            .route_monotone_multicast(&req)
+        // Route the loading unicast (identity prefix) through the cache.
+        self.load_req.clear();
+        self.load_req.extend((0..self.size).map(|i| (i < elements.len()).then_some(i)));
+        let (cfg, cold) = self
+            .route_cache
+            .route_monotone_multicast_tracked(&self.benes, &self.load_req)
             .expect("identity loading pattern always routes");
-        let inputs: Vec<Option<usize>> = (0..self.size).map(Some).collect();
-        let delivered = cfg.apply(&inputs);
-        for (i, d) in delivered.iter().enumerate().take(elements.len()) {
-            debug_assert_eq!(*d, Some(i), "loading unicast misrouted");
+        if cold {
+            // Validate freshly derived switch settings end-to-end; hits
+            // reuse a configuration that already passed this check.
+            let inputs: Vec<Option<usize>> = (0..self.size).map(Some).collect();
+            let delivered = cfg.apply(&inputs);
+            for (i, d) in delivered.iter().enumerate().take(elements.len()) {
+                debug_assert_eq!(*d, Some(i), "loading unicast misrouted");
+            }
         }
 
-        self.stationary = vec![None; self.size];
+        // In-place refill of the flattened stationary store.
+        self.values.fill(0.0);
+        self.occupied_words.fill(0);
+        self.distinct_scratch.clear();
         for (slot, e) in elements.iter().enumerate() {
-            self.stationary[slot] = Some(*e);
+            self.values[slot] = e.value;
+            self.contractions[slot] = e.contraction;
+            self.occupied_words[slot / 64] |= 1 << (slot % 64);
+            self.distinct_scratch.insert(e.contraction);
         }
-        self.vec_ids = vec_ids.to_vec();
+        self.vec_ids.copy_from_slice(vec_ids);
+        self.occupied_count = elements.len();
+        self.distinct_operands = self.distinct_scratch.len();
         Ok(())
     }
 
-    /// Clears the stationary buffers (fold retirement).
+    /// Clears the stationary buffers (fold retirement) in place — no
+    /// reallocation.
     pub fn clear(&mut self) {
-        self.stationary = vec![None; self.size];
-        self.vec_ids = vec![None; self.size];
+        self.values.fill(0.0);
+        self.occupied_words.fill(0);
+        self.vec_ids.fill(None);
+        self.occupied_count = 0;
+        self.distinct_operands = 0;
     }
 
     /// Streams one vector through the engine: `operand(k)` supplies the
     /// streamed value for contraction index `k` (the Benes multicasts one
     /// SRAM read of each distinct `k` to every matching multiplier).
+    ///
+    /// Allocating convenience wrapper over the same datapath as
+    /// [`FlexDpe::step_into`]; results are identical.
     ///
     /// # Errors
     ///
@@ -127,22 +208,75 @@ impl FlexDpe {
     pub fn step(&self, operand: &dyn Fn(usize) -> f32) -> Result<DpeStep, SigmaError> {
         let mut products = vec![0.0f32; self.size];
         let mut useful = 0usize;
-        let mut distinct: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-        for (slot, st) in self.stationary.iter().enumerate() {
-            if let Some(e) = st {
-                let v = operand(e.contraction);
-                distinct.insert(e.contraction);
-                if v != 0.0 {
-                    useful += 1;
-                }
-                products[slot] = e.value * v;
-            }
-        }
+        self.fill_products(operand, &mut products, &mut useful);
         let reduction = self
             .fan
             .reduce(&products, &self.vec_ids)
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
-        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: distinct.len() })
+        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: self.distinct_operands })
+    }
+
+    /// Allocation-free [`FlexDpe::step`]: products land in the unit's own
+    /// scratch buffer, the FAN reduces through reusable working state, and
+    /// the wave's sums are written into `out` (cleared first). After one
+    /// warmup step, repeated calls perform zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlexDpe::step`].
+    pub fn step_into(
+        &mut self,
+        operand: &dyn Fn(usize) -> f32,
+        out: &mut DpeStep,
+    ) -> Result<(), SigmaError> {
+        self.products.fill(0.0);
+        let mut useful = 0usize;
+        for (wi, &word) in self.occupied_words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let slot = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let v = operand(self.contractions[slot]);
+                if v != 0.0 {
+                    useful += 1;
+                }
+                self.products[slot] = self.values[slot] * v;
+            }
+        }
+        self.fan
+            .reduce_into(
+                &self.products,
+                &self.vec_ids,
+                &[],
+                &mut self.fan_scratch,
+                &mut out.reduction,
+            )
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
+        out.useful_macs = useful;
+        out.operands_consumed = self.distinct_operands;
+        Ok(())
+    }
+
+    /// Computes the product vector for one streamed wave (shared by the
+    /// allocating step paths).
+    fn fill_products(
+        &self,
+        operand: &dyn Fn(usize) -> f32,
+        products: &mut [f32],
+        useful: &mut usize,
+    ) {
+        for (wi, &word) in self.occupied_words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let slot = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let v = operand(self.contractions[slot]);
+                if v != 0.0 {
+                    *useful += 1;
+                }
+                products[slot] = self.values[slot] * v;
+            }
+        }
     }
 
     /// [`FlexDpe::step`] with an armed [`FaultInjector`]: Benes delivery
@@ -165,25 +299,24 @@ impl FlexDpe {
     ) -> Result<DpeStep, SigmaError> {
         let mut delivered = vec![0.0f32; self.size];
         let mut occupied = vec![false; self.size];
-        let mut distinct: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-        for (slot, st) in self.stationary.iter().enumerate() {
-            if let Some(e) = st {
-                delivered[slot] = operand(e.contraction);
+        for slot in 0..self.size {
+            if self.slot_occupied(slot) {
+                delivered[slot] = operand(self.contractions[slot]);
                 occupied[slot] = true;
-                distinct.insert(e.contraction);
             }
         }
         injector.apply_port_faults(dpe_index, &mut delivered, &occupied, cycle);
 
         let mut products = vec![0.0f32; self.size];
         let mut useful = 0usize;
-        for (slot, st) in self.stationary.iter().enumerate() {
-            if let Some(e) = st {
+        for slot in 0..self.size {
+            if occupied[slot] {
                 let v = delivered[slot];
                 if v != 0.0 {
                     useful += 1;
                 }
-                products[slot] = injector.apply_multiplier(dpe_index, slot, e.value * v, cycle);
+                products[slot] =
+                    injector.apply_multiplier(dpe_index, slot, self.values[slot] * v, cycle);
             }
         }
         let adder_faults = injector.adder_faults(dpe_index, cycle);
@@ -191,7 +324,7 @@ impl FlexDpe {
             .fan
             .reduce_with_faults(&products, &self.vec_ids, &adder_faults)
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
-        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: distinct.len() })
+        Ok(DpeStep { reduction, useful_macs: useful, operands_consumed: self.distinct_operands })
     }
 
     /// Latency components of this engine: (distribution, multiply,
@@ -208,7 +341,8 @@ impl FlexDpe {
     /// multiplier needs (a [`crate::ControllerPlan::streaming_request`]).
     /// Functionally identical to [`FlexDpe::step`] — asserted in tests —
     /// but every operand word traverses routed switch states, and the
-    /// returned pass count is the distribution serialization.
+    /// returned pass count is the distribution serialization. The
+    /// multi-pass routing is memoized per request pattern.
     ///
     /// # Errors
     ///
@@ -219,30 +353,31 @@ impl FlexDpe {
     ///
     /// Panics if `request.len() != size`.
     pub fn step_routed(
-        &self,
+        &mut self,
         arrivals: &[f32],
         request: &[Option<usize>],
     ) -> Result<(DpeStep, usize), SigmaError> {
         assert_eq!(request.len(), self.size, "request must cover every multiplier");
-        let routing = self
-            .benes
-            .route_general_multicast(request)
+        let (routing, _) = self
+            .route_cache
+            .route_general_multicast_tracked(&self.benes, request)
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
         let mut inputs: Vec<Option<f32>> = vec![None; self.size];
         for (i, v) in arrivals.iter().enumerate().take(self.size) {
             inputs[i] = Some(*v);
         }
         let delivered = routing.apply(&inputs);
+        let pass_count = routing.pass_count();
 
         let mut products = vec![0.0f32; self.size];
         let mut useful = 0usize;
-        for (slot, st) in self.stationary.iter().enumerate() {
-            if let Some(e) = st {
+        for slot in 0..self.size {
+            if self.slot_occupied(slot) {
                 let v = delivered[slot].unwrap_or(0.0);
                 if v != 0.0 {
                     useful += 1;
                 }
-                products[slot] = e.value * v;
+                products[slot] = self.values[slot] * v;
             }
         }
         let reduction = self
@@ -250,10 +385,7 @@ impl FlexDpe {
             .reduce(&products, &self.vec_ids)
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
         let distinct = request.iter().flatten().collect::<std::collections::BTreeSet<_>>().len();
-        Ok((
-            DpeStep { reduction, useful_macs: useful, operands_consumed: distinct },
-            routing.pass_count(),
-        ))
+        Ok((DpeStep { reduction, useful_macs: useful, operands_consumed: distinct }, pass_count))
     }
 }
 
@@ -299,6 +431,37 @@ mod tests {
     }
 
     #[test]
+    fn step_into_matches_step_and_reuses_buffers() {
+        let mut dpe = FlexDpe::new(8).unwrap();
+        let els = elements(&[(0, 0, 2.0), (0, 1, 3.0), (0, 2, 4.0), (1, 1, 5.0), (1, 3, 6.0)]);
+        dpe.load(&els, &ids(&[0, 0, 0, 1, 1], 8)).unwrap();
+        let mut out = DpeStep::default();
+        for wave in 0..4 {
+            let shift = wave as f32;
+            let reference = dpe.step(&|k| (k + 1) as f32 + shift).unwrap();
+            dpe.step_into(&|k| (k + 1) as f32 + shift, &mut out).unwrap();
+            assert_eq!(out, reference, "wave {wave}");
+        }
+        // Reloading (fold swap) keeps step_into consistent too.
+        let els2 = elements(&[(2, 0, 1.0), (2, 2, 1.0), (3, 1, 7.0)]);
+        dpe.load(&els2, &ids(&[0, 0, 1], 8)).unwrap();
+        let reference = dpe.step(&|k| k as f32).unwrap();
+        dpe.step_into(&|k| k as f32, &mut out).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn repeated_loads_hit_the_route_cache() {
+        let mut dpe = FlexDpe::new(16).unwrap();
+        let els = elements(&[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0)]);
+        for _ in 0..5 {
+            dpe.load(&els, &ids(&[0, 0, 1], 16)).unwrap();
+        }
+        assert_eq!(dpe.route_cache().misses(), 1, "one cold route per distinct prefix");
+        assert_eq!(dpe.route_cache().hits(), 4);
+    }
+
+    #[test]
     fn zero_operands_are_not_useful() {
         let mut dpe = FlexDpe::new(4).unwrap();
         dpe.load(&elements(&[(0, 0, 1.0), (0, 1, 1.0)]), &ids(&[0, 0], 4)).unwrap();
@@ -316,6 +479,7 @@ mod tests {
         assert_eq!(dpe.occupied(), 0);
         let step = dpe.step(&|_| 1.0).unwrap();
         assert!(step.reduction.sums.is_empty());
+        assert_eq!(step.operands_consumed, 0);
     }
 
     #[test]
@@ -353,6 +517,12 @@ mod tests {
         assert_eq!(plain.useful_macs, routed.useful_macs);
         // This request descends once (rank 2 -> 1): two passes.
         assert_eq!(passes, 2);
+        // The same request pattern again is served from the cache with
+        // identical results.
+        let (routed2, passes2) = dpe.step_routed(&arrivals, &request).unwrap();
+        assert_eq!(routed2, routed);
+        assert_eq!(passes2, passes);
+        assert!(dpe.route_cache().hits() >= 1);
     }
 
     #[test]
@@ -364,6 +534,20 @@ mod tests {
         let (step, passes) = dpe.step_routed(&arrivals, &request).unwrap();
         assert_eq!(passes, 1);
         assert_eq!(step.reduction.sums[0].value, 60.0);
+    }
+
+    #[test]
+    fn route_caching_can_be_disabled() {
+        let mut dpe = FlexDpe::new(8).unwrap();
+        dpe.set_route_caching(false);
+        let els = elements(&[(0, 0, 1.0), (0, 1, 2.0)]);
+        for _ in 0..3 {
+            dpe.load(&els, &ids(&[0, 0], 8)).unwrap();
+        }
+        assert_eq!(dpe.route_cache().hits(), 0);
+        assert_eq!(dpe.route_cache().misses(), 3);
+        let step = dpe.step(&|k| (k + 1) as f32).unwrap();
+        assert_eq!(step.reduction.sums[0].value, 1.0 + 4.0);
     }
 
     #[test]

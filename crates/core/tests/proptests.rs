@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sigma_core::model::GemmProblem;
-use sigma_core::{ControllerPlan, DpuAllocator, FlexDpe, SigmaConfig};
+use sigma_core::{ControllerPlan, DpuAllocator, Engine, FlexDpe, SigmaConfig, SigmaSim};
 use sigma_matrix::gen::{sparse_uniform, Density};
 use sigma_matrix::GemmShape;
 
@@ -123,5 +123,43 @@ proptest! {
         let shares = alloc.partition(&problems).unwrap();
         prop_assert_eq!(shares.iter().sum::<usize>(), 8);
         prop_assert!(shares.iter().all(|&s| s >= 1));
+    }
+
+    /// Benes route caching is invisible: the same GEMM run with the route
+    /// cache enabled and disabled produces byte-identical [`EngineRun`]s
+    /// (result matrix, cycle stats, and trace) across random sparse and
+    /// irregular shapes, dataflows, and PE configurations.
+    #[test]
+    fn route_cache_runs_are_byte_identical_to_cold_routing(
+        m in 1usize..24, k in 1usize..20, n in 1usize..24,
+        d_a in 0u8..=10, d_b in 0u8..=10,
+        dpes in 1usize..5, log_size in 1u32..5,
+        seed in any::<u64>()
+    ) {
+        let dataflow = match seed % 3 {
+            0 => sigma_core::Dataflow::WeightStationary,
+            1 => sigma_core::Dataflow::InputStationary,
+            _ => sigma_core::Dataflow::NoLocalReuse,
+        };
+        let a = sparse_uniform(m, k, density(d_a), seed);
+        let b = sparse_uniform(k, n, density(d_b), seed ^ 0x5bd1_e995);
+        let cfg = SigmaConfig::new(dpes, 1 << log_size, 1 << log_size, dataflow).unwrap();
+
+        let cached = Engine::run(&SigmaSim::new(cfg).unwrap(), &a, &b).unwrap();
+        let cold =
+            Engine::run(&SigmaSim::new(cfg.with_route_cache(false)).unwrap(), &a, &b).unwrap();
+
+        prop_assert!(cached == cold, "cached and cold runs diverged");
+        // Belt and braces: the numeric results are bitwise equal, not
+        // merely PartialEq-equal (PartialEq on f32 would accept -0.0 == 0.0).
+        for i in 0..cached.result.rows() {
+            for j in 0..cached.result.cols() {
+                prop_assert_eq!(
+                    cached.result.get(i, j).to_bits(),
+                    cold.result.get(i, j).to_bits(),
+                    "bit divergence at ({}, {})", i, j
+                );
+            }
+        }
     }
 }

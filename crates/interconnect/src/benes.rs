@@ -47,6 +47,7 @@ pub enum SwitchState {
 
 impl SwitchState {
     /// Applies the switch to a pair of optional values.
+    #[inline]
     #[must_use]
     pub fn apply<T: Clone>(&self, i0: Option<T>, i1: Option<T>) -> (Option<T>, Option<T>) {
         match self {

@@ -90,7 +90,7 @@ pub struct SegmentSum {
 }
 
 /// Result of pushing one wave of multiplier outputs through the FAN.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FanReduction {
     /// One sum per cluster, in left-to-right leaf order.
     pub sums: Vec<SegmentSum>,
@@ -98,6 +98,23 @@ pub struct FanReduction {
     pub adds_performed: usize,
     /// Completion time of the slowest cluster in this wave, in cycles.
     pub critical_cycles: u32,
+}
+
+/// Reusable working state for [`Fan::reduce_into`].
+///
+/// The interval list, per-leaf completion table, and contiguity set are
+/// cleared (not dropped) between waves, so a warmed scratch makes the
+/// reduction allocation-free in steady state — the property the
+/// simulator's streaming hot loop relies on.
+#[derive(Debug, Clone, Default)]
+pub struct FanScratch {
+    /// Active `(leaf_start, leaf_end_inclusive, partial)` intervals.
+    intervals: Vec<(usize, usize, f32)>,
+    /// Completion cycle of the cluster starting at each leaf
+    /// (`u32::MAX` = not yet complete).
+    completion: Vec<u32>,
+    /// vecIDs whose runs have ended (contiguity validation).
+    seen: std::collections::HashSet<u32>,
 }
 
 /// A Forwarding Adder Network over `N` multiplier outputs.
@@ -165,6 +182,7 @@ impl Fan {
     /// # Panics
     ///
     /// Panics if `id >= adder_count()`.
+    #[inline]
     #[must_use]
     pub fn adder_level(&self, id: usize) -> u32 {
         assert!(id < self.adder_count(), "adder id {id} out of range");
@@ -241,6 +259,33 @@ impl Fan {
         vec_ids: &[Option<u32>],
         faults: &[crate::fault::AdderFault],
     ) -> Result<FanReduction, FanError> {
+        let mut scratch = FanScratch::default();
+        let mut out = FanReduction::default();
+        self.reduce_into(values, vec_ids, faults, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Fan::reduce_with_faults`]: the wave's sums are
+    /// written into `out` (cleared first) and all working state lives in
+    /// `scratch`, so a warmed `(scratch, out)` pair performs zero heap
+    /// allocations per wave. Produces byte-identical results to
+    /// [`Fan::reduce`] / [`Fan::reduce_with_faults`] — same add order,
+    /// same activation counts, same completion times.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fan::reduce`]; on error `out` holds an empty reduction.
+    pub fn reduce_into(
+        &self,
+        values: &[f32],
+        vec_ids: &[Option<u32>],
+        faults: &[crate::fault::AdderFault],
+        scratch: &mut FanScratch,
+        out: &mut FanReduction,
+    ) -> Result<(), FanError> {
+        out.sums.clear();
+        out.adds_performed = 0;
+        out.critical_cycles = 0;
         if values.len() != self.size {
             return Err(FanError::SizeMismatch { expected: self.size, actual: values.len() });
         }
@@ -248,13 +293,13 @@ impl Fan {
             return Err(FanError::SizeMismatch { expected: self.size, actual: vec_ids.len() });
         }
         // Contiguity check: every vecID forms a single run.
-        let mut seen = std::collections::HashSet::new();
+        scratch.seen.clear();
         let mut prev: Option<u32> = None;
         for id in vec_ids.iter() {
             match (prev, *id) {
                 (Some(p), Some(cur)) if p == cur => {}
                 (_, Some(cur)) => {
-                    if !seen.insert(cur) {
+                    if !scratch.seen.insert(cur) {
                         return Err(FanError::NonContiguousSegments(cur));
                     }
                 }
@@ -265,26 +310,24 @@ impl Fan {
 
         // Active intervals: (leaf_start, leaf_end_inclusive, partial value).
         // Level-by-level merging reproduces the hardware's add order.
-        let mut intervals: Vec<(usize, usize, f32)> = Vec::new();
+        let intervals = &mut scratch.intervals;
+        intervals.clear();
+        // Completion cycle by leaf start; u32::MAX marks "still reducing".
+        scratch.completion.resize(self.size, u32::MAX);
+        scratch.completion.fill(u32::MAX);
         for (i, id) in vec_ids.iter().enumerate() {
             if id.is_some() {
                 intervals.push((i, i, values[i]));
+                // Single-leaf clusters complete immediately (pure bypass).
+                let left_same = i > 0 && vec_ids[i - 1] == *id;
+                let right_same = i + 1 < self.size && vec_ids[i + 1] == *id;
+                if !left_same && !right_same {
+                    scratch.completion[i] = 0;
+                }
             }
         }
         let mut adds = 0usize;
         let levels = self.level_count();
-        let mut completion_cycle_of_start: std::collections::HashMap<usize, u32> =
-            std::collections::HashMap::new();
-        // Single-leaf clusters complete immediately (pure bypass).
-        for (i, id) in vec_ids.iter().enumerate() {
-            if id.is_some() {
-                let left_same = i > 0 && vec_ids[i - 1] == *id;
-                let right_same = i + 1 < self.size && vec_ids[i + 1] == *id;
-                if !left_same && !right_same {
-                    completion_cycle_of_start.insert(i, 0);
-                }
-            }
-        }
 
         for lvl in 0..levels {
             // Adders at this level whose flanking leaves share a cluster.
@@ -310,7 +353,7 @@ impl Fan {
                     let whole = (s0 == 0 || vec_ids[s0 - 1] != vec_ids[s0])
                         && (e1 + 1 == self.size || vec_ids[e1 + 1] != vec_ids[e1]);
                     if whole {
-                        completion_cycle_of_start.insert(s0, lvl + 1);
+                        scratch.completion[s0] = lvl + 1;
                     }
                     // Re-examine the same position: the merged interval may
                     // merge again with the next one at this level.
@@ -320,21 +363,22 @@ impl Fan {
             }
         }
 
-        let mut sums = Vec::with_capacity(intervals.len());
+        out.sums.reserve(intervals.len());
         let mut critical = 0u32;
-        for (s, e, v) in intervals {
-            let cycles = *completion_cycle_of_start
-                .get(&s)
-                .expect("every cluster completes within log2(N) levels");
+        for &(s, e, v) in intervals.iter() {
+            let cycles = scratch.completion[s];
+            debug_assert_ne!(cycles, u32::MAX, "every cluster completes within log2(N) levels");
             critical = critical.max(cycles);
-            sums.push(SegmentSum {
+            out.sums.push(SegmentSum {
                 vec_id: vec_ids[s].expect("interval starts at an active leaf"),
                 value: v,
                 leaf_range: (s, e),
                 completion_cycles: cycles,
             });
         }
-        Ok(FanReduction { sums, adds_performed: adds, critical_cycles: critical })
+        out.adds_performed = adds;
+        out.critical_cycles = critical;
+        Ok(())
     }
 }
 
@@ -498,6 +542,39 @@ mod tests {
         // A fault on an adder no cluster spans changes nothing.
         let idle = AdderFault { adder: 3, bit: 31, level: StuckLevel::One };
         assert_eq!(fan.reduce_with_faults(&values, &v, &[idle]).unwrap(), clean);
+    }
+
+    #[test]
+    fn reduce_into_matches_reduce_with_reused_scratch() {
+        let fan = Fan::new(16).unwrap();
+        let mut scratch = FanScratch::default();
+        let mut out = FanReduction::default();
+        let waves: Vec<(Vec<f32>, Vec<Option<u32>>)> = vec![
+            ((0..16).map(|x| x as f32).collect(), ids(&[0; 16])),
+            (
+                (0..16).map(|x| (x * 2) as f32).collect(),
+                ids(&[0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2, 3, 3, 3]),
+            ),
+            (vec![1.0; 16], ids(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15])),
+            (vec![2.0; 16], ids(&[-1, 0, 0, -1, 1, 1, 1, -1, -1, 2, 2, 2, 2, -1, 3, 3])),
+        ];
+        for (values, v) in &waves {
+            let reference = fan.reduce(values, v).unwrap();
+            fan.reduce_into(values, v, &[], &mut scratch, &mut out).unwrap();
+            assert_eq!(out, reference, "scratch reuse must not change results");
+        }
+    }
+
+    #[test]
+    fn reduce_into_clears_output_on_error() {
+        let fan = Fan::new(4).unwrap();
+        let mut scratch = FanScratch::default();
+        let mut out = FanReduction::default();
+        fan.reduce_into(&[1.0; 4], &ids(&[0, 0, 1, 1]), &[], &mut scratch, &mut out).unwrap();
+        assert_eq!(out.sums.len(), 2);
+        let err = fan.reduce_into(&[1.0; 4], &ids(&[0, 1, 0, 1]), &[], &mut scratch, &mut out);
+        assert_eq!(err, Err(FanError::NonContiguousSegments(0)));
+        assert!(out.sums.is_empty(), "stale sums must not survive an error");
     }
 
     #[test]

@@ -32,12 +32,14 @@ pub mod butterfly;
 pub mod fan;
 pub mod fault;
 pub mod reduction;
+pub mod route_cache;
 
 pub use benes::{BenesConfig, BenesError, BenesNetwork, MultipassRouting, SwitchState};
 pub use butterfly::{Butterfly, ButterflyRouting};
-pub use fan::{Fan, FanError, FanReduction, SegmentSum};
+pub use fan::{Fan, FanError, FanReduction, FanScratch, SegmentSum};
 pub use fault::{flip_bit, force_bit, AdderFault, StuckLevel};
 pub use reduction::{ReductionKind, ReductionNetwork};
+pub use route_cache::RouteCache;
 
 /// `true` if `n` is a power of two (and non-zero).
 #[must_use]

@@ -59,6 +59,7 @@ impl Bitmap {
     /// Panics (in debug builds) if out of bounds; release builds return an
     /// arbitrary in-buffer bit only when indices are in range of the buffer,
     /// so callers must stay in bounds.
+    #[inline]
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> bool {
         assert!(r < self.rows && c < self.cols, "bitmap index ({r},{c}) out of bounds");
@@ -71,6 +72,7 @@ impl Bitmap {
     /// # Panics
     ///
     /// Panics if out of bounds.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
         assert!(r < self.rows && c < self.cols, "bitmap index ({r},{c}) out of bounds");
         let (w, b) = self.index(r, c);
@@ -82,9 +84,31 @@ impl Bitmap {
     }
 
     /// Number of set bits (non-zero elements).
+    #[inline]
     #[must_use]
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Popcount of the bit range `[start, end)` over the packed words:
+    /// whole words in the interior, masked partial words at the edges.
+    fn count_ones_bit_range(&self, start: usize, end: usize) -> usize {
+        if start >= end {
+            return 0;
+        }
+        let (sw, sb) = (start / 64, (start % 64) as u32);
+        let (ew, eb) = (end / 64, (end % 64) as u32);
+        if sw == ew {
+            let width = eb - sb;
+            let mask = ((1u64 << width) - 1) << sb;
+            return (self.words[sw] & mask).count_ones() as usize;
+        }
+        let mut n = (self.words[sw] >> sb).count_ones() as usize;
+        n += self.words[sw + 1..ew].iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        if eb > 0 {
+            n += (self.words[ew] & ((1u64 << eb) - 1)).count_ones() as usize;
+        }
+        n
     }
 
     /// Number of backing `u64` storage words.
@@ -110,14 +134,17 @@ impl Bitmap {
         self.words[word] ^= mask & keep;
     }
 
-    /// Number of set bits in row `r`.
+    /// Number of set bits in row `r` (word-at-a-time popcount; rows are
+    /// contiguous bit ranges in the row-major packing).
     ///
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    #[inline]
     #[must_use]
     pub fn row_count_ones(&self, r: usize) -> usize {
-        (0..self.cols).filter(|&c| self.get(r, c)).count()
+        assert!(r < self.rows, "bitmap row {r} out of bounds");
+        self.count_ones_bit_range(r * self.cols, (r + 1) * self.cols)
     }
 
     /// Number of set bits in column `c`.
@@ -131,10 +158,28 @@ impl Bitmap {
     }
 
     /// OR of all bits in row `r` — one step of the controller's `REGOR`
-    /// computation (Fig. 5, Step ii).
+    /// computation (Fig. 5, Step ii). Word-at-a-time with early exit.
+    #[inline]
     #[must_use]
     pub fn row_or(&self, r: usize) -> bool {
-        self.row_count_ones(r) > 0
+        assert!(r < self.rows, "bitmap row {r} out of bounds");
+        let (start, end) = (r * self.cols, (r + 1) * self.cols);
+        if start >= end {
+            return false;
+        }
+        let (sw, sb) = (start / 64, (start % 64) as u32);
+        let (ew, eb) = (end / 64, (end % 64) as u32);
+        if sw == ew {
+            let mask = ((1u64 << (eb - sb)) - 1) << sb;
+            return self.words[sw] & mask != 0;
+        }
+        if self.words[sw] >> sb != 0 {
+            return true;
+        }
+        if self.words[sw + 1..ew].iter().any(|&w| w != 0) {
+            return true;
+        }
+        eb > 0 && self.words[ew] & ((1u64 << eb) - 1) != 0
     }
 
     /// The column vector of per-row ORs — the full `REGOR` register file of
@@ -169,10 +214,13 @@ impl Bitmap {
     /// Iterator over `(row, col)` coordinates of set bits in row-major
     /// order — the order in which the SIGMA controller assigns counter
     /// values to stationary elements (Fig. 5, Step v).
-    pub fn iter_ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.rows)
-            .flat_map(move |r| (0..self.cols).map(move |c| (r, c)))
-            .filter(move |&(r, c)| self.get(r, c))
+    ///
+    /// Skips zero words and walks set bits with `trailing_zeros`, so cost
+    /// scales with `nnz + words`, not `rows * cols`. Bits past the logical
+    /// end are never set (`set`/`xor_word` maintain that invariant), so the
+    /// word scan cannot yield out-of-range coordinates.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter { bitmap: self, word_idx: 0, pending: self.words.first().copied().unwrap_or(0) }
     }
 
     /// The transpose of this bitmap.
@@ -192,6 +240,31 @@ impl Bitmap {
             return 0.0;
         }
         self.count_ones() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+/// Word-skipping iterator over the set bits of a [`Bitmap`] in row-major
+/// order (see [`Bitmap::iter_ones`]).
+#[derive(Debug, Clone)]
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    pending: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = (usize, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pending == 0 {
+            self.word_idx += 1;
+            self.pending = *self.bitmap.words.get(self.word_idx)?;
+        }
+        let tz = self.pending.trailing_zeros() as usize;
+        self.pending &= self.pending - 1;
+        let bit = self.word_idx * 64 + tz;
+        Some((bit / self.bitmap.cols, bit % self.bitmap.cols))
     }
 }
 
@@ -296,6 +369,43 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn xor_word_out_of_range_panics() {
         Bitmap::new(2, 2).xor_word(1, 1);
+    }
+
+    #[test]
+    fn row_ops_agree_with_per_bit_reference_across_word_boundaries() {
+        // 5 x 137 spans many words with rows straddling word boundaries.
+        let mut b = Bitmap::new(5, 137);
+        for i in 0..(5 * 137) {
+            if i % 7 == 0 || i % 31 == 3 {
+                b.set(i / 137, i % 137, true);
+            }
+        }
+        for r in 0..5 {
+            let reference = (0..137).filter(|&c| b.get(r, c)).count();
+            assert_eq!(b.row_count_ones(r), reference, "row {r}");
+            assert_eq!(b.row_or(r), reference > 0, "row {r}");
+        }
+        let naive: Vec<(usize, usize)> = (0..5)
+            .flat_map(|r| (0..137).map(move |c| (r, c)))
+            .filter(|&(r, c)| b.get(r, c))
+            .collect();
+        let fast: Vec<_> = b.iter_ones().collect();
+        assert_eq!(fast, naive, "iter_ones must stay row-major");
+    }
+
+    #[test]
+    fn row_ops_on_word_aligned_and_empty_shapes() {
+        let mut b = Bitmap::new(3, 64); // rows exactly word-aligned
+        b.set(1, 0, true);
+        b.set(1, 63, true);
+        assert_eq!(b.row_count_ones(0), 0);
+        assert_eq!(b.row_count_ones(1), 2);
+        assert!(b.row_or(1));
+        assert!(!b.row_or(2));
+        let empty = Bitmap::new(4, 0);
+        assert_eq!(empty.row_count_ones(2), 0);
+        assert!(!empty.row_or(0));
+        assert_eq!(empty.iter_ones().count(), 0);
     }
 
     #[test]
