@@ -12,3 +12,16 @@ cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet
 # committed BENCH_sim.json baseline (release build; the check self-skips
 # in debug builds where timings are incomparable).
 cargo run -q --release -p sigma-bench --bin perf_bench -- --check --smoke
+# Telemetry smoke leg: the trace subcommand must emit a Chrome trace that
+# passes its own validator, and a telemetry sweep must surface the new
+# profiling columns and drop a telemetry_summary.json.
+cargo run -q --release -p sigma-bench --bin sigma_cli -- trace \
+    --out /tmp/sigma_ci.trace.json --m 24 --n 24 --k 24 \
+    --input-sparsity 0.5 --weight-sparsity 0.5
+grep -q '"traceEvents"' /tmp/sigma_ci.trace.json
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep --telemetry \
+    --workload 16:16:16:0.5:0.5 --output csv \
+    --out /tmp/sigma_ci_telemetry_summary.json > /tmp/sigma_ci_sweep.csv
+grep -q 'route_cache_hits' /tmp/sigma_ci_sweep.csv
+grep -q 'wall_ms' /tmp/sigma_ci_sweep.csv
+grep -q '"route_cache"' /tmp/sigma_ci_telemetry_summary.json

@@ -17,6 +17,8 @@
 //!   the tolerance (15%; 30% under `--smoke`, whose low rep count is
 //!   noisier; override with `SIGMA_PERF_TOLERANCE=<fraction>`);
 //! * `--smoke` — CI subset: the small end of the ladder at low rep count;
+//! * `--telemetry` — measure each case twice (telemetry off, then on) and
+//!   report the instrumentation overhead per case; no baseline is written;
 //! * `--out PATH` / `--baseline PATH` — override the baseline location;
 //! * `--quiet` — suppress the table.
 //!
@@ -24,7 +26,7 @@
 //! magnitude off the committed numbers, so an unoptimized gate run warns
 //! and skips the comparison (force with `SIGMA_PERF_FORCE_CHECK=1`).
 
-use sigma_bench::perf::{cases, measure, parse_baseline, to_json, PerfMeasurement};
+use sigma_bench::perf::{cases, measure, measure_with, parse_baseline, to_json, PerfMeasurement};
 use sigma_bench::util::Table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,26 +44,33 @@ struct Args {
     check: bool,
     smoke: bool,
     quiet: bool,
+    telemetry: bool,
     baseline: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { check: false, smoke: false, quiet: false, baseline: default_baseline_path() };
+    let mut args = Args {
+        check: false,
+        smoke: false,
+        quiet: false,
+        telemetry: false,
+        baseline: default_baseline_path(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => args.check = true,
             "--smoke" => args.smoke = true,
             "--quiet" => args.quiet = true,
+            "--telemetry" => args.telemetry = true,
             "--out" | "--baseline" => {
                 let path = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
                 args.baseline = PathBuf::from(path);
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: perf_bench [--check] [--smoke] [--quiet] [--out PATH] \
-                     [--baseline PATH]"
+                    "usage: perf_bench [--check] [--smoke] [--telemetry] [--quiet] \
+                     [--out PATH] [--baseline PATH]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +78,36 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `--telemetry`: times every ladder case with the registry off and on and
+/// prints the per-case overhead, so DESIGN.md's quoted number stays
+/// reproducible with one command.
+fn run_overhead(ladder: &[sigma_bench::perf::PerfCase], reps: usize, quiet: bool) -> ExitCode {
+    let mut t = Table::new(
+        "perf_bench - telemetry overhead (cycles simulated per second)",
+        &["case", "pes", "Mcyc/s off", "Mcyc/s on", "overhead"],
+    );
+    let mut worst: f64 = 0.0;
+    for case in ladder {
+        if !quiet {
+            eprintln!("perf_bench: timing {} off/on ({} PEs)...", case.name, case.pes());
+        }
+        let off = measure_with(case, reps, false);
+        let on = measure_with(case, reps, true);
+        let overhead = off.cycles_per_sec / on.cycles_per_sec - 1.0;
+        worst = worst.max(overhead);
+        t.push(vec![
+            case.name.to_string(),
+            case.pes().to_string(),
+            format!("{:.3}", off.cycles_per_sec / 1e6),
+            format!("{:.3}", on.cycles_per_sec / 1e6),
+            format!("{:+.1}%", 100.0 * overhead),
+        ]);
+    }
+    print!("{t}");
+    eprintln!("perf_bench: worst-case telemetry overhead {:.1}%", 100.0 * worst);
+    ExitCode::SUCCESS
 }
 
 fn tolerance(smoke: bool) -> f64 {
@@ -122,6 +161,10 @@ fn main() -> ExitCode {
 
     let reps = if args.smoke { SMOKE_REPS } else { FULL_REPS };
     let ladder: Vec<_> = cases().into_iter().filter(|c| !args.smoke || c.smoke).collect();
+
+    if args.telemetry {
+        return run_overhead(&ladder, reps, args.quiet);
+    }
 
     let baseline_text = std::fs::read_to_string(&args.baseline).unwrap_or_default();
     let baseline = parse_baseline(&baseline_text);

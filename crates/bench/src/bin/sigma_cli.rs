@@ -12,17 +12,23 @@
 //!
 //! # The whole fleet over the demo suite, in parallel:
 //! cargo run -p sigma-bench --bin sigma_cli -- --sweep [--threads 4] [--seed 7] [--output json]
+//!
+//! # A Perfetto-loadable Chrome trace of one functional SIGMA run:
+//! cargo run -p sigma-bench --bin sigma_cli -- trace --out run.trace.json \
+//!     [--m M --n N --k K --input-sparsity S --weight-sparsity S] [--telemetry]
 //! ```
 //!
-//! `--list-engines` prints the registry's slugs.
+//! `--list-engines` prints the registry's slugs. `--telemetry` on a sweep
+//! turns on per-cell wall-time profiling, a live progress line, and a
+//! `telemetry_summary.json` artifact (path via `--out`).
 
 use sigma_baselines::{GemmAccelerator, SystolicArray};
 use sigma_bench::harness::{
     default_registry, demo_suite, engine_by_name, records_table, records_to_json, Sweep,
-    WorkloadSpec,
+    SweepProfile, WorkloadSpec,
 };
 use sigma_core::model::{estimate, estimate_best, GemmProblem};
-use sigma_core::{Dataflow, SigmaConfig, SigmaSim};
+use sigma_core::{validate_chrome_trace, Dataflow, SigmaConfig, SigmaSim};
 use sigma_energy::EnergyBreakdown;
 use sigma_matrix::gen::{sparse_uniform, Density};
 use sigma_matrix::GemmShape;
@@ -43,6 +49,9 @@ struct Args {
     engine: Option<String>,
     list_engines: bool,
     sweep: bool,
+    trace: bool,
+    telemetry: bool,
+    out: Option<String>,
     threads: Option<usize>,
     seed: u64,
     output: Output,
@@ -72,6 +81,9 @@ impl Args {
             engine: None,
             list_engines: false,
             sweep: false,
+            trace: false,
+            telemetry: false,
+            out: None,
             threads: None,
             seed: 1,
             output: Output::Text,
@@ -146,10 +158,16 @@ impl Args {
                     };
                     Ok(())
                 })?,
+                "--out" => take(&mut |v| {
+                    args.out = Some(v.to_string());
+                    Ok(())
+                })?,
                 "--functional" => args.functional = true,
                 "--energy" => args.energy = true,
                 "--list-engines" => args.list_engines = true,
                 "--sweep" => args.sweep = true,
+                "--telemetry" => args.telemetry = true,
+                "trace" => args.trace = true,
                 "--help" | "-h" => {
                     return Err("usage: sigma_cli [--m M] [--n N] [--k K] \
                         [--input-sparsity S] [--weight-sparsity S] \
@@ -157,7 +175,8 @@ impl Args {
                         [--functional] [--energy] \
                         | --engine NAME [--seed S] \
                         | --sweep [--workload M:N:K[:da[:db]]]... [--threads T] [--seed S] \
-                        [--output text|csv|json] \
+                        [--output text|csv|json] [--telemetry] [--out SUMMARY.json] \
+                        | trace [--out TRACE.json] [--telemetry] [--seed S] \
                         | --list-engines"
                         .to_string())
                 }
@@ -239,6 +258,79 @@ fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
     Ok(WorkloadSpec::new(spec, GemmProblem::sparse(shape, da, db)))
 }
 
+/// `trace`: one functional SIGMA run rendered as a Chrome trace-event
+/// document, self-validated before it is written (track totals must
+/// equal the run's Table-II phase totals).
+fn run_trace(args: &Args) -> i32 {
+    let cap = 64usize;
+    let shape = GemmShape::new(args.m.min(cap), args.n.min(cap), args.k.min(cap));
+    if (shape.m, shape.n, shape.k) != (args.m, args.n, args.k) {
+        eprintln!("(traced functional run capped to {shape})");
+    }
+    let p = GemmProblem::sparse(shape, 1.0 - args.input_sparsity, 1.0 - args.weight_sparsity);
+    let (a, b) = materialize(&p, args.seed);
+    let cfg = SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary)
+        .unwrap()
+        .with_telemetry(args.telemetry);
+    let sim = SigmaSim::new(cfg).unwrap();
+    let (run, trace) = match sim.run_gemm_traced(&a, &b) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return 1;
+        }
+    };
+
+    let process = format!("SIGMA 4x16 {shape} seed {}", args.seed);
+    let json = trace.to_chrome_trace(&process).to_json();
+    let summary = match validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace: generated document failed validation: {e}");
+            return 1;
+        }
+    };
+    let phases = [
+        ("phase: load", run.stats.loading_cycles),
+        ("phase: stream", run.stats.streaming_cycles),
+        ("phase: drain", run.stats.add_cycles),
+    ];
+    for (track, cycles) in phases {
+        if summary.track(track) != Some(cycles) {
+            eprintln!(
+                "trace: track {track:?} sums to {:?}, stats say {cycles}",
+                summary.track(track)
+            );
+            return 1;
+        }
+    }
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("trace: cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "wrote {path}: {} spans, {} counter samples, {} cycles \
+                 (load {}, stream {}, drain {}) — open at ui.perfetto.dev",
+                summary.span_count,
+                summary.counter_count,
+                run.stats.total_cycles(),
+                run.stats.loading_cycles,
+                run.stats.streaming_cycles,
+                run.stats.add_cycles
+            );
+        }
+        None => print!("{json}"),
+    }
+    if args.telemetry {
+        let handle = sim.telemetry_handle();
+        eprintln!("telemetry snapshot:\n{}", handle.snapshot().to_json());
+    }
+    0
+}
+
 /// `--sweep`: the whole registry over the demo suite (or `--workload`s).
 fn run_sweep(args: &Args) -> i32 {
     let workloads = if args.workloads.is_empty() {
@@ -252,7 +344,7 @@ fn run_sweep(args: &Args) -> i32 {
             }
         }
     };
-    let mut sweep = Sweep::new(workloads).with_seed(args.seed);
+    let mut sweep = Sweep::new(workloads).with_seed(args.seed).with_telemetry(args.telemetry);
     if let Some(t) = args.threads {
         sweep = sweep.with_threads(t);
     }
@@ -261,6 +353,17 @@ fn run_sweep(args: &Args) -> i32 {
         Output::Text => println!("{}", records_table("Engine sweep", &records)),
         Output::Csv => print!("{}", records_table("Engine sweep", &records).to_csv()),
         Output::Json => print!("{}", records_to_json(&records)),
+    }
+    if args.telemetry {
+        let summary = SweepProfile::from_records(&records).to_json();
+        let path = args.out.as_deref().unwrap_or("telemetry_summary.json");
+        match std::fs::write(path, &summary) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
     }
     i32::from(records.iter().any(|r| !r.verified))
 }
@@ -280,6 +383,9 @@ fn main() {
     }
     if args.engine.is_some() {
         std::process::exit(run_engine(&args));
+    }
+    if args.trace {
+        std::process::exit(run_trace(&args));
     }
     if args.sweep {
         std::process::exit(run_sweep(&args));

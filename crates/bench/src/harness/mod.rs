@@ -14,6 +14,8 @@
 //!   `ok | error | panic | timeout`);
 //! * [`chaos`] — deliberately misbehaving engines (panic / wedge /
 //!   flake) used to prove the sweep's degradation contract;
+//! * [`profile`] — the sweep-level telemetry aggregate (wall time, retry
+//!   pressure, route-cache economy) behind `telemetry_summary.json`;
 //! * [`record`] — the structured [`RunRecord`] row every sweep produces,
 //!   rendered via [`Table`](crate::util::Table) (text/CSV) or JSON;
 //! * [`analytic`] — [`SigmaAnalytic`], the best-dataflow analytic SIGMA
@@ -28,6 +30,7 @@
 pub mod analytic;
 pub mod chaos;
 pub mod emit;
+pub mod profile;
 pub mod record;
 pub mod registry;
 pub mod sweep;
@@ -35,6 +38,7 @@ pub mod sweep;
 pub use analytic::{speedup_over, SigmaAnalytic};
 pub use chaos::{FlakyEngine, PanickingEngine, WedgingEngine};
 pub use emit::{emit_tables, emit_tables_with};
-pub use record::{records_table, records_to_json, RunRecord, RunStatus};
+pub use profile::{EngineProfile, SweepProfile};
+pub use record::{records_table, records_to_json, CellProfile, RunRecord, RunStatus};
 pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};
 pub use sweep::{demo_suite, derive_seed, par_map, Sweep, WorkloadSpec};

@@ -32,6 +32,31 @@ impl std::fmt::Display for RunStatus {
     }
 }
 
+/// Harness-level profiling of one sweep cell: wall time, retry count,
+/// and an operand-footprint proxy for peak memory.
+///
+/// The default profile is all-zero with one attempt, which is what every
+/// cell reports when sweep telemetry is off — keeping the CSV/JSON output
+/// byte-identical to a telemetry-free harness (`wall_ms` renders as
+/// `0.000` deterministically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellProfile {
+    /// Wall-clock time of the cell in milliseconds (0.0 when sweep
+    /// telemetry is off, so records stay deterministic).
+    pub wall_ms: f64,
+    /// Executions the cell took: 1 plus any watchdog/panic retries.
+    pub attempts: u32,
+    /// Deterministic operand-footprint proxy in bytes (nnz of both
+    /// operands times the element + index cost).
+    pub mem_est_bytes: u64,
+}
+
+impl Default for CellProfile {
+    fn default() -> Self {
+        Self { wall_ms: 0.0, attempts: 1, mem_est_bytes: 0 }
+    }
+}
+
 /// One (engine, workload) execution, flattened for CSV/JSON emission.
 ///
 /// Field order here is the column order of [`records_table`] and the key
@@ -93,13 +118,24 @@ pub struct RunRecord {
     pub faults_corrected: u64,
     /// Fault effects that left the final result wrong.
     pub faults_escaped: u64,
+    /// Benes route-cache hits across the run.
+    pub route_cache_hits: u64,
+    /// Benes route-cache misses (cold routings) across the run.
+    pub route_cache_misses: u64,
+    /// Wall-clock milliseconds the cell took (0.0 unless sweep telemetry
+    /// was on).
+    pub wall_ms: f64,
+    /// Executions the cell took (1 + retries).
+    pub attempts: u32,
+    /// Deterministic operand-memory proxy in bytes.
+    pub mem_est_bytes: u64,
     /// Engine error / panic / timeout message, when the cell failed.
     pub error: Option<String>,
 }
 
 impl RunRecord {
     /// Column headers, in field order.
-    pub const HEADERS: [&'static str; 28] = [
+    pub const HEADERS: [&'static str; 33] = [
         "engine_slug",
         "engine",
         "workload",
@@ -127,6 +163,11 @@ impl RunRecord {
         "faults_detected",
         "faults_corrected",
         "faults_escaped",
+        "route_cache_hits",
+        "route_cache_misses",
+        "wall_ms",
+        "attempts",
+        "mem_est_bytes",
         "error",
     ];
 
@@ -143,6 +184,7 @@ impl RunRecord {
         run: &EngineRun,
         max_abs_err: f64,
         verified: bool,
+        profile: CellProfile,
     ) -> Self {
         let s = &run.stats;
         Self {
@@ -173,6 +215,11 @@ impl RunRecord {
             faults_detected: s.faults_detected,
             faults_corrected: s.faults_corrected,
             faults_escaped: s.faults_escaped,
+            route_cache_hits: s.route_cache_hits,
+            route_cache_misses: s.route_cache_misses,
+            wall_ms: profile.wall_ms,
+            attempts: profile.attempts,
+            mem_est_bytes: profile.mem_est_bytes,
             error: None,
         }
     }
@@ -188,7 +235,17 @@ impl RunRecord {
         seed: u64,
         error: String,
     ) -> Self {
-        Self::from_failure(slug, engine_name, pes, workload, problem, seed, RunStatus::Error, error)
+        Self::from_failure(
+            slug,
+            engine_name,
+            pes,
+            workload,
+            problem,
+            seed,
+            RunStatus::Error,
+            error,
+            CellProfile::default(),
+        )
     }
 
     /// Builds a record for a cell that did not produce a result: an
@@ -204,6 +261,7 @@ impl RunRecord {
         seed: u64,
         status: RunStatus,
         error: String,
+        profile: CellProfile,
     ) -> Self {
         Self {
             engine_slug: slug.to_string(),
@@ -233,6 +291,11 @@ impl RunRecord {
             faults_detected: 0,
             faults_corrected: 0,
             faults_escaped: 0,
+            route_cache_hits: 0,
+            route_cache_misses: 0,
+            wall_ms: profile.wall_ms,
+            attempts: profile.attempts,
+            mem_est_bytes: profile.mem_est_bytes,
             error: Some(error),
         }
     }
@@ -268,6 +331,11 @@ impl RunRecord {
             self.faults_detected.to_string(),
             self.faults_corrected.to_string(),
             self.faults_escaped.to_string(),
+            self.route_cache_hits.to_string(),
+            self.route_cache_misses.to_string(),
+            format!("{:.3}", self.wall_ms),
+            self.attempts.to_string(),
+            self.mem_est_bytes.to_string(),
             self.error.clone().unwrap_or_default(),
         ]
     }
@@ -310,6 +378,11 @@ impl RunRecord {
             ("faults_detected", self.faults_detected.to_string()),
             ("faults_corrected", self.faults_corrected.to_string()),
             ("faults_escaped", self.faults_escaped.to_string()),
+            ("route_cache_hits", self.route_cache_hits.to_string()),
+            ("route_cache_misses", self.route_cache_misses.to_string()),
+            ("wall_ms", format!("{:.3}", self.wall_ms)),
+            ("attempts", self.attempts.to_string()),
+            ("mem_est_bytes", self.mem_est_bytes.to_string()),
             ("error", self.error.as_deref().map_or_else(|| "null".to_string(), json_string)),
         ];
         let body: Vec<String> =
@@ -354,7 +427,18 @@ mod tests {
             Matrix::zeros(4, 5),
             CycleStats { streaming_cycles: 10, pes: 8, ..CycleStats::default() },
         );
-        RunRecord::from_run("eng", "Engine", 8, "wl", &p, 7, &run, 1e-6, true)
+        RunRecord::from_run(
+            "eng",
+            "Engine",
+            8,
+            "wl",
+            &p,
+            7,
+            &run,
+            1e-6,
+            true,
+            CellProfile::default(),
+        )
     }
 
     #[test]
@@ -370,10 +454,29 @@ mod tests {
     #[test]
     fn status_column_reflects_failure_kind() {
         let p = GemmProblem::dense(GemmShape::new(2, 2, 2));
-        let panic =
-            RunRecord::from_failure("e", "E", 1, "w", &p, 0, RunStatus::Panic, "kaboom".into());
-        let timeout =
-            RunRecord::from_failure("e", "E", 1, "w", &p, 0, RunStatus::Timeout, "wedged".into());
+        let profile = CellProfile::default();
+        let panic = RunRecord::from_failure(
+            "e",
+            "E",
+            1,
+            "w",
+            &p,
+            0,
+            RunStatus::Panic,
+            "kaboom".into(),
+            profile,
+        );
+        let timeout = RunRecord::from_failure(
+            "e",
+            "E",
+            1,
+            "w",
+            &p,
+            0,
+            RunStatus::Timeout,
+            "wedged".into(),
+            profile,
+        );
         let status_col = RunRecord::HEADERS.iter().position(|h| *h == "status").unwrap();
         assert_eq!(panic.row()[status_col], "panic");
         assert_eq!(timeout.row()[status_col], "timeout");
@@ -392,6 +495,26 @@ mod tests {
         assert!(j.contains("\"engine_slug\": \"eng\""));
         assert!(j.contains("\"error\": null"));
         assert_eq!(j.matches("\"total_cycles\"").count(), 2);
+    }
+
+    #[test]
+    fn profile_and_route_cache_columns_render() {
+        let mut r = sample();
+        assert!(r.to_json().contains("\"wall_ms\": 0.000"), "default profile is deterministic");
+        assert!(r.to_json().contains("\"attempts\": 1"));
+        r.wall_ms = 12.3456;
+        r.attempts = 3;
+        r.mem_est_bytes = 4096;
+        r.route_cache_hits = 9;
+        r.route_cache_misses = 2;
+        let row = r.row();
+        let col = |name: &str| RunRecord::HEADERS.iter().position(|h| *h == name).unwrap();
+        assert_eq!(row[col("wall_ms")], "12.346");
+        assert_eq!(row[col("attempts")], "3");
+        assert_eq!(row[col("mem_est_bytes")], "4096");
+        assert_eq!(row[col("route_cache_hits")], "9");
+        assert_eq!(row[col("route_cache_misses")], "2");
+        assert!(r.to_json().contains("\"route_cache_hits\": 9"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! thread running detached until the engine returns on its own (Rust has
 //! no safe thread cancellation); the sweep simply stops waiting for it.
 
-use crate::harness::record::{RunRecord, RunStatus};
+use crate::harness::record::{CellProfile, RunRecord, RunStatus};
 use crate::harness::registry::EngineEntry;
 use sigma_core::model::GemmProblem;
 use sigma_core::{Engine, EngineError, EngineRun};
@@ -187,6 +187,7 @@ pub struct Sweep {
     threads: usize,
     budget: Option<Duration>,
     retries: u32,
+    telemetry: bool,
 }
 
 impl Sweep {
@@ -203,6 +204,7 @@ impl Sweep {
             threads,
             budget: Some(Duration::from_secs(30)),
             retries: 0,
+            telemetry: false,
         }
     }
 
@@ -233,6 +235,23 @@ impl Sweep {
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
         self
+    }
+
+    /// Turns harness telemetry on or off (default: off). With telemetry
+    /// on, each record carries the cell's wall-clock time and a live
+    /// one-line progress counter is written to stderr; with it off, the
+    /// timing columns render as constants, so records stay byte-identical
+    /// across thread counts and machines.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Whether harness telemetry is on.
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
     }
 
     /// The sweep seed.
@@ -287,17 +306,28 @@ impl Sweep {
             .flat_map(|ei| (0..self.workloads.len()).map(move |wi| (ei, wi)))
             .collect();
 
+        let total = jobs.len();
+        let completed = AtomicUsize::new(0);
         par_map(&jobs, threads, |_, &(ei, wi)| {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
             let input = &prepared[wi];
+            let started = self.telemetry.then(std::time::Instant::now);
             let mut outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
-            let mut attempts = 0;
-            while attempts < self.retries && matches!(outcome, CellOutcome::Failed(..)) {
+            let mut attempts: u32 = 1;
+            while attempts <= self.retries && matches!(outcome, CellOutcome::Failed(..)) {
                 attempts += 1;
                 outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
             }
-            match outcome {
+            // The operand footprint is derived from nnz alone, so it is
+            // deterministic; wall time is only recorded when telemetry is
+            // on, keeping default records byte-identical across machines.
+            let profile = CellProfile {
+                wall_ms: started.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3),
+                attempts,
+                mem_est_bytes: operand_footprint_bytes(&input.a, &input.b),
+            };
+            let record = match outcome {
                 CellOutcome::Done(run) => {
                     let max_abs_err = f64::from(run.result.max_abs_diff(&input.reference));
                     let verified = run.result.approx_eq(&input.reference, input.tol);
@@ -311,6 +341,7 @@ impl Sweep {
                         &run,
                         max_abs_err,
                         verified,
+                        profile,
                     )
                 }
                 CellOutcome::Failed(status, msg) => RunRecord::from_failure(
@@ -322,10 +353,30 @@ impl Sweep {
                     input.seed,
                     status,
                     msg,
+                    profile,
                 ),
+            };
+            if self.telemetry {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprint!("\r[sweep] {done}/{total} cells ({}: {})", entry.slug, w.name);
+                if done == total {
+                    eprintln!();
+                }
             }
+            record
         })
     }
+}
+
+/// Deterministic estimate of a cell's operand working set: compressed
+/// non-zero values plus the one-bit-per-position bitmaps SIGMA's
+/// controller scans (Sec. IV-D). A proxy for resident memory that is a
+/// pure function of the operands, so it is identical across machines,
+/// thread counts, and telemetry settings.
+fn operand_footprint_bytes(a: &SparseMatrix, b: &SparseMatrix) -> u64 {
+    let values = 4 * (a.nnz() + b.nnz()) as u64;
+    let bitmaps = ((a.rows() * a.cols() + b.rows() * b.cols()) as u64).div_ceil(8);
+    values + bitmaps
 }
 
 /// A small functional-scale suite (dense, paper-sparse, irregular, tall)

@@ -78,10 +78,21 @@ impl PerfCase {
     /// Panics if the case geometry is invalid (a bug in the case table).
     #[must_use]
     pub fn sim(&self) -> SigmaSim {
+        self.sim_with(false)
+    }
+
+    /// The simulator for this case, with telemetry on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case geometry is invalid (a bug in the case table).
+    #[must_use]
+    pub fn sim_with(&self, telemetry: bool) -> SigmaSim {
         let cfg = SigmaConfig::new(self.num_dpes, self.dpe_size, self.dpe_size, self.dataflow)
             .expect("case geometry is valid")
             .with_stream_bandwidth(self.pes())
-            .expect("non-zero stream bandwidth");
+            .expect("non-zero stream bandwidth")
+            .with_telemetry(telemetry);
         SigmaSim::new(cfg).expect("case config is valid")
     }
 }
@@ -203,9 +214,21 @@ pub struct PerfMeasurement {
 /// GEMM, so failure is a simulator bug worth a loud stop.
 #[must_use]
 pub fn measure(case: &PerfCase, reps: usize) -> PerfMeasurement {
+    measure_with(case, reps, false)
+}
+
+/// [`measure`] with the telemetry registry enabled, for quantifying the
+/// instrumentation overhead (`perf_bench --telemetry` reports the on/off
+/// throughput ratio per case).
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails, like [`measure`].
+#[must_use]
+pub fn measure_with(case: &PerfCase, reps: usize, telemetry: bool) -> PerfMeasurement {
     let reps = reps.max(1);
     let (a, b) = case.operands();
-    let sim = case.sim();
+    let sim = case.sim_with(telemetry);
     let warm = sim.run_gemm(&a, &b).expect("perf case must simulate");
     let cycles = warm.stats.total_cycles();
     let mut best_secs = f64::INFINITY;

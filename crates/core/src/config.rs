@@ -106,6 +106,7 @@ pub struct SigmaConfig {
     double_buffered: bool,
     packing: PackingOrder,
     route_cache: bool,
+    telemetry: bool,
 }
 
 impl SigmaConfig {
@@ -141,6 +142,7 @@ impl SigmaConfig {
             double_buffered: false,
             packing: PackingOrder::GroupMajor,
             route_cache: true,
+            telemetry: false,
         })
     }
 
@@ -160,6 +162,7 @@ impl SigmaConfig {
             double_buffered: false,
             packing: PackingOrder::GroupMajor,
             route_cache: true,
+            telemetry: false,
         }
     }
 
@@ -240,6 +243,22 @@ impl SigmaConfig {
     #[must_use]
     pub fn with_route_cache(mut self, enabled: bool) -> Self {
         self.route_cache = enabled;
+        self
+    }
+
+    /// Whether the engine records telemetry (default: off). Telemetry is
+    /// observational only — counters and histograms accumulate in a
+    /// [`sigma_telemetry::Telemetry`] registry, and simulated outputs and
+    /// cycle statistics are identical either way.
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Returns a copy with telemetry recording on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -331,6 +350,8 @@ mod tests {
         let c2 = c.with_bandwidth(256).unwrap();
         assert_eq!(c2.input_bandwidth(), 256);
         assert!(c.with_bandwidth(0).is_err());
+        assert!(!c.telemetry());
+        assert!(c.with_telemetry(true).telemetry());
     }
 
     #[test]

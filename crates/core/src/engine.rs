@@ -17,6 +17,7 @@ use crate::trace::{Phase, Trace};
 use sigma_interconnect::{Fan, FanReduction, FanScratch};
 use sigma_matrix::abft::{check_product, correct_single, residual_tolerance, AbftVerdict};
 use sigma_matrix::{Bitmap, Matrix, SparseMatrix};
+use sigma_telemetry::{Counter, Hist, Telemetry};
 
 /// The outcome of one GEMM on SIGMA: the numeric product and the cycle
 /// accounting.
@@ -50,6 +51,7 @@ impl Default for RecoveryPolicy {
 pub struct SigmaSim {
     config: SigmaConfig,
     fan: Fan,
+    telemetry: Telemetry,
 }
 
 impl SigmaSim {
@@ -63,13 +65,23 @@ impl SigmaSim {
     pub fn new(config: SigmaConfig) -> Result<Self, SigmaError> {
         let fan = Fan::new(config.dpe_size())
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(config.dpe_size()))?;
-        Ok(Self { config, fan })
+        let telemetry = if config.telemetry() { Telemetry::enabled() } else { Telemetry::off() };
+        Ok(Self { config, fan, telemetry })
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &SigmaConfig {
         &self.config
+    }
+
+    /// The simulator's telemetry handle — disabled (recording is a no-op)
+    /// unless the configuration asked for telemetry
+    /// ([`SigmaConfig::with_telemetry`]). Counters accumulate across runs;
+    /// call [`Telemetry::reset`] between runs for per-run numbers.
+    #[must_use]
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Executes `C = A x B` with the configured dataflow.
@@ -150,7 +162,7 @@ impl SigmaSim {
                 )?;
                 Ok((GemmRun { result: out, stats }, ()))
             }
-            Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b, faults)?, ())),
+            Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b, trace, faults)?, ())),
         }
     }
 
@@ -374,6 +386,11 @@ impl SigmaSim {
         // the steady-state loop stays allocation-free.
         let mut local_ids: Vec<Option<u32>> = vec![None; dpe];
         let mut step_out = DpeStep::default();
+        // Controller-level telemetry: fold/mapping decisions. The mapped
+        // total accumulates below; the drop count falls out at the end.
+        self.telemetry.add(Counter::FoldsPlanned, plan.folds.len() as u64);
+        let mut fanout_counts: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
 
         let mut prev_fold_stream = 0u64;
         for fold in &plan.folds {
@@ -394,6 +411,18 @@ impl SigmaSim {
                 t.record(Phase::Load, stats.folds - 1, None, visible_load);
             }
             stats.sram_reads += occupied as u64;
+            self.telemetry.add(Counter::SramStationaryReads, occupied as u64);
+            if self.telemetry.is_enabled() {
+                // Multicast fan-out distribution: how many multipliers each
+                // streamed SRAM read of a contraction index feeds.
+                fanout_counts.clear();
+                for e in &fold.elements {
+                    *fanout_counts.entry(e.contraction).or_insert(0) += 1;
+                }
+                for &fanout in fanout_counts.values() {
+                    self.telemetry.observe(Hist::MulticastFanout, fanout);
+                }
+            }
             let mut this_fold_stream = 0u64;
 
             // Load each active Flex-DPE with its slice of the fold
@@ -402,6 +431,7 @@ impl SigmaSim {
             while engines.len() < active_dpes {
                 let mut unit = FlexDpe::new(dpe)?;
                 unit.set_route_caching(self.config.route_cache());
+                unit.set_telemetry(self.telemetry.clone());
                 engines.push(unit);
             }
             for (d, unit) in engines.iter_mut().enumerate().take(active_dpes) {
@@ -426,6 +456,8 @@ impl SigmaSim {
                 this_fold_stream += step_cycles;
                 stats.sram_reads += sends;
                 stats.issued_macs += occupied as u128;
+                self.telemetry.add(Counter::SramStreamingReads, sends);
+                self.telemetry.observe(Hist::StreamStepCycles, step_cycles);
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(Phase::Stream, stats.folds - 1, Some(step), step_cycles);
                 }
@@ -464,6 +496,19 @@ impl SigmaSim {
             }
             prev_fold_stream = this_fold_stream;
         }
+        // Surface the per-unit Benes route-cache effectiveness into the
+        // run's stats (the engines are fresh per run, so these totals are
+        // deterministic and independent of telemetry).
+        for unit in &engines {
+            stats.route_cache_hits += unit.route_cache().hits();
+            stats.route_cache_misses += unit.route_cache().misses();
+        }
+        // Mapping decisions: stationary non-zeros the controller dropped
+        // because their contraction row can never meet a streamed value.
+        self.telemetry.add(
+            Counter::StationaryDropped,
+            (stationary.nnz() as u64).saturating_sub(stats.mapped_nonzeros),
+        );
         Ok(stats)
     }
 
@@ -478,6 +523,7 @@ impl SigmaSim {
         &self,
         a: &SparseMatrix,
         b: &SparseMatrix,
+        mut trace: Option<&mut Trace>,
         mut faults: Option<&mut FaultInjector<'_>>,
     ) -> Result<GemmRun, SigmaError> {
         let pes = self.config.total_pes();
@@ -507,6 +553,8 @@ impl SigmaSim {
         stats.issued_macs = pairs.len() as u128;
         stats.mapped_nonzeros = 0;
         stats.occupied_slots = 0;
+        self.telemetry.add(Counter::UsefulMacs, pairs.len() as u64);
+        self.telemetry.add(Counter::IssuedMacs, pairs.len() as u64);
 
         // Per-run scratch, reused across all waves and chunks.
         let mut products = vec![0.0f32; dpe];
@@ -515,11 +563,17 @@ impl SigmaSim {
         let mut fan_scratch = FanScratch::default();
         let mut red = FanReduction::default();
 
-        for wave in pairs.chunks(pes) {
+        for (w, wave) in pairs.chunks(pes).enumerate() {
             stats.folds += 1;
             // Two operands per multiplier must be distributed.
-            stats.streaming_cycles += (2 * wave.len() as u64).div_ceil(stream_bw).max(1);
+            let stream_cycles = (2 * wave.len() as u64).div_ceil(stream_bw).max(1);
+            stats.streaming_cycles += stream_cycles;
             stats.sram_reads += 2 * wave.len() as u64;
+            self.telemetry.add(Counter::SramStreamingReads, 2 * wave.len() as u64);
+            self.telemetry.add(Counter::StreamSteps, 1);
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(Phase::Stream, w as u64, Some(0), stream_cycles);
+            }
 
             let mut drain = 0u32;
             for (d, chunk) in wave.chunks(dpe).enumerate() {
@@ -550,12 +604,17 @@ impl SigmaSim {
                         SigmaError::Internal(format!("NLR fan reduction rejected: {e}"))
                     })?;
                 drain = drain.max(red.critical_cycles);
+                self.telemetry.add(Counter::FanAdds, red.adds_performed as u64);
+                self.telemetry.add(Counter::FanClusterSums, red.sums.len() as u64);
                 for s in &red.sums {
                     let (i, j) = cluster_outputs[s.vec_id as usize];
                     out.set(i, j, out.get(i, j) + s.value);
                 }
             }
             stats.add_cycles += u64::from(drain);
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(Phase::Drain, w as u64, None, u64::from(drain));
+            }
         }
 
         Ok(GemmRun { result: out, stats })
@@ -943,6 +1002,52 @@ mod tests {
         assert!(!report.numeric_effect);
         assert_eq!(run.result, sim.run_gemm(&a, &b).unwrap().result);
         assert_eq!(run.stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn route_cache_stats_surface_in_cycle_stats() {
+        let sim = cfg(2, 4, 8, Dataflow::InputStationary);
+        let a = sparse_uniform(8, 8, Density::DENSE, 7); // 64 nnz on 8 PEs: 8 folds
+        let b = sparse_uniform(8, 4, Density::DENSE, 8);
+        let run = sim.run_gemm(&a, &b).unwrap();
+        assert!(run.stats.route_cache_misses > 0);
+        assert!(run.stats.route_cache_hits > 0, "repeated full-prefix loads must hit");
+        // Caching off: every load routes cold, results identical.
+        let cold = SigmaSim::new(sim.config().with_route_cache(false)).unwrap();
+        let run2 = cold.run_gemm(&a, &b).unwrap();
+        assert_eq!(run2.stats.route_cache_hits, 0);
+        assert!(run2.stats.route_cache_misses >= run.stats.route_cache_misses);
+        assert_eq!(run.result, run2.result);
+        assert_eq!(run.stats.total_cycles(), run2.stats.total_cycles());
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results_and_agrees_with_stats() {
+        let base = SigmaConfig::new(2, 8, 16, Dataflow::InputStationary).unwrap();
+        let plain = SigmaSim::new(base).unwrap();
+        let tele = SigmaSim::new(base.with_telemetry(true)).unwrap();
+        let a = sparse_uniform(10, 12, Density::new(0.6).unwrap(), 61);
+        let b = sparse_uniform(12, 7, Density::new(0.5).unwrap(), 62);
+        let p = plain.run_gemm(&a, &b).unwrap();
+        let t = tele.run_gemm(&a, &b).unwrap();
+        assert_eq!(p, t, "telemetry is observational only");
+        assert!(!plain.telemetry_handle().snapshot().enabled);
+        let snap = tele.telemetry_handle().snapshot();
+        assert!(snap.enabled);
+        // The counters recompose the CycleStats accounting exactly.
+        assert_eq!(
+            snap.counter("sram_stationary_reads").unwrap()
+                + snap.counter("sram_streaming_reads").unwrap(),
+            t.stats.sram_reads
+        );
+        assert_eq!(snap.counter("route_cache_hits").unwrap(), t.stats.route_cache_hits);
+        assert_eq!(snap.counter("route_cache_misses").unwrap(), t.stats.route_cache_misses);
+        assert_eq!(snap.counter("folds_planned").unwrap(), t.stats.folds);
+        assert_eq!(u128::from(snap.counter("useful_macs").unwrap()), t.stats.useful_macs);
+        assert_eq!(u128::from(snap.counter("issued_macs").unwrap()), t.stats.issued_macs);
+        assert!(snap.hist("multicast_fanout").unwrap().count > 0);
+        assert!(snap.hist("stream_step_cycles").unwrap().count > 0);
+        assert!(snap.hist("multiplier_occupancy_pct").unwrap().max <= 100);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::engine::SigmaSim;
 use crate::stats::CycleStats;
 use crate::trace::Trace;
 use sigma_matrix::{Matrix, SparseMatrix};
+use sigma_telemetry::TelemetrySnapshot;
 
 /// The outcome of one GEMM on any engine: the numeric product, the cycle
 /// accounting, and (when the engine supports it) a cycle-stamped trace.
@@ -132,6 +133,13 @@ pub trait Engine: Send + Sync {
     /// `a.cols() != b.rows()`, or [`EngineError::Config`] when the
     /// engine cannot execute the problem.
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError>;
+
+    /// A snapshot of the engine's telemetry registry, when the engine
+    /// records one and it is enabled. Analytic baselines (and engines
+    /// built without telemetry) return `None` — the default.
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        None
+    }
 }
 
 impl<E: Engine + ?Sized> Engine for &E {
@@ -144,6 +152,9 @@ impl<E: Engine + ?Sized> Engine for &E {
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         (**self).run(a, b)
     }
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        (**self).telemetry()
+    }
 }
 
 impl<E: Engine + ?Sized> Engine for Box<E> {
@@ -155,6 +166,9 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
     }
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         (**self).run(a, b)
+    }
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        (**self).telemetry()
     }
 }
 
@@ -175,6 +189,11 @@ impl Engine for SigmaSim {
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         let (run, trace) = self.run_gemm_traced(a, b)?;
         Ok(EngineRun { result: run.result, stats: run.stats, trace: Some(trace) })
+    }
+
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let handle = self.telemetry_handle();
+        handle.is_enabled().then(|| handle.snapshot())
     }
 }
 
@@ -221,6 +240,20 @@ mod tests {
         let err = Engine::run(&sim(), &a, &b).unwrap_err();
         assert_eq!(err, EngineError::DimensionMismatch { k_a: 5, k_b: 6 });
         assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_flows_through_the_trait() {
+        let cfg = SigmaConfig::new(2, 8, 16, Dataflow::WeightStationary).unwrap();
+        let off: Box<dyn Engine> = Box::new(SigmaSim::new(cfg).unwrap());
+        assert!(off.telemetry().is_none(), "disabled telemetry reports None");
+        let on: Box<dyn Engine> = Box::new(SigmaSim::new(cfg.with_telemetry(true)).unwrap());
+        let a = sparse_uniform(6, 9, Density::new(0.5).unwrap(), 3);
+        let b = sparse_uniform(9, 5, Density::new(0.5).unwrap(), 4);
+        on.run(&a, &b).unwrap();
+        let snap = on.telemetry().expect("enabled telemetry reports a snapshot");
+        assert!(snap.enabled);
+        assert!(snap.counter("stream_steps").unwrap() > 0);
     }
 
     #[test]

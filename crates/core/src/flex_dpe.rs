@@ -23,6 +23,7 @@
 use crate::config::SigmaError;
 use crate::controller::MappedElement;
 use sigma_interconnect::{BenesNetwork, Fan, FanReduction, FanScratch, RouteCache};
+use sigma_telemetry::{Counter, Hist, Telemetry};
 
 /// The result of streaming one vector through a Flex-DPE.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -58,6 +59,7 @@ pub struct FlexDpe {
     route_cache: RouteCache,
     load_req: Vec<Option<usize>>,
     distinct_scratch: std::collections::HashSet<usize>,
+    telemetry: Telemetry,
 }
 
 impl FlexDpe {
@@ -85,6 +87,7 @@ impl FlexDpe {
             route_cache: RouteCache::new(),
             load_req: Vec::with_capacity(size),
             distinct_scratch: std::collections::HashSet::new(),
+            telemetry: Telemetry::off(),
         })
     }
 
@@ -117,6 +120,15 @@ impl FlexDpe {
     #[must_use]
     pub fn route_cache(&self) -> &RouteCache {
         &self.route_cache
+    }
+
+    /// Attaches a telemetry handle (share one across units to aggregate).
+    /// A disabled handle — the default — makes every recording site an
+    /// inlined no-op, keeping the hot loops allocation-free and branch-
+    /// cheap; recording through an enabled handle is atomic adds only, so
+    /// the loops stay allocation-free either way.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     #[inline]
@@ -166,6 +178,13 @@ impl FlexDpe {
             for (i, d) in delivered.iter().enumerate().take(elements.len()) {
                 debug_assert_eq!(*d, Some(i), "loading unicast misrouted");
             }
+        }
+        self.telemetry
+            .add(if cold { Counter::RouteCacheMisses } else { Counter::RouteCacheHits }, 1);
+        self.telemetry.add(Counter::BenesLoads, 1);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .observe(Hist::MultiplierOccupancyPct, (elements.len() * 100 / self.size) as u64);
         }
 
         // In-place refill of the flattened stationary store.
@@ -254,6 +273,23 @@ impl FlexDpe {
             .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(self.size))?;
         out.useful_macs = useful;
         out.operands_consumed = self.distinct_operands;
+        if self.telemetry.is_enabled() {
+            self.telemetry.add(Counter::StreamSteps, 1);
+            self.telemetry.add(Counter::UsefulMacs, useful as u64);
+            self.telemetry.add(Counter::IssuedMacs, self.occupied_count as u64);
+            let adds = out.reduction.adds_performed as u64;
+            self.telemetry.add(Counter::FanAdds, adds);
+            self.telemetry.add(Counter::FanClusterSums, out.reduction.sums.len() as u64);
+            self.telemetry.observe(
+                Hist::FanAdderOccupancyPct,
+                adds * 100 / (self.fan.adder_count() as u64).max(1),
+            );
+            self.telemetry.observe(
+                Hist::FanLinkOccupancyPct,
+                out.reduction.sums.len() as u64 * 100
+                    / (self.fan.forwarding_link_count() as u64).max(1),
+            );
+        }
         Ok(())
     }
 
@@ -548,6 +584,28 @@ mod tests {
         assert_eq!(dpe.route_cache().misses(), 3);
         let step = dpe.step(&|k| (k + 1) as f32).unwrap();
         assert_eq!(step.reduction.sums[0].value, 1.0 + 4.0);
+    }
+
+    #[test]
+    fn telemetry_counts_loads_and_steps() {
+        let mut dpe = FlexDpe::new(8).unwrap();
+        let t = Telemetry::enabled();
+        dpe.set_telemetry(t.clone());
+        let els = elements(&[(0, 0, 2.0), (0, 1, 3.0)]);
+        dpe.load(&els, &ids(&[0, 0], 8)).unwrap();
+        dpe.load(&els, &ids(&[0, 0], 8)).unwrap();
+        let mut out = DpeStep::default();
+        dpe.step_into(&|k| (k + 1) as f32, &mut out).unwrap();
+        assert_eq!(t.counter(Counter::BenesLoads), 2);
+        assert_eq!(t.counter(Counter::RouteCacheMisses), 1);
+        assert_eq!(t.counter(Counter::RouteCacheHits), 1);
+        assert_eq!(t.counter(Counter::StreamSteps), 1);
+        assert_eq!(t.counter(Counter::UsefulMacs), 2);
+        assert_eq!(t.counter(Counter::IssuedMacs), 2);
+        assert_eq!(t.counter(Counter::FanClusterSums), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.hist("multiplier_occupancy_pct").unwrap().count, 2);
+        assert_eq!(snap.hist("fan_adder_occupancy_pct").unwrap().count, 1);
     }
 
     #[test]

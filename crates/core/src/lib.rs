@@ -70,5 +70,9 @@ pub use fault::{
 };
 pub use flex_dpe::{DpeStep, FlexDpe};
 pub use noc::{MeshNoc, NocStats};
+pub use sigma_telemetry::{
+    validate_chrome_trace, ChromeTrace, Counter, Hist, HistSummary, Telemetry, TelemetrySnapshot,
+    TraceSummary,
+};
 pub use stats::CycleStats;
 pub use trace::{Phase, Trace, TraceEvent};

@@ -37,6 +37,11 @@ pub struct CycleStats {
     pub pes: u64,
     /// Words read from SRAM (each unique word once; multicast is free).
     pub sram_reads: u64,
+    /// Benes route configurations replayed from the route cache.
+    pub route_cache_hits: u64,
+    /// Benes route configurations derived cold (cache miss or caching
+    /// disabled).
+    pub route_cache_misses: u64,
     /// Fault events that fired during the run (zero unless a
     /// [`FaultPlan`](crate::fault::FaultPlan) was armed).
     pub faults_injected: u64,
@@ -113,6 +118,8 @@ impl CycleStats {
             occupied_slots: self.occupied_slots + other.occupied_slots,
             pes: self.pes.max(other.pes),
             sram_reads: self.sram_reads + other.sram_reads,
+            route_cache_hits: self.route_cache_hits + other.route_cache_hits,
+            route_cache_misses: self.route_cache_misses + other.route_cache_misses,
             faults_injected: self.faults_injected + other.faults_injected,
             faults_detected: self.faults_detected + other.faults_detected,
             faults_corrected: self.faults_corrected + other.faults_corrected,
@@ -155,6 +162,8 @@ mod tests {
             occupied_slots: 100,
             pes: 100,
             sram_reads: 5_000,
+            route_cache_hits: 7,
+            route_cache_misses: 3,
             ..CycleStats::default()
         }
     }
@@ -193,6 +202,8 @@ mod tests {
         assert_eq!(s.folds, 4);
         assert_eq!(s.useful_macs, 128_000);
         assert_eq!(s.pes, 100);
+        assert_eq!(s.route_cache_hits, 14);
+        assert_eq!(s.route_cache_misses, 6);
     }
 
     #[test]

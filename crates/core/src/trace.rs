@@ -9,6 +9,7 @@
 //! the stats' phase totals).
 
 use crate::stats::CycleStats;
+use sigma_telemetry::ChromeTrace;
 use std::fmt;
 
 /// The phase an event belongs to.
@@ -97,25 +98,85 @@ impl Trace {
 
     /// Renders a compact per-fold summary (`fold N: load L, stream S in
     /// K steps, drain D`).
+    ///
+    /// Single pass over the events: each fold accumulates into its slot of
+    /// a per-fold table, so cost is `O(events + folds)` rather than the
+    /// `O(folds x events)` a per-fold rescan would pay (a paper-scale GEMM
+    /// traces hundreds of folds with thousands of steps each).
     #[must_use]
     pub fn fold_summary(&self) -> String {
-        let mut out = String::new();
+        #[derive(Clone, Copy, Default)]
+        struct Acc {
+            load: u64,
+            stream: u64,
+            steps: u64,
+            drain: u64,
+        }
         let max_fold = self.events.iter().map(|e| e.fold).max().unwrap_or(0);
-        for f in 0..=max_fold {
-            let of = |p: Phase| -> u64 {
-                self.events.iter().filter(|e| e.fold == f && e.phase == p).map(|e| e.cycles).sum()
-            };
-            let steps =
-                self.events.iter().filter(|e| e.fold == f && e.phase == Phase::Stream).count();
+        let mut folds = vec![Acc::default(); usize::try_from(max_fold).unwrap_or(0) + 1];
+        for e in &self.events {
+            let acc = &mut folds[usize::try_from(e.fold).unwrap_or(0)];
+            match e.phase {
+                Phase::Load => acc.load += e.cycles,
+                Phase::Stream => {
+                    acc.stream += e.cycles;
+                    acc.steps += 1;
+                }
+                Phase::Drain => acc.drain += e.cycles,
+            }
+        }
+        let mut out = String::new();
+        for (f, acc) in folds.iter().enumerate() {
             out.push_str(&format!(
                 "fold {f}: load {}, stream {} in {} steps, drain {}\n",
-                of(Phase::Load),
-                of(Phase::Stream),
-                steps,
-                of(Phase::Drain)
+                acc.load, acc.stream, acc.steps, acc.drain
             ));
         }
         out
+    }
+
+    /// Converts the trace into a Chrome trace-event document (load it at
+    /// `ui.perfetto.dev`). One simulated cycle renders as one microsecond.
+    ///
+    /// Each phase becomes its own named thread track carrying that phase's
+    /// events as `"X"` spans, so the summed duration of a track equals the
+    /// corresponding [`CycleStats`] phase total by construction. Cumulative
+    /// per-phase cycle counters are sampled at every fold boundary as a
+    /// `"C"` counter timeline.
+    #[must_use]
+    pub fn to_chrome_trace(&self, process: &str) -> ChromeTrace {
+        const TID: [(u64, Phase, &str); 3] = [
+            (1, Phase::Load, "phase: load"),
+            (2, Phase::Stream, "phase: stream"),
+            (3, Phase::Drain, "phase: drain"),
+        ];
+        let mut ct = ChromeTrace::new(process);
+        for &(tid, _, name) in &TID {
+            ct.thread(tid, name);
+        }
+        let mut cum = [0u64; 3]; // cumulative cycles per phase
+        let mut fold = None;
+        for e in &self.events {
+            let idx = TID.iter().position(|&(_, p, _)| p == e.phase).unwrap_or(0);
+            if fold.is_some() && fold != Some(e.fold) {
+                for (&(_, _, name), &c) in TID.iter().zip(cum.iter()) {
+                    ct.counter(format!("cycles: {}", &name[7..]), e.start, c);
+                }
+            }
+            fold = Some(e.fold);
+            let name = match (e.phase, e.step) {
+                (Phase::Stream, Some(s)) => format!("fold {} step {s}", e.fold),
+                (p, _) => format!("fold {} {p}", e.fold),
+            };
+            ct.span(TID[idx].0, name, e.start, e.cycles);
+            cum[idx] += e.cycles;
+        }
+        if fold.is_some() {
+            for (&(_, _, name), &c) in TID.iter().zip(cum.iter()) {
+                ct.counter(format!("cycles: {}", &name[7..]), self.clock, c);
+            }
+        }
+        ct
     }
 }
 
@@ -165,5 +226,59 @@ mod tests {
         let s = t.fold_summary();
         assert!(s.contains("fold 0: load 1, stream 5 in 1 steps, drain 2"));
         assert!(s.contains("fold 1:"));
+    }
+
+    #[test]
+    fn empty_trace_summary_prints_fold_zero() {
+        assert_eq!(Trace::new().fold_summary(), "fold 0: load 0, stream 0 in 0 steps, drain 0\n");
+    }
+
+    #[test]
+    fn fold_summary_handles_many_folds() {
+        // The single-pass summary must stay exact at fold counts where the
+        // old per-fold rescan would be quadratic.
+        let mut t = Trace::new();
+        const FOLDS: u64 = 2_000;
+        for f in 0..FOLDS {
+            t.record(Phase::Load, f, None, 2);
+            t.record(Phase::Stream, f, Some(0), 3);
+            t.record(Phase::Stream, f, Some(1), 3);
+            t.record(Phase::Drain, f, None, 1);
+        }
+        let s = t.fold_summary();
+        assert_eq!(s.lines().count() as u64, FOLDS);
+        assert!(s.starts_with("fold 0: load 2, stream 6 in 2 steps, drain 1\n"));
+        assert!(s.ends_with(&format!("fold {}: load 2, stream 6 in 2 steps, drain 1\n", FOLDS - 1)));
+    }
+
+    #[test]
+    fn chrome_trace_tracks_match_phase_totals() {
+        let mut t = Trace::new();
+        t.record(Phase::Load, 0, None, 4);
+        t.record(Phase::Stream, 0, Some(0), 2);
+        t.record(Phase::Stream, 0, Some(1), 2);
+        t.record(Phase::Drain, 0, None, 3);
+        t.record(Phase::Load, 1, None, 4);
+        t.record(Phase::Stream, 1, Some(0), 5);
+        t.record(Phase::Drain, 1, None, 1);
+        let json = t.to_chrome_trace("unit").to_json();
+        let summary = sigma_telemetry::validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.span_count, t.events().len());
+        assert_eq!(summary.track("phase: load"), Some(t.phase_cycles(Phase::Load)));
+        assert_eq!(summary.track("phase: stream"), Some(t.phase_cycles(Phase::Stream)));
+        assert_eq!(summary.track("phase: drain"), Some(t.phase_cycles(Phase::Drain)));
+        assert_eq!(summary.total_duration, t.total_cycles());
+        assert_eq!(summary.end_ts, t.total_cycles());
+        // Counter timeline: one sample per phase at each fold boundary plus
+        // the final clock.
+        assert_eq!(summary.counter_count, 6);
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_trace_is_metadata_only() {
+        let json = Trace::new().to_chrome_trace("empty").to_json();
+        let summary = sigma_telemetry::validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.span_count, 0);
+        assert_eq!(summary.counter_count, 0);
     }
 }

@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sigma_core::{DpeStep, FlexDpe, MappedElement};
+use sigma_core::{DpeStep, FlexDpe, MappedElement, Telemetry};
 use sigma_interconnect::{Fan, FanReduction, FanScratch};
 
 struct CountingAllocator;
@@ -118,6 +118,38 @@ fn warmed_hot_loops_do_not_allocate() {
     });
     assert_eq!(reducing, 0, "warmed reduce_into allocated {reducing} times");
     assert_eq!(red.sums.len(), 3);
+
+    // Telemetry-enabled hot loops are allocation-free too: counters and
+    // histograms are preallocated atomics, so recording is an array index
+    // plus a relaxed fetch_add.
+    let mut tdpe = FlexDpe::new(SIZE).unwrap();
+    tdpe.set_telemetry(Telemetry::enabled());
+    tdpe.load(&els, &ids).unwrap();
+    let mut tout = DpeStep::default();
+    tdpe.step_into(&|k| (k * k) as f32, &mut tout).unwrap();
+    let treload = min_allocations_over(3, || tdpe.load(&els, &ids).unwrap());
+    assert_eq!(treload, 0, "telemetry-enabled load allocated {treload} times");
+    let tstepping = min_allocations_over(3, || {
+        tdpe.step_into(&|k| k as f32 + 1.0, &mut tout).unwrap();
+    });
+    assert_eq!(tstepping, 0, "telemetry-enabled step_into allocated {tstepping} times");
+
+    // A disabled telemetry handle is byte-identical to never attaching
+    // one: the datapath never branches on telemetry for anything but
+    // recording, so the step outputs match bit for bit.
+    let mut plain = FlexDpe::new(SIZE).unwrap();
+    let mut disabled = FlexDpe::new(SIZE).unwrap();
+    disabled.set_telemetry(Telemetry::off());
+    plain.load(&els, &ids).unwrap();
+    disabled.load(&els, &ids).unwrap();
+    let mut out_plain = DpeStep::default();
+    let mut out_disabled = DpeStep::default();
+    plain.step_into(&|k| k as f32 * 0.5 - 1.0, &mut out_plain).unwrap();
+    disabled.step_into(&|k| k as f32 * 0.5 - 1.0, &mut out_disabled).unwrap();
+    assert_eq!(out_plain, out_disabled);
+    for (a, b) in out_plain.reduction.sums.iter().zip(&out_disabled.reduction.sums) {
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "cluster {} diverged bitwise", a.vec_id);
+    }
 
     // Sanity: the counter itself is live (an intentional allocation is
     // seen), so the zeros above are meaningful.

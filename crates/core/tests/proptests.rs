@@ -146,9 +146,18 @@ proptest! {
         let cfg = SigmaConfig::new(dpes, 1 << log_size, 1 << log_size, dataflow).unwrap();
 
         let cached = Engine::run(&SigmaSim::new(cfg).unwrap(), &a, &b).unwrap();
-        let cold =
+        let mut cold =
             Engine::run(&SigmaSim::new(cfg.with_route_cache(false)).unwrap(), &a, &b).unwrap();
 
+        // The route-cache hit/miss counters observe the caching itself, so
+        // they are the one legitimate difference: cold routing never hits.
+        prop_assert_eq!(cold.stats.route_cache_hits, 0);
+        prop_assert_eq!(
+            cold.stats.route_cache_misses,
+            cached.stats.route_cache_hits + cached.stats.route_cache_misses
+        );
+        cold.stats.route_cache_hits = cached.stats.route_cache_hits;
+        cold.stats.route_cache_misses = cached.stats.route_cache_misses;
         prop_assert!(cached == cold, "cached and cold runs diverged");
         // Belt and braces: the numeric results are bitwise equal, not
         // merely PartialEq-equal (PartialEq on f32 would accept -0.0 == 0.0).

@@ -1,0 +1,26 @@
+//! Lightweight observability for the SIGMA simulator: a metrics registry
+//! (monotonic counters + cycle-bucketed histograms) and a Chrome
+//! trace-event (Perfetto-loadable) JSON exporter.
+//!
+//! The registry follows the fault injector's zero-overhead-when-disabled
+//! design: a [`Telemetry`] handle is an `Option<Arc<..>>` — a disabled
+//! handle is a `None` and every recording call is an inlined early
+//! return, so the hot simulation loops pay nothing when telemetry is off
+//! (asserted by the counting-allocator test in `sigma-core` and the
+//! `perf_bench --check` gate). An enabled handle records through
+//! pre-sized `AtomicU64` arrays: recording takes `&self`, never
+//! allocates, and is safe from the `Send + Sync` engine fleet.
+//!
+//! The workspace has no registry access (and no serde), so the exporter
+//! in [`perfetto`] hand-rolls the Chrome trace-event JSON and ships its
+//! own scanner-based validator, mirroring how `BENCH_sim.json` is
+//! produced and re-parsed in `sigma-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod perfetto;
+pub mod registry;
+
+pub use perfetto::{validate_chrome_trace, ChromeTrace, TraceSummary};
+pub use registry::{Counter, Hist, HistSummary, Telemetry, TelemetrySnapshot};
