@@ -5,6 +5,13 @@ set -eux
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Static analysis gate: sigma-lint scans the workspace for nondeterminism
+# sources, panicking library code, truncating counter casts, unsafe
+# outside the allowlist, and unvalidated Engine impls. --check-waivers
+# also fails on stale lint.toml waivers; the JSON report is kept as a CI
+# artifact.
+cargo run -q -p sigma-lint -- --check-waivers
+cargo run -q -p sigma-lint -- --json > /tmp/sigma_lint_report.json
 cargo build --workspace --release
 cargo test --workspace -q
 cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet

@@ -81,14 +81,15 @@ impl SystolicArray {
     /// K = 32 aligns with its 32-wide dimension).
     #[must_use]
     pub fn simulate_best(&self, p: &GemmProblem) -> CycleStats {
-        let candidates = [
+        let [first, rest @ ..] = [
             self.simulate_weight_stationary(p),
             self.simulate_input_stationary(p),
             // Transposed orientations: contraction on the column dimension.
             self.simulate_mapping(p.shape.n, p.shape.k, p.shape.m, p.density_b, p),
             self.simulate_mapping(p.shape.m, p.shape.k, p.shape.n, p.density_a, p),
         ];
-        candidates.into_iter().min_by_key(CycleStats::total_cycles).expect("four candidates")
+        rest.into_iter()
+            .fold(first, |best, c| if c.total_cycles() < best.total_cycles() { c } else { best })
     }
 
     /// Core SCALE-sim arithmetic for a stationary operand of

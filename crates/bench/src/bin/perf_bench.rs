@@ -93,8 +93,8 @@ fn run_overhead(ladder: &[sigma_bench::perf::PerfCase], reps: usize, quiet: bool
         if !quiet {
             eprintln!("perf_bench: timing {} off/on ({} PEs)...", case.name, case.pes());
         }
-        let off = measure_with(case, reps, false);
-        let on = measure_with(case, reps, true);
+        let off = measure_with(case, reps, false).expect("ladder case must simulate");
+        let on = measure_with(case, reps, true).expect("ladder case must simulate");
         let overhead = off.cycles_per_sec / on.cycles_per_sec - 1.0;
         worst = worst.max(overhead);
         t.push(vec![
@@ -174,7 +174,7 @@ fn main() -> ExitCode {
         if !args.quiet {
             eprintln!("perf_bench: timing {} ({} PEs, {})...", case.name, case.pes(), case.shape());
         }
-        measurements.push(measure(case, reps));
+        measurements.push(measure(case, reps).expect("ladder case must simulate"));
     }
 
     if !args.quiet {

@@ -106,10 +106,8 @@ pub fn table_bandwidth() -> Table {
         &["bandwidth", "2048-1-128 cycles", "2048^3 cycles"],
     );
     for bw in [32usize, 64, 128, 256, 512] {
-        let cfg = SigmaConfig::new(128, 128, bw, Dataflow::InputStationary)
-            .unwrap()
-            .with_stream_bandwidth(128 * 128)
-            .unwrap();
+        let cfg = SigmaConfig::clamped(128, 128, bw, Dataflow::InputStationary)
+            .with_stream_bandwidth_clamped(128 * 128);
         let a = estimate(&cfg, &loading_bound).total_cycles();
         let b = estimate(&cfg, &streaming_bound).total_cycles();
         t.push(vec![bw.to_string(), fmt_cycles(a), fmt_cycles(b)]);
@@ -167,10 +165,21 @@ pub fn table_packing() -> Table {
         ("group-major", PackingOrder::GroupMajor),
         ("contraction-major", PackingOrder::ContractionMajor),
     ] {
-        let cfg = sigma_core::SigmaConfig::new(2, 16, 4, Dataflow::InputStationary)
-            .unwrap()
+        let cfg = sigma_core::SigmaConfig::clamped(2, 16, 4, Dataflow::InputStationary)
             .with_packing_order(order);
-        let run = SigmaSim::new(cfg).unwrap().run_gemm(&a, &b).unwrap();
+        let run = match SigmaSim::new_clamped(cfg).run_gemm(&a, &b) {
+            Ok(run) => run,
+            Err(e) => {
+                t.push(vec![
+                    name.to_string(),
+                    format!("error: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+        };
         t.push(vec![
             name.to_string(),
             run.stats.folds.to_string(),

@@ -37,8 +37,7 @@ pub fn table() -> Table {
         &["example", "design", "stat util", "total cycles", "SRAM reads"],
     );
     let systolic = SystolicArray::new(4, 4);
-    let sigma =
-        SigmaSim::new(SigmaConfig::new(1, 16, 4, Dataflow::WeightStationary).unwrap()).unwrap();
+    let sigma = SigmaSim::new_clamped(SigmaConfig::clamped(1, 16, 4, Dataflow::WeightStationary));
 
     for ex in examples() {
         let p = GemmProblem::sparse(ex.shape, 1.0, ex.density_b);
@@ -52,8 +51,17 @@ pub fn table() -> Table {
         ]);
 
         let a = sparse_uniform(ex.shape.m, ex.shape.k, Density::DENSE, 5);
-        let b = sparse_uniform(ex.shape.k, ex.shape.n, Density::new(ex.density_b).unwrap(), 6);
-        let (_, run) = sigma.run_best_stationary(&a, &b).unwrap();
+        let b = sparse_uniform(ex.shape.k, ex.shape.n, Density::clamped(ex.density_b), 6);
+        let Ok((_, run)) = sigma.run_best_stationary(&a, &b) else {
+            t.push(vec![
+                ex.name.to_string(),
+                "Flex-DPE 16".to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         t.push(vec![
             ex.name.to_string(),
             "Flex-DPE 16".to_string(),

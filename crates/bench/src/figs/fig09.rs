@@ -22,10 +22,8 @@ pub const CONFIGS: [(usize, usize); 7] =
 /// the cross-DPE merge term.
 #[must_use]
 pub fn suite_cycles(num_dpes: usize, dpe_size: usize) -> u64 {
-    let cfg = SigmaConfig::new(num_dpes, dpe_size, 128, sigma_core::Dataflow::WeightStationary)
-        .unwrap()
-        .with_stream_bandwidth(num_dpes * dpe_size)
-        .unwrap();
+    let cfg = SigmaConfig::clamped(num_dpes, dpe_size, 128, sigma_core::Dataflow::WeightStationary)
+        .with_stream_bandwidth_clamped(num_dpes * dpe_size);
     let mut total = 0u64;
     for g in evaluation_suite() {
         let p = SparsityProfile::PAPER_SPARSE.problem(g.shape);

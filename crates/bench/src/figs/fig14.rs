@@ -32,7 +32,7 @@ pub fn combos(shape: GemmShape) -> [GemmProblem; 2] {
 /// through the same [`GemmAccelerator`] face via
 /// [`SigmaAnalytic`]).
 fn best_cycles(acc: &dyn GemmAccelerator, shape: GemmShape) -> u64 {
-    combos(shape).iter().map(|p| acc.simulate(p).total_cycles()).min().unwrap()
+    combos(shape).iter().map(|p| acc.simulate(p).total_cycles()).min().unwrap_or(u64::MAX)
 }
 
 /// SIGMA's speedup over each accelerator per GEMM.

@@ -14,8 +14,8 @@ pub fn table01() -> Table {
         "Table I — systolic limitations vs SIGMA (128-wide engines)",
         &["requirement", "systolic array", "SIGMA"],
     );
-    let benes = BenesNetwork::new(128).unwrap();
-    let fan = Fan::new(128).unwrap();
+    let benes = BenesNetwork::new_clamped(128);
+    let fan = Fan::new_clamped(128);
     let lin = ReductionNetwork::new(ReductionKind::Linear, 128);
     t.push(vec![
         "flexible shapes".into(),

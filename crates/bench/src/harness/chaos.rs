@@ -27,6 +27,9 @@ impl Engine for PanickingEngine {
         1
     }
 
+    // Deliberate: this engine exists to prove the sweep contains panics
+    // (sigma-lint D2 waived for this file in lint.toml).
+    #[allow(clippy::panic)]
     fn run(&self, _a: &SparseMatrix, _b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         panic!("chaos: deliberate panic from PanickingEngine");
     }
@@ -68,6 +71,7 @@ impl Engine for WedgingEngine {
     }
 
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
+        sigma_core::validate_finite(a, b)?;
         std::thread::sleep(self.stall);
         Ok(EngineRun::new(
             Matrix::zeros(a.rows(), b.cols()),
@@ -111,7 +115,11 @@ impl Engine for FlakyEngine {
         1
     }
 
+    // Deliberate panics on the failing calls (sigma-lint D2 waived for
+    // this file in lint.toml).
+    #[allow(clippy::panic)]
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
+        sigma_core::validate_finite(a, b)?;
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
         if call < self.failures {
             if call.is_multiple_of(2) {

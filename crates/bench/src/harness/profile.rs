@@ -90,8 +90,8 @@ impl SweepProfile {
             profile.route_cache_hits += r.route_cache_hits;
             profile.route_cache_misses += r.route_cache_misses;
 
-            let engine = match profile.engines.iter_mut().find(|e| e.slug == r.engine_slug) {
-                Some(e) => e,
+            let idx = match profile.engines.iter().position(|e| e.slug == r.engine_slug) {
+                Some(i) => i,
                 None => {
                     profile.engines.push(EngineProfile {
                         slug: r.engine_slug.clone(),
@@ -102,9 +102,10 @@ impl SweepProfile {
                         route_cache_hits: 0,
                         route_cache_misses: 0,
                     });
-                    profile.engines.last_mut().unwrap()
+                    profile.engines.len() - 1
                 }
             };
+            let engine = &mut profile.engines[idx];
             engine.cells += 1;
             engine.wall_ms += r.wall_ms;
             engine.route_cache_hits += r.route_cache_hits;

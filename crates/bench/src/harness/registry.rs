@@ -43,9 +43,9 @@ impl EngineEntry {
 }
 
 fn sigma_64pe() -> Box<dyn Engine> {
-    let cfg =
-        SigmaConfig::new(4, 16, 64, Dataflow::WeightStationary).expect("static config is valid");
-    Box::new(SigmaSim::new(cfg).expect("static config is valid"))
+    // Static geometry, known-good by construction: clamped() is exact.
+    let cfg = SigmaConfig::clamped(4, 16, 64, Dataflow::WeightStationary);
+    Box::new(SigmaSim::new_clamped(cfg))
 }
 
 /// The default fleet: SIGMA plus every baseline, all in the 64-PE class

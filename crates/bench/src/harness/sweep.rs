@@ -90,7 +90,15 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // A worker panicking is a harness bug (cells are already
+                // panic-contained); propagate the original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
     let mut all: Vec<(usize, R)> = chunks.into_iter().flatten().collect();
     all.sort_by_key(|(i, _)| *i);

@@ -13,6 +13,17 @@
 //! [`Sweep`](harness::Sweep) driver, and the [`RunRecord`](harness::RunRecord)
 //! schema with CSV/JSON emission.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 #![warn(missing_docs)]
 
 pub mod figs;

@@ -14,7 +14,7 @@
 //! shapes, so a regression means the simulator itself got slower, not that
 //! the modeled machine changed.
 
-use sigma_core::{Dataflow, SigmaConfig, SigmaSim};
+use sigma_core::{Dataflow, SigmaConfig, SigmaError, SigmaSim};
 use sigma_matrix::gen::{sparse_uniform, Density};
 use sigma_matrix::SparseMatrix;
 use std::time::Instant;
@@ -64,18 +64,14 @@ impl PerfCase {
         let seed = self.name.bytes().fold(0xD6E8_FEB8_6659_FD93_u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
         });
-        let da = Density::new(self.density_a).expect("case density_a in [0,1]");
-        let db = Density::new(self.density_b).expect("case density_b in [0,1]");
+        let da = Density::clamped(self.density_a);
+        let db = Density::clamped(self.density_b);
         let a = sparse_uniform(self.m, self.k, da, seed);
         let b = sparse_uniform(self.k, self.n, db, seed ^ 0xA5A5_A5A5);
         (a, b)
     }
 
     /// The simulator for this case.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the case geometry is invalid (a bug in the case table).
     #[must_use]
     pub fn sim(&self) -> SigmaSim {
         self.sim_with(false)
@@ -83,17 +79,14 @@ impl PerfCase {
 
     /// The simulator for this case, with telemetry on or off.
     ///
-    /// # Panics
-    ///
-    /// Panics if the case geometry is invalid (a bug in the case table).
+    /// Every ladder geometry is valid, so the clamped constructors build
+    /// it exactly; they only exist to keep this path infallible.
     #[must_use]
     pub fn sim_with(&self, telemetry: bool) -> SigmaSim {
-        let cfg = SigmaConfig::new(self.num_dpes, self.dpe_size, self.dpe_size, self.dataflow)
-            .expect("case geometry is valid")
-            .with_stream_bandwidth(self.pes())
-            .expect("non-zero stream bandwidth")
+        let cfg = SigmaConfig::clamped(self.num_dpes, self.dpe_size, self.dpe_size, self.dataflow)
+            .with_stream_bandwidth_clamped(self.pes())
             .with_telemetry(telemetry);
-        SigmaSim::new(cfg).expect("case config is valid")
+        SigmaSim::new_clamped(cfg)
     }
 }
 
@@ -208,12 +201,12 @@ pub struct PerfMeasurement {
 /// the minimum wall time. Operand generation and simulator construction are
 /// excluded from the timed region.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation itself fails — every ladder case is a valid
-/// GEMM, so failure is a simulator bug worth a loud stop.
-#[must_use]
-pub fn measure(case: &PerfCase, reps: usize) -> PerfMeasurement {
+/// Returns the simulator's error if the case fails to run — every ladder
+/// case is a valid GEMM, so failure is a simulator bug worth a loud stop
+/// at the caller.
+pub fn measure(case: &PerfCase, reps: usize) -> Result<PerfMeasurement, SigmaError> {
     measure_with(case, reps, false)
 }
 
@@ -221,20 +214,23 @@ pub fn measure(case: &PerfCase, reps: usize) -> PerfMeasurement {
 /// instrumentation overhead (`perf_bench --telemetry` reports the on/off
 /// throughput ratio per case).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation itself fails, like [`measure`].
-#[must_use]
-pub fn measure_with(case: &PerfCase, reps: usize, telemetry: bool) -> PerfMeasurement {
+/// Returns the simulator's error if the case fails to run, like [`measure`].
+pub fn measure_with(
+    case: &PerfCase,
+    reps: usize,
+    telemetry: bool,
+) -> Result<PerfMeasurement, SigmaError> {
     let reps = reps.max(1);
     let (a, b) = case.operands();
     let sim = case.sim_with(telemetry);
-    let warm = sim.run_gemm(&a, &b).expect("perf case must simulate");
+    let warm = sim.run_gemm(&a, &b)?;
     let cycles = warm.stats.total_cycles();
     let mut best_secs = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
-        let run = sim.run_gemm(&a, &b).expect("perf case must simulate");
+        let run = sim.run_gemm(&a, &b)?;
         let secs = t.elapsed().as_secs_f64();
         assert_eq!(run.stats, warm.stats, "simulation must be deterministic");
         std::hint::black_box(&run.result);
@@ -243,7 +239,7 @@ pub fn measure_with(case: &PerfCase, reps: usize, telemetry: bool) -> PerfMeasur
     let best_secs = best_secs.max(1e-9);
     #[allow(clippy::cast_precision_loss)]
     let cycles_per_sec = cycles as f64 / best_secs;
-    PerfMeasurement { case: *case, cycles, best_secs, cycles_per_sec, reps }
+    Ok(PerfMeasurement { case: *case, cycles, best_secs, cycles_per_sec, reps })
 }
 
 /// Renders measurements as the `BENCH_sim.json` baseline. One case per
@@ -346,7 +342,7 @@ mod tests {
     #[test]
     fn measure_smallest_case_yields_positive_throughput() {
         let c = cases().into_iter().find(|c| c.name == "dense_128").unwrap();
-        let m = measure(&c, 1);
+        let m = measure(&c, 1).unwrap();
         assert!(m.cycles > 0);
         assert!(m.cycles_per_sec > 0.0);
         assert_eq!(m.reps, 1);

@@ -28,6 +28,9 @@ impl Table {
     ///
     /// Panics if the row width does not match the headers; use
     /// [`Table::try_push`] to handle that case gracefully.
+    // Deliberate convenience panic over try_push (sigma-lint D2 waived
+    // for this file in lint.toml).
+    #[allow(clippy::expect_used)]
     pub fn push(&mut self, row: Vec<String>) {
         self.try_push(row).expect("row width must match headers");
     }

@@ -146,6 +146,35 @@ impl SigmaConfig {
         })
     }
 
+    /// Creates a configuration, repairing invalid geometry instead of
+    /// failing: `num_dpes` is raised to at least 1, `dpe_size` is rounded
+    /// up to the next power of two (minimum 2), and `input_bandwidth` is
+    /// raised to at least 1. Useful for static tables and benchmark
+    /// registries whose shapes are known-good by construction; prefer
+    /// [`SigmaConfig::new`] when invalid input should be reported.
+    #[must_use]
+    pub fn clamped(
+        num_dpes: usize,
+        dpe_size: usize,
+        input_bandwidth: usize,
+        dataflow: Dataflow,
+    ) -> Self {
+        let num_dpes = num_dpes.max(1);
+        let dpe_size = dpe_size.max(2).next_power_of_two();
+        let input_bandwidth = input_bandwidth.max(1);
+        Self {
+            num_dpes,
+            dpe_size,
+            input_bandwidth,
+            stream_bandwidth: input_bandwidth,
+            dataflow,
+            double_buffered: false,
+            packing: PackingOrder::GroupMajor,
+            route_cache: true,
+            telemetry: false,
+        }
+    }
+
     /// The paper's evaluated instance: 128 Flex-DPE-128 (16384 PEs),
     /// 128 words/cycle SRAM *loading* bandwidth, weight-stationary by
     /// default. Following Sec. VI-A ("we allow greater input bandwidth to
@@ -275,6 +304,14 @@ impl SigmaConfig {
         Ok(self)
     }
 
+    /// Returns a copy with a different streaming bandwidth, clamped to
+    /// at least 1 word/cycle instead of failing on zero.
+    #[must_use]
+    pub fn with_stream_bandwidth_clamped(mut self, bw: usize) -> Self {
+        self.stream_bandwidth = bw.max(1);
+        self
+    }
+
     /// The configured dataflow.
     #[must_use]
     pub fn dataflow(&self) -> Dataflow {
@@ -352,6 +389,20 @@ mod tests {
         assert!(c.with_bandwidth(0).is_err());
         assert!(!c.telemetry());
         assert!(c.with_telemetry(true).telemetry());
+    }
+
+    #[test]
+    fn clamped_repairs_geometry() {
+        let c = SigmaConfig::clamped(0, 48, 0, Dataflow::WeightStationary);
+        assert_eq!(c.num_dpes(), 1);
+        assert_eq!(c.dpe_size(), 64);
+        assert_eq!(c.input_bandwidth(), 1);
+        // Valid geometry passes through unchanged and matches new().
+        let a = SigmaConfig::clamped(4, 64, 32, Dataflow::NoLocalReuse);
+        let b = SigmaConfig::new(4, 64, 32, Dataflow::NoLocalReuse).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.with_stream_bandwidth_clamped(0).stream_bandwidth(), 1);
+        assert_eq!(c.with_stream_bandwidth_clamped(256).stream_bandwidth(), 256);
     }
 
     #[test]

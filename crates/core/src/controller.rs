@@ -26,6 +26,7 @@
 //! GEMM dataflow onto this orientation (weight-stationary transposes the
 //! `KN` operand; input-stationary uses `MK` directly).
 
+use crate::SigmaError;
 use sigma_matrix::{Bitmap, SparseMatrix};
 
 /// The order in which stationary′ non-zeros are packed into folds.
@@ -336,10 +337,11 @@ impl ControllerPlan {
     /// (1 when the request is monotone — the common case; at most the
     /// number of clusters resident in the Flex-DPE otherwise).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dpe_size` is not a valid Benes size.
-    #[must_use]
+    /// Returns [`SigmaError::DpeSizeNotPowerOfTwo`] if `dpe_size` is not
+    /// a valid Benes size, or [`SigmaError::Internal`] if the request
+    /// fails to route (impossible for controller-built requests).
     pub fn distribution_passes(
         &self,
         fold_idx: usize,
@@ -347,13 +349,16 @@ impl ControllerPlan {
         dpe_size: usize,
         streaming: &Bitmap,
         step: usize,
-    ) -> usize {
+    ) -> Result<usize, SigmaError> {
         let net = sigma_interconnect::BenesNetwork::new(dpe_size)
-            .expect("dpe_size validated as power of two");
+            .map_err(|_| SigmaError::DpeSizeNotPowerOfTwo(dpe_size))?;
         let req = self.streaming_request(fold_idx, dpe, dpe_size, streaming, step);
-        net.route_general_multicast(&req)
-            .expect("request sources are in range by construction")
-            .pass_count()
+        Ok(net
+            .route_general_multicast(&req)
+            .map_err(|e| {
+                SigmaError::Internal(format!("controller-built request failed to route: {e}"))
+            })?
+            .pass_count())
     }
 }
 
@@ -479,7 +484,7 @@ mod tests {
         for step in 0..stream.cols() {
             for dpe in 0..2 {
                 let req = plan.streaming_request(0, dpe, 4, &stream, step);
-                let passes = plan.distribution_passes(0, dpe, 4, &stream, step);
+                let passes = plan.distribution_passes(0, dpe, 4, &stream, step).unwrap();
                 // Pass count never exceeds the clusters resident in the DPE.
                 let clusters_here: std::collections::HashSet<_> = plan.folds[0].vec_ids
                     [dpe * 4..(dpe * 4 + 4).min(plan.folds[0].occupied())]

@@ -88,21 +88,24 @@ impl DpuAllocator {
             match used.cmp(&pool) {
                 std::cmp::Ordering::Equal => break,
                 std::cmp::Ordering::Less => {
-                    let i = (0..shares.len())
-                        .max_by(|&a, &b| {
-                            problems[a]
-                                .useful_macs()
-                                .partial_cmp(&problems[b].useful_macs())
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .expect("non-empty");
+                    // `problems` is non-empty (checked on entry).
+                    let Some(i) = (0..shares.len()).max_by(|&a, &b| {
+                        problems[a]
+                            .useful_macs()
+                            .partial_cmp(&problems[b].useful_macs())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    }) else {
+                        break;
+                    };
                     shares[i] += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    let i = (0..shares.len())
-                        .filter(|&i| shares[i] > 1)
-                        .max_by_key(|&i| shares[i])
-                        .expect("shares exceed pool only when some share > 1");
+                    // Shares exceed the pool only when some share > 1.
+                    let Some(i) =
+                        (0..shares.len()).filter(|&i| shares[i] > 1).max_by_key(|&i| shares[i])
+                    else {
+                        break;
+                    };
                     shares[i] -= 1;
                 }
             }
@@ -134,13 +137,15 @@ impl DpuAllocator {
             PartitionPolicy::MakespanGreedy => {
                 let mut shares = self.partition(problems)?;
                 let job_cycles = |p: &GemmProblem, dpes: usize| -> u64 {
-                    let sub = SigmaConfig::new(
+                    // Geometry is valid by construction (dpes >= 1, the
+                    // parent dpe_size already validated, bandwidth >= 1);
+                    // clamped() is exact on valid input.
+                    let sub = SigmaConfig::clamped(
                         dpes,
                         self.config.dpe_size(),
                         (self.config.input_bandwidth() * dpes / pool).max(1),
                         self.config.dataflow(),
-                    )
-                    .expect("valid sub-config");
+                    );
                     estimate_best(&sub, p).1.total_cycles()
                 };
                 let makespan = |shares: &[usize]| -> u64 {
@@ -152,7 +157,7 @@ impl DpuAllocator {
                 for _ in 0..4 * pool {
                     let times: Vec<u64> =
                         problems.iter().zip(&shares).map(|(p, &d)| job_cycles(p, d)).collect();
-                    let slowest = (0..times.len()).max_by_key(|&i| times[i]).expect("non-empty");
+                    let Some(slowest) = (0..times.len()).max_by_key(|&i| times[i]) else { break };
                     let donor = (0..times.len())
                         .filter(|&i| i != slowest && shares[i] > 1)
                         .min_by_key(|&i| times[i]);

@@ -69,6 +69,18 @@ impl SigmaSim {
         Ok(Self { config, fan, telemetry })
     }
 
+    /// Creates a simulator, clamping the configured Flex-DPE size to a
+    /// valid FAN/Benes geometry instead of failing. A configuration from
+    /// [`SigmaConfig::new`] / [`SigmaConfig::clamped`] is always valid,
+    /// making this constructor exact for them; prefer [`SigmaSim::new`]
+    /// when invalid input should be reported.
+    #[must_use]
+    pub fn new_clamped(config: SigmaConfig) -> Self {
+        let fan = Fan::new_clamped(config.dpe_size());
+        let telemetry = if config.telemetry() { Telemetry::enabled() } else { Telemetry::off() };
+        Self { config, fan, telemetry }
+    }
+
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &SigmaConfig {
@@ -389,8 +401,10 @@ impl SigmaSim {
         // Controller-level telemetry: fold/mapping decisions. The mapped
         // total accumulates below; the drop count falls out at the end.
         self.telemetry.add(Counter::FoldsPlanned, plan.folds.len() as u64);
-        let mut fanout_counts: std::collections::HashMap<usize, u64> =
-            std::collections::HashMap::new();
+        // Sorted-run scratch for the multicast fan-out histogram: a Vec
+        // sorted per fold instead of a hash map, so the observation order
+        // is deterministic and the loop is allocation-free after warmup.
+        let mut fanout_scratch: Vec<usize> = Vec::new();
 
         let mut prev_fold_stream = 0u64;
         for fold in &plan.folds {
@@ -414,13 +428,19 @@ impl SigmaSim {
             self.telemetry.add(Counter::SramStationaryReads, occupied as u64);
             if self.telemetry.is_enabled() {
                 // Multicast fan-out distribution: how many multipliers each
-                // streamed SRAM read of a contraction index feeds.
-                fanout_counts.clear();
-                for e in &fold.elements {
-                    *fanout_counts.entry(e.contraction).or_insert(0) += 1;
-                }
-                for &fanout in fanout_counts.values() {
-                    self.telemetry.observe(Hist::MulticastFanout, fanout);
+                // streamed SRAM read of a contraction index feeds. Counted
+                // as runs of the sorted contraction indices.
+                fanout_scratch.clear();
+                fanout_scratch.extend(fold.elements.iter().map(|e| e.contraction));
+                fanout_scratch.sort_unstable();
+                let mut i = 0;
+                while i < fanout_scratch.len() {
+                    let mut j = i + 1;
+                    while j < fanout_scratch.len() && fanout_scratch[j] == fanout_scratch[i] {
+                        j += 1;
+                    }
+                    self.telemetry.observe(Hist::MulticastFanout, (j - i) as u64);
+                    i = j;
                 }
             }
             let mut this_fold_stream = 0u64;
@@ -442,7 +462,7 @@ impl SigmaSim {
                 unit.load(&fold.elements[lo..hi], &local_ids)?;
             }
 
-            let mut last_step_drain = 0u32;
+            let mut last_step_drain = 0u64;
             for step in 0..steps {
                 // Bandwidth: only the non-zero streaming values among this
                 // fold's needed contraction indices are read and sent.
@@ -490,9 +510,9 @@ impl SigmaSim {
             }
             // Table II add latency: the last wave's reduction must drain
             // before the next stationary fold loads.
-            stats.add_cycles += u64::from(last_step_drain);
+            stats.add_cycles += last_step_drain;
             if let Some(t) = trace.as_deref_mut() {
-                t.record(Phase::Drain, stats.folds - 1, None, u64::from(last_step_drain));
+                t.record(Phase::Drain, stats.folds - 1, None, last_step_drain);
             }
             prev_fold_stream = this_fold_stream;
         }
@@ -575,7 +595,7 @@ impl SigmaSim {
                 t.record(Phase::Stream, w as u64, Some(0), stream_cycles);
             }
 
-            let mut drain = 0u32;
+            let mut drain = 0u64;
             for (d, chunk) in wave.chunks(dpe).enumerate() {
                 products.fill(0.0);
                 ids.fill(None);
@@ -611,9 +631,9 @@ impl SigmaSim {
                     out.set(i, j, out.get(i, j) + s.value);
                 }
             }
-            stats.add_cycles += u64::from(drain);
+            stats.add_cycles += drain;
             if let Some(t) = trace.as_deref_mut() {
-                t.record(Phase::Drain, w as u64, None, u64::from(drain));
+                t.record(Phase::Drain, w as u64, None, drain);
             }
         }
 

@@ -58,7 +58,10 @@ pub struct FlexDpe {
     fan_scratch: FanScratch,
     route_cache: RouteCache,
     load_req: Vec<Option<usize>>,
-    distinct_scratch: std::collections::HashSet<usize>,
+    /// Sorted-and-deduped to count distinct contractions at load time;
+    /// a Vec (not a hash set) so the count is allocation-free after
+    /// warmup and independent of any per-process hasher state.
+    distinct_scratch: Vec<usize>,
     telemetry: Telemetry,
 }
 
@@ -86,7 +89,7 @@ impl FlexDpe {
             fan_scratch: FanScratch::default(),
             route_cache: RouteCache::new(),
             load_req: Vec::with_capacity(size),
-            distinct_scratch: std::collections::HashSet::new(),
+            distinct_scratch: Vec::with_capacity(size),
             telemetry: Telemetry::off(),
         })
     }
@@ -169,7 +172,9 @@ impl FlexDpe {
         let (cfg, cold) = self
             .route_cache
             .route_monotone_multicast_tracked(&self.benes, &self.load_req)
-            .expect("identity loading pattern always routes");
+            .map_err(|e| {
+                SigmaError::Internal(format!("identity loading pattern failed to route: {e}"))
+            })?;
         if cold {
             // Validate freshly derived switch settings end-to-end; hits
             // reuse a configuration that already passed this check.
@@ -195,10 +200,12 @@ impl FlexDpe {
             self.values[slot] = e.value;
             self.contractions[slot] = e.contraction;
             self.occupied_words[slot / 64] |= 1 << (slot % 64);
-            self.distinct_scratch.insert(e.contraction);
+            self.distinct_scratch.push(e.contraction);
         }
         self.vec_ids.copy_from_slice(vec_ids);
         self.occupied_count = elements.len();
+        self.distinct_scratch.sort_unstable();
+        self.distinct_scratch.dedup();
         self.distinct_operands = self.distinct_scratch.len();
         Ok(())
     }

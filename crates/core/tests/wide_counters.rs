@@ -1,0 +1,70 @@
+//! Regression guard for the u32→u64 counter widening: a synthetic run
+//! whose cycle counters exceed `u32::MAX` must survive accounting,
+//! merging, and display exactly — no truncation, wrap, or saturation.
+//!
+//! Real training GEMMs at paper scale (M·K·N ≈ 5124·9124·2560 over
+//! thousands of layers) push aggregate cycle counts far past 2^32; the
+//! old 32-bit completion/drain fields silently wrapped there.
+
+use sigma_core::CycleStats;
+
+/// A synthetic phase whose every counter is past 2^32.
+fn huge_phase() -> CycleStats {
+    CycleStats {
+        loading_cycles: 1 << 40,
+        streaming_cycles: (1 << 41) + 12_345,
+        add_cycles: (1 << 33) + 7,
+        folds: (1 << 34) + 1,
+        useful_macs: 1 << 70,
+        issued_macs: (1 << 70) + (1 << 69),
+        mapped_nonzeros: 1 << 36,
+        occupied_slots: 1 << 36,
+        pes: 16_384,
+        sram_reads: 1 << 42,
+        ..CycleStats::default()
+    }
+}
+
+#[test]
+fn totals_past_u32_are_exact() {
+    let s = huge_phase();
+    let expect = (1u64 << 40) + ((1 << 41) + 12_345) + ((1 << 33) + 7);
+    assert_eq!(s.total_cycles(), expect);
+    assert!(s.total_cycles() > u64::from(u32::MAX));
+    // The old u32 wrap would have produced this instead.
+    #[allow(clippy::cast_possible_truncation)]
+    let wrapped = u64::from(expect as u32);
+    assert_ne!(s.total_cycles(), wrapped);
+}
+
+#[test]
+fn merging_many_huge_phases_stays_exact() {
+    let phase = huge_phase();
+    let mut acc = CycleStats::default();
+    for _ in 0..1000 {
+        acc = acc.merged(&phase);
+    }
+    assert_eq!(acc.loading_cycles, 1000 * (1u64 << 40));
+    assert_eq!(acc.total_cycles(), 1000 * phase.total_cycles());
+    assert_eq!(acc.useful_macs, 1000 * (1u128 << 70));
+    assert_eq!(acc.pes, phase.pes, "pes is a max, not a sum");
+}
+
+#[test]
+fn efficiency_ratios_survive_huge_counters() {
+    let s = huge_phase();
+    assert!((s.stationary_utilization() - 1.0).abs() < 1e-12);
+    let ce = s.compute_efficiency();
+    let oe = s.overall_efficiency();
+    assert!(ce.is_finite() && (0.0..=1.0).contains(&ce));
+    assert!(oe.is_finite() && (0.0..=1.0).contains(&oe));
+    assert!(oe <= ce + 1e-12, "overall adds latency, so it cannot beat compute eff");
+}
+
+#[test]
+fn display_renders_the_full_width() {
+    let s = huge_phase();
+    let text = s.to_string();
+    assert!(text.contains(&(1u64 << 40).to_string()), "{text}");
+    assert!(text.contains(&s.total_cycles().to_string()), "{text}");
+}

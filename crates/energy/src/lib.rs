@@ -17,6 +17,17 @@
 //! what the reproduction needs; absolute mm²/W are anchored but obviously
 //! not signoff-quality.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

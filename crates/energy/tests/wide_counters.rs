@@ -1,0 +1,39 @@
+//! Regression guard for the u32→u64 counter widening on the energy
+//! side: joules computed from >2^32-cycle runs must stay finite and
+//! scale linearly (2^40 is still exactly representable in f64).
+
+use sigma_core::CycleStats;
+use sigma_energy::{sigma_report, EnergyBreakdown};
+
+#[test]
+fn energy_from_huge_cycle_counts_is_finite_and_monotone() {
+    let report = sigma_report(128, 128);
+    let small = report.energy_j(1 << 20);
+    let huge = report.energy_j(1 << 40);
+    assert!(small.is_finite() && small > 0.0);
+    assert!(huge.is_finite() && huge > small);
+    let ratio = huge / small;
+    assert!((ratio - f64::from(1 << 20)).abs() < 1e-3, "ratio {ratio}");
+}
+
+#[test]
+fn breakdown_from_huge_stats_is_finite() {
+    let stats = CycleStats {
+        loading_cycles: 1 << 40,
+        streaming_cycles: 1 << 41,
+        add_cycles: 1 << 33,
+        folds: 1 << 34,
+        useful_macs: 1 << 70,
+        issued_macs: 1 << 70,
+        mapped_nonzeros: 1 << 36,
+        occupied_slots: 1 << 36,
+        pes: 16_384,
+        sram_reads: 1 << 42,
+        ..CycleStats::default()
+    };
+    let b = EnergyBreakdown::from_stats(&stats, 128);
+    assert!(b.total_j().is_finite() && b.total_j() > 0.0);
+    for (label, joules) in b.rows() {
+        assert!(joules.is_finite() && joules >= 0.0, "{label}: {joules}");
+    }
+}

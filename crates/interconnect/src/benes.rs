@@ -348,6 +348,15 @@ impl BenesNetwork {
         Ok(Self { size })
     }
 
+    /// Creates a network, rounding `size` up to the next power of two
+    /// (minimum 2) instead of failing. For static tables whose shapes
+    /// are known-good by construction; prefer [`BenesNetwork::new`] when
+    /// invalid input should be reported.
+    #[must_use]
+    pub fn new_clamped(size: usize) -> Self {
+        Self { size: size.max(2).next_power_of_two() }
+    }
+
     /// Number of ports.
     #[must_use]
     pub fn size(&self) -> usize {
@@ -628,11 +637,13 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
 
     // Greedy path coloring: consecutive sources must differ when they share
     // an input switch or are demanded together by some output switch.
-    let mut color_of = std::collections::HashMap::new();
+    // Indexed by source port (sources are < n), deterministic by
+    // construction — no hash-map involved.
+    let mut color_of: Vec<Option<u8>> = vec![None; n];
     let mut prev_color = 0u8;
     for (idx, &s) in sources.iter().enumerate() {
         if idx == 0 {
-            color_of.insert(s, 0u8);
+            color_of[s] = Some(0u8);
             prev_color = 0;
             continue;
         }
@@ -643,15 +654,15 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
                 (Some(a), Some(b)) if (a == p && b == s) || (a == s && b == p))
         });
         let c = if same_input_switch || same_output_switch { 1 - prev_color } else { prev_color };
-        color_of.insert(s, c);
+        color_of[s] = Some(c);
         prev_color = c;
     }
 
     // Input switch states.
     let mut input_states = Vec::with_capacity(half);
     for i in 0..half {
-        let c0 = color_of.get(&(2 * i)).copied();
-        let c1 = color_of.get(&(2 * i + 1)).copied();
+        let c0 = color_of[2 * i];
+        let c1 = color_of[2 * i + 1];
         let state = match (c0, c1) {
             (Some(a), Some(b)) => {
                 debug_assert_ne!(a, b, "sibling sources colored to the same subnet");
@@ -683,8 +694,9 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
     // Sub-requests and output switch states.
     let subnet_of = |s: usize| {
         color_of
-            .get(&s)
+            .get(s)
             .copied()
+            .flatten()
             .ok_or(BenesError::Internal("multicast source missing a subnet color"))
     };
     let mut up_src: Vec<Option<usize>> = vec![None; half];

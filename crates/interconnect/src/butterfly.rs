@@ -16,7 +16,7 @@
 //! permutations that need many.
 
 use crate::{is_power_of_two, log2_ceil};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A butterfly (omega-style) network over `N` ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +97,7 @@ impl Butterfly {
         let mut remaining: Vec<(usize, usize)> = requests.to_vec();
         let mut waves = Vec::new();
         while !remaining.is_empty() {
-            let mut used: HashSet<(u32, usize)> = HashSet::new();
+            let mut used: BTreeSet<(u32, usize)> = BTreeSet::new();
             let mut wave = Vec::new();
             let mut next = Vec::new();
             for (src, dst) in remaining {

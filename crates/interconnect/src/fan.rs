@@ -85,8 +85,9 @@ pub struct SegmentSum {
     /// Cycles after wave issue at which this sum is available. A
     /// single-multiplier cluster bypasses every adder (0 cycles); a
     /// cluster whose highest enabled adder is at level `L` completes at
-    /// `L + 1`.
-    pub completion_cycles: u32,
+    /// `L + 1`. 64-bit like every other cycle counter, so downstream
+    /// accumulation never narrows.
+    pub completion_cycles: u64,
 }
 
 /// Result of pushing one wave of multiplier outputs through the FAN.
@@ -97,7 +98,7 @@ pub struct FanReduction {
     /// Number of floating-point additions performed (adder activations).
     pub adds_performed: usize,
     /// Completion time of the slowest cluster in this wave, in cycles.
-    pub critical_cycles: u32,
+    pub critical_cycles: u64,
 }
 
 /// Reusable working state for [`Fan::reduce_into`].
@@ -111,10 +112,12 @@ pub struct FanScratch {
     /// Active `(leaf_start, leaf_end_inclusive, partial)` intervals.
     intervals: Vec<(usize, usize, f32)>,
     /// Completion cycle of the cluster starting at each leaf
-    /// (`u32::MAX` = not yet complete).
-    completion: Vec<u32>,
-    /// vecIDs whose runs have ended (contiguity validation).
-    seen: std::collections::HashSet<u32>,
+    /// (`u64::MAX` = not yet complete).
+    completion: Vec<u64>,
+    /// One vecID per run, sorted for the contiguity check; a Vec (not a
+    /// hash set) keeps the hot loop allocation-free after warmup and
+    /// independent of per-process hasher state.
+    seen: Vec<u32>,
 }
 
 /// A Forwarding Adder Network over `N` multiplier outputs.
@@ -150,6 +153,15 @@ impl Fan {
             return Err(FanError::NotPowerOfTwo(size));
         }
         Ok(Self { size })
+    }
+
+    /// Creates a FAN, rounding `size` up to the next power of two
+    /// (minimum 2) instead of failing. For static tables whose shapes
+    /// are known-good by construction; prefer [`Fan::new`] when invalid
+    /// input should be reported.
+    #[must_use]
+    pub fn new_clamped(size: usize) -> Self {
+        Self { size: size.max(2).next_power_of_two() }
     }
 
     /// Number of multiplier (leaf) inputs.
@@ -292,29 +304,30 @@ impl Fan {
         if vec_ids.len() != self.size {
             return Err(FanError::SizeMismatch { expected: self.size, actual: vec_ids.len() });
         }
-        // Contiguity check: every vecID forms a single run.
+        // Contiguity check: every vecID forms a single run. Collect one
+        // id per run, sort, and look for duplicates.
         scratch.seen.clear();
         let mut prev: Option<u32> = None;
         for id in vec_ids.iter() {
-            match (prev, *id) {
-                (Some(p), Some(cur)) if p == cur => {}
-                (_, Some(cur)) => {
-                    if !scratch.seen.insert(cur) {
-                        return Err(FanError::NonContiguousSegments(cur));
-                    }
+            if let Some(cur) = *id {
+                if prev != Some(cur) {
+                    scratch.seen.push(cur);
                 }
-                (_, None) => {}
             }
             prev = *id;
+        }
+        scratch.seen.sort_unstable();
+        if let Some(dup) = scratch.seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(FanError::NonContiguousSegments(dup[0]));
         }
 
         // Active intervals: (leaf_start, leaf_end_inclusive, partial value).
         // Level-by-level merging reproduces the hardware's add order.
         let intervals = &mut scratch.intervals;
         intervals.clear();
-        // Completion cycle by leaf start; u32::MAX marks "still reducing".
-        scratch.completion.resize(self.size, u32::MAX);
-        scratch.completion.fill(u32::MAX);
+        // Completion cycle by leaf start; u64::MAX marks "still reducing".
+        scratch.completion.resize(self.size, u64::MAX);
+        scratch.completion.fill(u64::MAX);
         for (i, id) in vec_ids.iter().enumerate() {
             if id.is_some() {
                 intervals.push((i, i, values[i]));
@@ -353,7 +366,7 @@ impl Fan {
                     let whole = (s0 == 0 || vec_ids[s0 - 1] != vec_ids[s0])
                         && (e1 + 1 == self.size || vec_ids[e1 + 1] != vec_ids[e1]);
                     if whole {
-                        scratch.completion[s0] = lvl + 1;
+                        scratch.completion[s0] = u64::from(lvl) + 1;
                     }
                     // Re-examine the same position: the merged interval may
                     // merge again with the next one at this level.
@@ -364,13 +377,19 @@ impl Fan {
         }
 
         out.sums.reserve(intervals.len());
-        let mut critical = 0u32;
+        let mut critical = 0u64;
         for &(s, e, v) in intervals.iter() {
             let cycles = scratch.completion[s];
-            debug_assert_ne!(cycles, u32::MAX, "every cluster completes within log2(N) levels");
+            debug_assert_ne!(cycles, u64::MAX, "every cluster completes within log2(N) levels");
             critical = critical.max(cycles);
+            // Intervals are seeded from active leaves, so `vec_ids[s]` is
+            // always Some; skip (debug-asserting) rather than panic.
+            let Some(vec_id) = vec_ids[s] else {
+                debug_assert!(false, "interval starts at an active leaf");
+                continue;
+            };
             out.sums.push(SegmentSum {
-                vec_id: vec_ids[s].expect("interval starts at an active leaf"),
+                vec_id,
                 value: v,
                 leaf_range: (s, e),
                 completion_cycles: cycles,

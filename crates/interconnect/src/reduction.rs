@@ -164,7 +164,7 @@ impl ReductionNetwork {
                         actual: vec_ids.len(),
                     });
                 }
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = std::collections::BTreeSet::new();
                 let mut sums: Vec<crate::fan::SegmentSum> = Vec::new();
                 let mut adds = 0usize;
                 let mut i = 0usize;
@@ -184,12 +184,11 @@ impl ReductionNetwork {
                         adds += 1;
                         i += 1;
                     }
-                    #[allow(clippy::cast_possible_truncation)]
                     sums.push(crate::fan::SegmentSum {
                         vec_id: id,
                         value: acc,
                         leaf_range: (start, i - 1),
-                        completion_cycles: (i - 1 - start) as u32,
+                        completion_cycles: (i - 1 - start) as u64,
                     });
                 }
                 let critical = sums.iter().map(|s| s.completion_cycles).max().unwrap_or(0);

@@ -6,8 +6,9 @@
 //! every full fold. Deriving the switch configuration is the expensive part
 //! (the looping/coloring recursion walks the whole network), so
 //! [`RouteCache`] memoizes [`BenesConfig`]s and [`MultipassRouting`]s by the
-//! exact request vector. A hit costs one hash of the request pattern and
-//! performs no heap allocation (the lookup key is built in a reusable
+//! exact request vector. Entries live in a `BTreeMap` (ordered comparisons,
+//! no per-process hasher state — lookup order can never leak into results),
+//! a hit performs no heap allocation (the lookup key is built in a reusable
 //! scratch buffer); outputs are the very configurations the cold router
 //! produced, so cached and cold simulation are byte-identical by
 //! construction — and the test suite checks it anyway.
@@ -17,7 +18,7 @@
 //! the two modes end-to-end.
 
 use crate::benes::{BenesConfig, BenesError, BenesNetwork, MultipassRouting};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A request slot in the canonical key encoding: `u32::MAX` encodes `None`,
 /// anything else the source index. Network sizes are far below `u32::MAX`,
@@ -43,9 +44,9 @@ const NONE_SLOT: RouteSlot = u32::MAX;
 #[derive(Debug, Clone, Default)]
 pub struct RouteCache {
     enabled: bool,
-    monotone: HashMap<Box<[RouteSlot]>, usize>,
+    monotone: BTreeMap<Box<[RouteSlot]>, usize>,
     monotone_configs: Vec<BenesConfig>,
-    general: HashMap<Box<[RouteSlot]>, usize>,
+    general: BTreeMap<Box<[RouteSlot]>, usize>,
     general_routings: Vec<MultipassRouting>,
     /// Reusable key buffer so cache hits do not allocate.
     key_buf: Vec<RouteSlot>,
@@ -146,8 +147,8 @@ impl RouteCache {
     ) -> Result<(&BenesConfig, bool), BenesError> {
         if !self.enabled {
             self.misses += 1;
-            self.cold_config = Some(net.route_monotone_multicast(src)?);
-            return Ok((self.cold_config.as_ref().expect("just stored"), true));
+            let cfg = net.route_monotone_multicast(src)?;
+            return Ok((self.cold_config.insert(cfg), true));
         }
         Self::encode_key(&mut self.key_buf, src);
         if let Some(&idx) = self.monotone.get(self.key_buf.as_slice()) {
@@ -190,8 +191,8 @@ impl RouteCache {
     ) -> Result<(&MultipassRouting, bool), BenesError> {
         if !self.enabled {
             self.misses += 1;
-            self.cold_routing = Some(net.route_general_multicast(src)?);
-            return Ok((self.cold_routing.as_ref().expect("just stored"), true));
+            let routing = net.route_general_multicast(src)?;
+            return Ok((self.cold_routing.insert(routing), true));
         }
         Self::encode_key(&mut self.key_buf, src);
         if let Some(&idx) = self.general.get(self.key_buf.as_slice()) {

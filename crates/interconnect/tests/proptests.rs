@@ -163,7 +163,7 @@ proptest! {
                 "cluster {} sum {} vs {}", id, got.value, sum);
             want_adds += len - 1;
             // Completion bounded by the pipeline depth.
-            prop_assert!(got.completion_cycles <= fan.level_count());
+            prop_assert!(got.completion_cycles <= u64::from(fan.level_count()));
             // A singleton completes instantly; larger clusters need >= 1.
             if *len == 1 {
                 prop_assert_eq!(got.completion_cycles, 0);

@@ -1,0 +1,486 @@
+//! A hand-rolled, comment/string/raw-string-aware Rust lexer.
+//!
+//! The analyzer needs to tell an `unwrap` in executable code from an
+//! `unwrap` in a doc comment or a string literal, and it must do so
+//! offline with no `syn`/`proc-macro2` dependency (the workspace vendors
+//! every dependency). This lexer tokenizes a Rust source file into spans
+//! that cover the input byte-for-byte: comments (line, doc, and *nested*
+//! block comments), string literals (plain, byte, C, and raw with any
+//! number of `#`s), char literals vs. lifetimes, numbers, identifiers,
+//! and punctuation.
+//!
+//! The lexer is **total**: any byte sequence — including invalid or
+//! truncated Rust — produces a token stream whose concatenated spans
+//! reproduce the source exactly (an unterminated literal simply extends
+//! to end of input). A proptest pins that round-trip property.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* ... */`, nesting-aware, including doc forms (`/** */`).
+    BlockComment,
+    /// Identifier or keyword (`foo`, `unsafe`), or a raw identifier
+    /// (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char literal `'x'`, `'\n'`, or a byte char `b'x'`.
+    CharLit,
+    /// `"..."`, `b"..."`, or `c"..."` with escapes.
+    StrLit,
+    /// `r"..."`, `r#"..."#`, `br#"..."#`, `cr"..."` — any hash depth.
+    RawStrLit,
+    /// Integer or float literal (including suffixes: `1_000u64`, `1e-3`).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `!`, braces, operators, ...).
+    Punct,
+}
+
+/// One lexed span: `kind` plus the half-open byte range `[start, end)`
+/// and the 1-based line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the span.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text inside its source.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src` completely; the concatenation of all token spans is
+/// exactly `src`.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token { kind, start, end: self.pos, line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances up to `n` bytes.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.src[self.pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while let Some(b) = self.peek(0) {
+                    if b == b'\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.bump_n(2);
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'r' | b'b' | b'c' => match self.string_prefix_kind() {
+                Some(kind) => kind,
+                None => self.ident(),
+            },
+            b'"' => {
+                self.bump();
+                self.quoted_tail(b'"');
+                TokenKind::StrLit
+            }
+            b'\'' => self.char_or_lifetime(),
+            _ if is_ident_start(c) => self.ident(),
+            _ if c.is_ascii_digit() => {
+                self.number();
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier r#name lexes as one Ident span.
+        if self.peek(0) == Some(b'r')
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(is_ident_start)
+        {
+            self.bump_n(2);
+        }
+        self.bump();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    /// Consumes a `\`-escape-aware quoted literal tail up to and
+    /// including the closing `quote` (or end of input).
+    fn quoted_tail(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == quote {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Recognizes string/char literals introduced by an `r`/`b`/`c`
+    /// prefix (`r"`, `r#"`, `b"`, `br#"`, `c"`, `cr"`, `b'`). Returns
+    /// `None` without consuming anything when the prefix is just the
+    /// start of an ordinary identifier (`radius`, `break`, `r#match`).
+    fn string_prefix_kind(&mut self) -> Option<TokenKind> {
+        let rest = &self.src[self.pos..];
+        // b'x' byte char literal.
+        if rest.len() >= 2 && rest[0] == b'b' && rest[1] == b'\'' {
+            self.bump_n(2);
+            self.quoted_tail(b'\'');
+            return Some(TokenKind::CharLit);
+        }
+        // Longest-first: two-byte prefixes br / cr, then r / b / c.
+        let (prefix_len, raw) = if rest.len() >= 2
+            && (rest[0] == b'b' || rest[0] == b'c')
+            && rest[1] == b'r'
+            && raw_body_follows(&rest[2..])
+        {
+            (2, true)
+        } else if rest[0] == b'r' && raw_body_follows(&rest[1..]) {
+            (1, true)
+        } else if (rest[0] == b'b' || rest[0] == b'c') && rest.get(1) == Some(&b'"') {
+            (1, false)
+        } else {
+            return None;
+        };
+        self.bump_n(prefix_len);
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            if self.peek(0) == Some(b'"') {
+                self.bump();
+                self.raw_tail(hashes);
+            }
+            Some(TokenKind::RawStrLit)
+        } else {
+            self.bump(); // the opening quote
+            self.quoted_tail(b'"');
+            Some(TokenKind::StrLit)
+        }
+    }
+
+    /// Consumes a raw-string tail until `"` followed by `hashes` `#`s.
+    fn raw_tail(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'"') {
+                let closes = (0..hashes).all(|h| self.peek(1 + h) == Some(b'#'));
+                if closes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            // Escape: definitely a char literal.
+            Some(b'\\') => {
+                self.quoted_tail(b'\'');
+                TokenKind::CharLit
+            }
+            Some(b'\'') => {
+                // '' — empty (invalid) char literal; consume the close.
+                self.bump();
+                TokenKind::CharLit
+            }
+            Some(b) => {
+                // Maximal identifier-ish run after the quote, then decide
+                // by whether a closing quote follows it.
+                let mut k = 0usize;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if k > 0 && self.peek(k) == Some(b'\'') {
+                    // 'a' (char) — also closes invalid multi-char forms.
+                    self.bump_n(k + 1);
+                    TokenKind::CharLit
+                } else if k > 0 && is_ident_start(b) {
+                    // 'a, 'static — a lifetime, no closing quote.
+                    self.bump_n(k);
+                    TokenKind::Lifetime
+                } else {
+                    // '+' and friends: single char then maybe a close.
+                    self.bump();
+                    if self.peek(0) == Some(b'\'') {
+                        self.bump();
+                    }
+                    TokenKind::CharLit
+                }
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, hex/oct/bin prefixes, float dots and
+        // exponents, and type suffixes all continue the literal.
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'e' | b'E' => {
+                    self.bump();
+                    if matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                b'.' => {
+                    // 1..4 is a range, not a float: only consume the dot
+                    // when a digit follows.
+                    if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Hex digits, underscores, base prefixes, and type
+                // suffixes (`u64`, `usize`, `f32`) all continue the span.
+                _ if is_ident_continue(b) => self.bump(),
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Whether `t` (the bytes after a raw-string `r`) starts a raw body:
+/// zero or more `#` then `"`.
+fn raw_body_follows(t: &[u8]) -> bool {
+    let mut i = 0;
+    while t.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    t.get(i) == Some(&b'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().filter(|t| t.kind != TokenKind::Whitespace).map(|t| t.kind).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lex spans must cover the source exactly");
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at);
+            assert!(t.end > t.start);
+            at = t.end;
+        }
+        assert_eq!(at, src.len());
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        roundtrip("fn main() { let x = a.unwrap(); }");
+        assert!(kinds("a.unwrap()").contains(&TokenKind::Ident));
+    }
+
+    #[test]
+    fn line_and_doc_comments_hide_tokens() {
+        let src = "// unwrap()\n/// HashMap doc\nlet x = 1;\n";
+        let toks = lex(src);
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::LineComment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text(src).contains("unwrap"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text(src).ends_with("comment */"));
+        roundtrip(src);
+        roundtrip("/* unterminated /* nested ");
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        roundtrip(r#"let s = "quote \" and \\ backslash"; x"#);
+        let src = r#""contains unwrap()" ident"#;
+        assert_eq!(lex(src)[0].kind, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "r\"plain\" r#\"one # inside\"# r##\"deep \"# still\"## tail";
+        let toks: Vec<_> =
+            lex(src).into_iter().filter(|t| t.kind != TokenKind::Whitespace).collect();
+        assert_eq!(toks[0].kind, TokenKind::RawStrLit);
+        assert_eq!(toks[1].kind, TokenKind::RawStrLit);
+        assert_eq!(toks[2].kind, TokenKind::RawStrLit);
+        assert_eq!(toks[3].kind, TokenKind::Ident);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        roundtrip(r###"b"bytes" br#"raw bytes"# c"cstr" cr#"raw c"# b'x'"###);
+        let src = r#"b"unwrap()" x"#;
+        assert_eq!(lex(src)[0].kind, TokenKind::StrLit);
+        let src = "br#\"HashMap\"# y";
+        assert_eq!(lex(src)[0].kind, TokenKind::RawStrLit);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s: &'static str = c; }";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime | TokenKind::CharLit))
+            .collect();
+        assert_eq!(
+            toks.iter().map(|t| t.kind).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::CharLit,
+                TokenKind::CharLit,
+                TokenKind::Lifetime,
+            ]
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_whole() {
+        let src = "let r#match = 1; r#fn";
+        let idents: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(idents, vec!["let", "r#match", "r#fn"]);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers() {
+        roundtrip("1_000u64 0xFFusize 1e-3 3.25f32 1..4 0b1010");
+        assert_eq!(
+            kinds("1..4"),
+            vec![TokenKind::Number, TokenKind::Punct, TokenKind::Punct, TokenKind::Number]
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof() {
+        roundtrip("let s = \"no close");
+        roundtrip("let s = r#\"no close");
+        roundtrip("let c = '");
+        roundtrip("x /* open");
+    }
+
+    #[test]
+    fn multibyte_utf8() {
+        roundtrip("let emoji = \"🦀\"; // ünïcode comment\nlet ü = 1;");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c /* x\ny */ d";
+        let lines: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(lines, vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3), ("d".into(), 4)]);
+    }
+}

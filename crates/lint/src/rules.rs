@@ -1,0 +1,633 @@
+//! The five domain lints (D1–D5) over a lexed token stream.
+//!
+//! Every rule works on [`lex`](crate::lexer::lex) output, so comments,
+//! doc comments, and string/raw-string literals can never trigger a
+//! finding, and `#[cfg(test)]` items are recognized and exempted where
+//! the policy allows test-only code more latitude.
+//!
+//! | lint | invariant                                                        |
+//! |------|------------------------------------------------------------------|
+//! | D1   | no nondeterminism sources in crates that feed `RunRecord` output |
+//! | D2   | no `unwrap`/`expect`/`panic!`/`todo!` in non-test library code   |
+//! | D3   | no truncating casts on cycle/energy/MAC counters                 |
+//! | D4   | `unsafe` only in the explicit allowlist                          |
+//! | D5   | every `impl Engine` file validates operand finiteness            |
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Which rule produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Nondeterminism source (`HashMap`, `Instant`, `std::time`, ...) in
+    /// a determinism-critical crate.
+    D1,
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library
+    /// code outside `#[cfg(test)]`.
+    D2,
+    /// Truncating `as` cast on a cycle/energy/MAC counter expression.
+    D3,
+    /// `unsafe` outside the allowlist.
+    D4,
+    /// An `impl Engine` without operand finiteness validation.
+    D5,
+}
+
+impl Lint {
+    /// The lint's short name (`"D1"`...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::D1 => "D1",
+            Lint::D2 => "D2",
+            Lint::D3 => "D3",
+            Lint::D4 => "D4",
+            Lint::D5 => "D5",
+        }
+    }
+
+    /// Parses `"D1"`..`"D5"` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Lint> {
+        match s.to_ascii_uppercase().as_str() {
+            "D1" => Some(Lint::D1),
+            "D2" => Some(Lint::D2),
+            "D3" => Some(Lint::D3),
+            "D4" => Some(Lint::D4),
+            "D5" => Some(Lint::D5),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: where, which rule, what token, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub lint: Lint,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The offending token text.
+    pub token: String,
+    /// Human-readable fix hint.
+    pub hint: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: `{}` — {}", self.path, self.line, self.lint, self.token, self.hint)
+    }
+}
+
+/// What kind of target a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Part of a crate's library target (`src/` minus `src/bin`).
+    Lib,
+    /// A binary target (`src/bin/*` or `src/main.rs`).
+    Bin,
+    /// Integration tests, benches, or examples.
+    TestOrBench,
+}
+
+/// Per-file lint policy, derived from the workspace layout by
+/// [`Workspace`](crate::analyzer::Workspace).
+#[derive(Debug, Clone)]
+pub struct FilePolicy {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Role of the file in its crate.
+    pub role: FileRole,
+    /// Whether D1 applies (determinism-critical crate, library code).
+    pub determinism_critical: bool,
+    /// Whether this file may contain `unsafe` (D4 allowlist).
+    pub unsafe_allowed: bool,
+}
+
+/// Identifiers whose presence in determinism-critical code means the
+/// output can depend on something other than the inputs.
+const D1_IDENTS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "RandomState",
+    "DefaultHasher",
+    "Instant",
+    "SystemTime",
+    "ThreadId",
+    "thread_rng",
+];
+
+/// Method names that panic on `Err`/`None`.
+const D2_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that abort the simulation instead of reporting an error.
+const D2_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Cast targets that can truncate a 64-bit counter.
+const D3_NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Identifier segments that mark a counter expression (split on `_`).
+const COUNTER_SEGMENTS: &[&str] =
+    &["cycle", "cycles", "mac", "macs", "energy", "joule", "joules", "pj", "nj", "latency"];
+
+/// Runs every applicable rule over one file's source.
+#[must_use]
+pub fn check_file(policy: &FilePolicy, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    // Significant tokens only (no whitespace/comments); rules reason over
+    // these, and map back to lines through the retained spans.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let in_test = test_regions(&sig, src);
+
+    let mut findings = Vec::new();
+    let lib_code = policy.role == FileRole::Lib;
+
+    for (i, tok) in sig.iter().enumerate() {
+        let text = tok.text(src);
+        let test_code = in_test[i];
+
+        // D4: unsafe anywhere (test or not) outside the allowlist.
+        if tok.kind == TokenKind::Ident && text == "unsafe" && !policy.unsafe_allowed {
+            findings.push(Finding {
+                lint: Lint::D4,
+                path: policy.path.clone(),
+                line: tok.line,
+                token: text.to_string(),
+                hint: "unsafe is allowed only in lint.toml-allowlisted files; rewrite safely or \
+                       extend the allowlist with a reason"
+                    .into(),
+            });
+        }
+
+        if test_code {
+            continue;
+        }
+
+        // D1: nondeterminism sources in determinism-critical library code.
+        if policy.determinism_critical && lib_code && tok.kind == TokenKind::Ident {
+            if D1_IDENTS.contains(&text) {
+                findings.push(Finding {
+                    lint: Lint::D1,
+                    path: policy.path.clone(),
+                    line: tok.line,
+                    token: text.to_string(),
+                    hint: d1_hint(text).into(),
+                });
+            } else if text == "time" && path_prefix_is(&sig, src, i, "std")
+                || text == "current" && path_prefix_is(&sig, src, i, "thread")
+            {
+                findings.push(Finding {
+                    lint: Lint::D1,
+                    path: policy.path.clone(),
+                    line: tok.line,
+                    token: qualified_tail(&sig, src, i),
+                    hint: "wall-clock and thread identity must not reach cycle accounting; \
+                           derive everything from the inputs and the seed"
+                        .into(),
+                });
+            }
+        }
+
+        // D2: panicking constructs in non-test library code.
+        if lib_code && tok.kind == TokenKind::Ident {
+            let prev_dot = i > 0 && sig[i - 1].text(src) == ".";
+            let next = sig.get(i + 1).map(|t| t.text(src));
+            if D2_METHODS.contains(&text) && prev_dot && next == Some("(") {
+                findings.push(Finding {
+                    lint: Lint::D2,
+                    path: policy.path.clone(),
+                    line: tok.line,
+                    token: format!(".{text}()"),
+                    hint: "library code must not panic: propagate with `?`, return an \
+                           EngineError/SigmaError, or use an infallible fallback"
+                        .into(),
+                });
+            } else if D2_MACROS.contains(&text) && next == Some("!") {
+                findings.push(Finding {
+                    lint: Lint::D2,
+                    path: policy.path.clone(),
+                    line: tok.line,
+                    token: format!("{text}!"),
+                    hint: "library code must not panic: return an error variant instead".into(),
+                });
+            }
+        }
+
+        // D3: truncating casts on counter expressions.
+        if lib_code && tok.kind == TokenKind::Ident && text == "as" {
+            if let Some(finding) = check_cast(policy, &sig, src, i) {
+                findings.push(finding);
+            }
+        }
+    }
+
+    // D5: files that implement Engine must validate finiteness somewhere.
+    if lib_code {
+        findings.extend(check_engine_impls(policy, &sig, src, &in_test));
+    }
+
+    findings
+}
+
+fn d1_hint(ident: &str) -> &'static str {
+    match ident {
+        "HashMap" | "HashSet" => {
+            "iteration order is seeded per-process (RandomState); use BTreeMap/BTreeSet or a \
+             sorted Vec so routing, caching, and exports are reproducible"
+        }
+        "RandomState" | "DefaultHasher" => {
+            "RandomState hashes differ across processes; use a deterministic container or hasher"
+        }
+        "Instant" | "SystemTime" => {
+            "wall-clock reads make cycle output depend on the host; count simulated cycles only"
+        }
+        "ThreadId" => "thread identity varies across schedulers; key data on deterministic ids",
+        "thread_rng" => "thread_rng is seeded from the OS; thread a SplitMix64 seed through",
+        _ => "nondeterminism source; derive everything from inputs and the seed",
+    }
+}
+
+/// Whether the `::`-path before `sig[i]` starts with `prefix` (e.g.
+/// `std :: time` for `path_prefix_is(.., "std")` at the `time` token).
+fn path_prefix_is(sig: &[&Token], src: &str, i: usize, prefix: &str) -> bool {
+    i >= 3
+        && sig[i - 1].text(src) == ":"
+        && sig[i - 2].text(src) == ":"
+        && sig[i - 3].text(src) == prefix
+}
+
+/// Renders `prefix::tail` for a path finding (e.g. `std::time`).
+fn qualified_tail(sig: &[&Token], src: &str, i: usize) -> String {
+    if i >= 3 {
+        format!("{}::{}", sig[i - 3].text(src), sig[i].text(src))
+    } else {
+        sig[i].text(src).to_string()
+    }
+}
+
+/// Marks, for each significant token, whether it sits inside a
+/// `#[cfg(test)]`-gated item (attribute included).
+fn test_regions(sig: &[&Token], src: &str) -> Vec<bool> {
+    let mut flags = vec![false; sig.len()];
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].text(src) == "#" && sig.get(i + 1).map(|t| t.text(src)) == Some("[") {
+            let (end, is_test) = scan_attribute(sig, src, i + 1);
+            if is_test {
+                // Mark the attribute, any stacked attributes, and the
+                // gated item through its closing brace or semicolon.
+                let mut j = end + 1;
+                // Skip further attributes on the same item.
+                while j < sig.len()
+                    && sig[j].text(src) == "#"
+                    && sig.get(j + 1).map(|t| t.text(src)) == Some("[")
+                {
+                    let (e, _) = scan_attribute(sig, src, j + 1);
+                    j = e + 1;
+                }
+                // Find the item body: first `{` (block) or `;` (statement).
+                let mut depth = 0usize;
+                while j < sig.len() {
+                    match sig[j].text(src) {
+                        "{" => {
+                            depth += 1;
+                        }
+                        "}" => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let region_end = j.min(sig.len().saturating_sub(1));
+                for f in flags.iter_mut().take(region_end + 1).skip(i) {
+                    *f = true;
+                }
+                i = j + 1;
+                continue;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scans the attribute starting at the `[` at `open`. Returns the index
+/// of the matching `]` and whether the attribute gates on `test`
+/// (`cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))` and not
+/// `cfg_attr(..)`).
+fn scan_attribute(sig: &[&Token], src: &str, open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut first_ident: Option<&str> = None;
+    let mut paren_stack: Vec<&str> = Vec::new();
+    let mut last_ident: &str = "";
+    let mut is_test = false;
+    while j < sig.len() {
+        let t = sig[j].text(src);
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "(" => paren_stack.push(last_ident),
+            ")" => {
+                paren_stack.pop();
+            }
+            _ => {
+                if sig[j].kind == TokenKind::Ident {
+                    if first_ident.is_none() {
+                        first_ident = Some(t);
+                    }
+                    if t == "test" && first_ident == Some("cfg") && !paren_stack.contains(&"not") {
+                        is_test = true;
+                    }
+                    last_ident = t;
+                }
+            }
+        }
+        j += 1;
+    }
+    (j.min(sig.len().saturating_sub(1)), is_test)
+}
+
+/// D3: decides whether the `as` at `sig[i]` narrows a counter.
+fn check_cast(policy: &FilePolicy, sig: &[&Token], src: &str, i: usize) -> Option<Finding> {
+    let target = sig.get(i + 1)?;
+    let target_text = target.text(src);
+    let narrow = D3_NARROW.contains(&target_text);
+    let to_usize = target_text == "usize" || target_text == "isize";
+    if !narrow && !to_usize {
+        return None;
+    }
+    let names = operand_idents(sig, src, i, to_usize);
+    let hit = names.iter().find(|n| is_counter_ident(n))?;
+    Some(Finding {
+        lint: Lint::D3,
+        path: policy.path.clone(),
+        line: sig[i].line,
+        token: format!("{hit} as {target_text}"),
+        hint: "cycle/energy/MAC counters are 64-bit; widen to u64/f64 or convert with \
+               try_from and surface an EngineError on overflow"
+            .into(),
+    })
+}
+
+/// Collects the identifiers of the expression immediately before an
+/// `as` at `sig[i]`, walking back through field accesses, `::` paths,
+/// and one level of parenthesized groups; when the walk lands on a
+/// struct-literal field (`name: <expr> as ..`), the field name is
+/// included. `strict` (used for `as usize`) only walks plain
+/// ident/field/empty-call chains, so quantizing arithmetic like
+/// `(x * pool).floor() as usize` is not flagged.
+fn operand_idents(sig: &[&Token], src: &str, i: usize, strict: bool) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut j = match i.checked_sub(1) {
+        Some(v) => v,
+        None => return names,
+    };
+    loop {
+        let t = sig[j].text(src);
+        let next_j = match t {
+            ")" | "]" => {
+                let open = if t == ")" { "(" } else { "[" };
+                // Scan back to the matching opener, collecting idents.
+                let mut depth = 1usize;
+                let mut k = j;
+                let mut opener: Option<usize> = None;
+                while k > 0 {
+                    k -= 1;
+                    let tk = sig[k].text(src);
+                    if tk == t {
+                        depth += 1;
+                    } else if tk == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            opener = Some(k);
+                            break;
+                        }
+                    } else if sig[k].kind == TokenKind::Ident {
+                        if strict {
+                            // Strict mode tolerates only empty call parens.
+                            return names;
+                        }
+                        names.push(tk.to_string());
+                    }
+                }
+                match opener {
+                    Some(k) => k.checked_sub(1),
+                    None => None,
+                }
+            }
+            "." | ":" => j.checked_sub(1),
+            _ if sig[j].kind == TokenKind::Ident => {
+                names.push(t.to_string());
+                j.checked_sub(1)
+            }
+            _ if sig[j].kind == TokenKind::Number => j.checked_sub(1),
+            _ => None,
+        };
+        match next_j {
+            Some(v) => j = v,
+            None => return names,
+        }
+    }
+}
+
+fn is_counter_ident(name: &str) -> bool {
+    name.split('_').any(|seg| COUNTER_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// D5: every `impl Engine for ..` site requires the file to reference
+/// `validate_finite` (directly or via a helper defined in-file).
+fn check_engine_impls(
+    policy: &FilePolicy,
+    sig: &[&Token],
+    src: &str,
+    in_test: &[bool],
+) -> Vec<Finding> {
+    let mut has_validate = false;
+    let mut impl_sites: Vec<(u32, String)> = Vec::new();
+    for (i, tok) in sig.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tok.text(src);
+        if text == "validate_finite" || text == "all_finite" {
+            has_validate = true;
+        }
+        if text == "Engine" && sig.get(i + 1).map(|t| t.text(src)) == Some("for") && !in_test[i] {
+            // Require an `impl` within the preceding few tokens (skips
+            // generic params like `impl<E: Engine + ?Sized> Engine for`).
+            let back = i.saturating_sub(12);
+            let is_impl = (back..i).any(|k| sig[k].text(src) == "impl");
+            if is_impl {
+                let target: String = sig
+                    .iter()
+                    .skip(i + 2)
+                    .take(4)
+                    .take_while(|t| t.text(src) != "{")
+                    .map(|t| t.text(src))
+                    .collect::<Vec<_>>()
+                    .join("");
+                impl_sites.push((tok.line, target));
+            }
+        }
+    }
+    if has_validate {
+        return Vec::new();
+    }
+    impl_sites
+        .into_iter()
+        .map(|(line, target)| Finding {
+            lint: Lint::D5,
+            path: policy.path.clone(),
+            line,
+            token: format!("impl Engine for {target}"),
+            hint: "engine entry points must reject NaN/Inf operands: call \
+                   sigma_core::validate_finite (or carry a lint.toml waiver)"
+                .into(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_policy() -> FilePolicy {
+        FilePolicy {
+            path: "crates/demo/src/lib.rs".into(),
+            role: FileRole::Lib,
+            determinism_critical: true,
+            unsafe_allowed: false,
+        }
+    }
+
+    fn lints_of(src: &str) -> Vec<Lint> {
+        check_file(&lib_policy(), src).into_iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn d1_flags_hashmap_but_not_in_comments_or_strings() {
+        assert_eq!(lints_of("use std::collections::HashMap;"), vec![Lint::D1]);
+        assert_eq!(lints_of("// HashMap\nlet s = \"HashMap\";"), vec![]);
+        assert_eq!(lints_of("let m = r#\"HashMap here\"#;"), vec![]);
+    }
+
+    #[test]
+    fn d1_flags_time_paths_and_instant() {
+        assert_eq!(lints_of("let t = std::time::Duration::from_secs(1);"), vec![Lint::D1]);
+        assert_eq!(lints_of("let t = Instant::now();"), vec![Lint::D1]);
+        // `time` not behind `std::` is someone's variable.
+        assert_eq!(lints_of("let time = cycles;"), vec![]);
+    }
+
+    #[test]
+    fn d1_exempts_cfg_test_items() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n}\nfn f() {}\n";
+        assert_eq!(lints_of(src), vec![]);
+        // not(test) is live code.
+        let src = "#[cfg(not(test))]\nfn f() { let m: HashMap<u8, u8>; }\n";
+        assert_eq!(lints_of(src), vec![Lint::D1]);
+    }
+
+    #[test]
+    fn d2_flags_unwrap_expect_and_macros() {
+        assert_eq!(lints_of("fn f() { x.unwrap(); }"), vec![Lint::D2]);
+        assert_eq!(lints_of("fn f() { x.expect(\"m\"); }"), vec![Lint::D2]);
+        assert_eq!(lints_of("fn f() { panic!(\"boom\"); }"), vec![Lint::D2]);
+        assert_eq!(lints_of("fn f() { todo!() }"), vec![Lint::D2]);
+        // unwrap_or and friends are fine; panic paths/imports are fine.
+        assert_eq!(lints_of("fn f() { x.unwrap_or(0); std::panic::catch_unwind(g); }"), vec![]);
+    }
+
+    #[test]
+    fn d2_exempts_test_modules_and_bins() {
+        let src = "#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }";
+        assert_eq!(lints_of(src), vec![]);
+        let bin = FilePolicy {
+            path: "crates/demo/src/bin/tool.rs".into(),
+            role: FileRole::Bin,
+            determinism_critical: false,
+            unsafe_allowed: false,
+        };
+        assert_eq!(check_file(&bin, "fn main() { x.unwrap(); }"), vec![]);
+    }
+
+    #[test]
+    fn d3_flags_narrowing_counter_casts() {
+        assert_eq!(lints_of("let c = total_cycles as u32;"), vec![Lint::D3]);
+        assert_eq!(lints_of("let c = stats.useful_macs as u16;"), vec![Lint::D3]);
+        assert_eq!(lints_of("let e = energy_pj as f32;"), vec![Lint::D3]);
+        assert_eq!(
+            lints_of("let f = Foo { completion_cycles: (i - start) as u32 };"),
+            vec![Lint::D3]
+        );
+        // Widening and non-counter casts are fine.
+        assert_eq!(lints_of("let c = total_cycles as u64;"), vec![]);
+        assert_eq!(lints_of("let c = total_cycles() as f64;"), vec![]);
+        assert_eq!(lints_of("let k = shape.k as f32;"), vec![]);
+    }
+
+    #[test]
+    fn d3_usize_is_strict() {
+        assert_eq!(lints_of("let c = stats.total_cycles() as usize;"), vec![Lint::D3]);
+        // Quantizing arithmetic through floor() keeps its cast.
+        assert_eq!(lints_of("let s = ((macs / work) * pool).floor() as usize;"), vec![]);
+    }
+
+    #[test]
+    fn d4_flags_unsafe_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests { unsafe fn g() {} }";
+        assert_eq!(lints_of(src), vec![Lint::D4]);
+        let allowed = FilePolicy { unsafe_allowed: true, ..lib_policy() };
+        assert_eq!(check_file(&allowed, "unsafe fn g() {}"), vec![]);
+    }
+
+    #[test]
+    fn d5_requires_validate_finite_in_engine_files() {
+        let bad = "impl Engine for Foo { fn run(&self) {} }";
+        let got = check_file(&lib_policy(), bad);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lint, Lint::D5);
+        let good = "impl Engine for Foo { fn run(&self) { validate_finite(a, b)?; } }";
+        assert_eq!(check_file(&lib_policy(), good), vec![]);
+        let generic = "impl<E: Engine + ?Sized> Engine for Box<E> { }";
+        assert_eq!(check_file(&lib_policy(), generic).len(), 1);
+    }
+
+    #[test]
+    fn findings_carry_file_line_and_token() {
+        let src = "fn f() {\n    let x = y.unwrap();\n}\n";
+        let got = check_file(&lib_policy(), src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[0].token, ".unwrap()");
+        assert!(got[0].to_string().contains("crates/demo/src/lib.rs:2"));
+    }
+}

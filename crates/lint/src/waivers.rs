@@ -1,0 +1,238 @@
+//! `lint.toml` waiver parsing.
+//!
+//! The waiver file is a TOML subset parsed by hand (vendored-deps
+//! policy: no `toml` crate). Grammar:
+//!
+//! ```toml
+//! # comments and blank lines are ignored
+//! [[waiver]]
+//! path = "crates/matrix/src/dense.rs"
+//! lint = "D2"
+//! reason = "why this file is exempt"
+//! ```
+//!
+//! Every entry must carry all three keys, `lint` must be one of
+//! `D1`..`D5`, and `reason` must be non-empty — a waiver without a
+//! written justification is rejected at parse time.
+
+use crate::rules::{Finding, Lint};
+
+/// One parsed `[[waiver]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Repo-relative path the waiver applies to (forward slashes).
+    pub path: String,
+    /// The lint being waived for that file.
+    pub lint: Lint,
+    /// Mandatory human-written justification.
+    pub reason: String,
+}
+
+impl Waiver {
+    /// Whether this waiver covers `finding`.
+    #[must_use]
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.lint == finding.lint && self.path == finding.path
+    }
+}
+
+/// A syntax or semantic error in `lint.toml`, with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverError {
+    /// 1-based line in `lint.toml` (0 for end-of-file errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WaiverError {}
+
+/// A waiver entry under construction: the line that opened it (for
+/// error reporting) plus its three fields, each optional until sealed.
+type PartialWaiver = (u32, Option<String>, Option<Lint>, Option<String>);
+
+/// Parses the waiver file contents.
+pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, WaiverError> {
+    let mut waivers = Vec::new();
+    let mut current: Option<PartialWaiver> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(entry) = current.take() {
+                waivers.push(seal(entry)?);
+            }
+            current = Some((lineno, None, None, None));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(WaiverError {
+                line: lineno,
+                message: format!("unknown section `{line}`; only [[waiver]] is supported"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(WaiverError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = parse_string(value.trim()).ok_or_else(|| WaiverError {
+            line: lineno,
+            message: format!("value for `{key}` must be a double-quoted string"),
+        })?;
+        let Some(entry) = current.as_mut() else {
+            return Err(WaiverError {
+                line: lineno,
+                message: format!("`{key}` outside a [[waiver]] entry"),
+            });
+        };
+        match key {
+            "path" => entry.1 = Some(value.replace('\\', "/")),
+            "lint" => {
+                let lint = Lint::parse(&value).ok_or_else(|| WaiverError {
+                    line: lineno,
+                    message: format!("unknown lint `{value}` (expected D1..D5)"),
+                })?;
+                entry.2 = Some(lint);
+            }
+            "reason" => {
+                if value.trim().is_empty() {
+                    return Err(WaiverError {
+                        line: lineno,
+                        message: "waiver reason must be non-empty".into(),
+                    });
+                }
+                entry.3 = Some(value);
+            }
+            other => {
+                return Err(WaiverError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected path/lint/reason)"),
+                });
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        waivers.push(seal(entry)?);
+    }
+    Ok(waivers)
+}
+
+fn seal(entry: (u32, Option<String>, Option<Lint>, Option<String>)) -> Result<Waiver, WaiverError> {
+    let (line, path, lint, reason) = entry;
+    let missing = |what: &str| WaiverError {
+        line,
+        message: format!("[[waiver]] is missing required key `{what}`"),
+    };
+    Ok(Waiver {
+        path: path.ok_or_else(|| missing("path"))?,
+        lint: lint.ok_or_else(|| missing("lint"))?,
+        reason: reason.ok_or_else(|| missing("reason"))?,
+    })
+}
+
+/// Parses a double-quoted TOML basic string with `\"`/`\\` escapes.
+fn parse_string(v: &str) -> Option<String> {
+    let rest = v.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                // Only trailing comments may follow the closing quote.
+                let tail = chars.as_str().trim();
+                if tail.is_empty() || tail.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_waivers() {
+        let src = r#"
+# waiver file
+[[waiver]]
+path = "crates/matrix/src/dense.rs"
+lint = "D2"
+reason = "panicking matmul mirrors std ops; try_matmul is the checked API"
+
+[[waiver]]
+path = "crates/bench/src/util.rs"
+lint = "D2"
+reason = "Table::push convenience"
+"#;
+        let got = parse_waivers(src).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].lint, Lint::D2);
+        assert_eq!(got[0].path, "crates/matrix/src/dense.rs");
+        assert!(got[1].reason.contains("convenience"));
+    }
+
+    #[test]
+    fn rejects_empty_reason() {
+        let src = "[[waiver]]\npath = \"x.rs\"\nlint = \"D1\"\nreason = \"  \"\n";
+        let err = parse_waivers(src).unwrap_err();
+        assert!(err.message.contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_lints() {
+        let err = parse_waivers("[[waiver]]\npath = \"x.rs\"\nlint = \"D1\"\n").unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+        let err = parse_waivers("[[waiver]]\npath = \"x.rs\"\nlint = \"D9\"\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(err.message.contains("unknown lint"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stray_keys_and_sections() {
+        assert!(parse_waivers("path = \"x.rs\"\n").is_err());
+        assert!(parse_waivers("[waiver]\n").is_err());
+        let src =
+            "[[waiver]]\npath = \"x.rs\"\nlint = \"D1\"\nreason = \"r\"\nseverity = \"low\"\n";
+        assert!(parse_waivers(src).is_err());
+    }
+
+    #[test]
+    fn covers_matches_path_and_lint() {
+        let w = Waiver { path: "a/b.rs".into(), lint: Lint::D2, reason: "r".into() };
+        let f = Finding {
+            lint: Lint::D2,
+            path: "a/b.rs".into(),
+            line: 1,
+            token: ".unwrap()".into(),
+            hint: String::new(),
+        };
+        assert!(w.covers(&f));
+        let other = Finding { lint: Lint::D1, ..f };
+        assert!(!w.covers(&other));
+    }
+}

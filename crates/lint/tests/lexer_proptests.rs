@@ -1,0 +1,129 @@
+//! Property tests for the hand-rolled lexer: whatever the input, the
+//! token spans must partition the source exactly — re-concatenating
+//! `src[start..end]` over all tokens reproduces the input byte-for-byte,
+//! with no gaps, overlaps, or reordering — and line numbers must match
+//! an independent count.
+
+use proptest::prelude::*;
+use sigma_lint::lexer::lex;
+
+/// Rebuilds the source from the token spans.
+fn reconcat(src: &str) -> String {
+    lex(src).iter().map(|t| t.text(src)).collect()
+}
+
+fn assert_partition(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap/overlap at byte {pos} in {src:?}");
+        assert!(t.end >= t.start);
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover the whole input: {src:?}");
+    // Line numbers: 1 + newlines strictly before the token start.
+    for t in &toks {
+        let newlines = src[..t.start].bytes().filter(|&b| b == b'\n').count();
+        let expect = u32::try_from(newlines).unwrap() + 1;
+        assert_eq!(t.line, expect, "line mismatch for {:?} in {src:?}", t.text(src));
+    }
+}
+
+/// Rust-ish source fragments, biased toward the constructs the lexer
+/// special-cases: comments, strings, raw strings, chars, lifetimes —
+/// plus unterminated constructs at EOF (the lexer is total, not
+/// validating).
+const FRAGMENTS: &[&str] = &[
+    "let x = 1;\n",
+    "// line comment\n",
+    "/* block /* nested */ still */\n",
+    "let s = \"str with \\\" escape\";\n",
+    "let r = r#\"raw \" inside\"#;\n",
+    "let r2 = r##\"deeper \"# still\"##;\n",
+    "let c = 'x';\n",
+    "let esc = '\\n';\n",
+    "fn f<'a>(x: &'a str) -> &'a str { x }\n",
+    "let b = b\"bytes\";\n",
+    "let n = 0xFF_u64 as f64;\n",
+    "m.get(&k).copied()\n",
+    "#[cfg(test)]\nmod t {}\n",
+    "let s = \"unterminated",
+    "/* unterminated",
+    "r#\"unterminated",
+    "'",
+    "\"",
+    "r#",
+];
+
+/// One fragment index plus a tail of printable-ASCII noise bytes.
+fn fragment() -> impl Strategy<Value = String> {
+    (0..FRAGMENTS.len(), prop::collection::vec(0u8..96, 0..12)).prop_map(|(i, noise)| {
+        let mut s = FRAGMENTS[i].to_string();
+        // Map 0..96 onto space..DEL-1 plus tab/newline.
+        s.extend(noise.into_iter().map(|b| match b {
+            94 => '\t',
+            95 => '\n',
+            b => char::from(b + 0x20),
+        }));
+        s
+    })
+}
+
+/// Arbitrary text over a small unicode-and-ASCII alphabet.
+fn arbitrary_text(max_len: usize) -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', '9', '_', ' ', '\t', '\n', '"', '\'', '\\', '/', '*', '#', 'r', 'b', '!',
+        '(', ')', '{', '}', '.', ':', ';', '<', '>', '=', '&', '-', '+', '日', 'é', '𝕊', '\u{0}',
+    ];
+    prop::collection::vec(0..ALPHABET.len(), 0..max_len)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn spans_reconcatenate_byte_for_byte(parts in prop::collection::vec(fragment(), 0..8)) {
+        let src = parts.concat();
+        prop_assert_eq!(reconcat(&src), src.clone());
+        assert_partition(&src);
+    }
+
+    #[test]
+    fn arbitrary_text_partitions(src in arbitrary_text(200)) {
+        prop_assert_eq!(reconcat(&src), src.clone());
+        assert_partition(&src);
+    }
+
+    #[test]
+    fn shuffled_fragments_partition(
+        parts in prop::collection::vec(fragment(), 1..6).prop_shuffle()
+    ) {
+        let src = parts.concat();
+        prop_assert_eq!(reconcat(&src), src.clone());
+        assert_partition(&src);
+    }
+}
+
+#[test]
+fn fixed_corner_cases_partition() {
+    for src in [
+        "",
+        "'",
+        "\"",
+        "r",
+        "r#",
+        "r#\"",
+        "b'x'",
+        "br#\"raw\"#",
+        "'static",
+        "'a: loop { break 'a; }",
+        "0b1010_1010u128",
+        "1.5e-10f32",
+        "a/*x*/b//y",
+        "let 日本語 = \"多字节\";",
+    ] {
+        assert_eq!(reconcat(src), src, "{src:?}");
+        assert_partition(src);
+    }
+}

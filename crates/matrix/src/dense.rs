@@ -193,6 +193,9 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`. Use [`Matrix::try_matmul`] for
     /// a fallible variant.
+    // Deliberate panicking convenience mirroring std indexing/ops;
+    // try_matmul is the checked API (sigma-lint D2 waived in lint.toml).
+    #[allow(clippy::expect_used)]
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         self.try_matmul(rhs).expect("matmul dimension mismatch")

@@ -35,6 +35,18 @@ impl Density {
         }
     }
 
+    /// Creates a density, clamping `value` into `[0, 1]` (NaN becomes 0)
+    /// instead of failing. Exact for already-valid values; prefer
+    /// [`Density::new`] when invalid input should be reported.
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
     /// Creates a density from a sparsity level (fraction of zeros).
     ///
     /// `Density::from_sparsity(0.8)` is the paper's "80% sparse".

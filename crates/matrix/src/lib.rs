@@ -33,6 +33,17 @@
 //!
 //! [Qin et al., HPCA 2020]: https://doi.org/10.1109/HPCA47549.2020.00015
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -16,6 +16,17 @@
 //! own scanner-based validator, mirroring how `BENCH_sim.json` is
 //! produced and re-parsed in `sigma-bench`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

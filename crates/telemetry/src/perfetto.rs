@@ -9,7 +9,7 @@
 //! line, so the no-serde validator can re-parse the output with the same
 //! line-scanner technique `BENCH_sim.json` uses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in JSON.
@@ -185,7 +185,7 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
         return Err("document does not end with '}'".into());
     }
 
-    let mut thread_names: HashMap<u64, String> = HashMap::new();
+    let mut thread_names: BTreeMap<u64, String> = BTreeMap::new();
     let mut per_tid: Vec<(u64, u64)> = Vec::new();
     let mut span_count = 0usize;
     let mut counter_count = 0usize;

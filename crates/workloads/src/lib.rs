@@ -13,6 +13,17 @@
 //! * [`materialize`] — turning an abstract [`GemmProblem`] into concrete
 //!   random sparse operands for the functional simulator.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -43,16 +54,13 @@ use sigma_matrix::SparseMatrix;
 /// ```
 #[must_use]
 pub fn materialize(p: &GemmProblem, seed: u64) -> (SparseMatrix, SparseMatrix) {
-    let a = sparse_uniform(
-        p.shape.m,
-        p.shape.k,
-        Density::new(p.density_a).expect("validated by GemmProblem"),
-        seed,
-    );
+    // GemmProblem densities are validated at construction; clamped() is
+    // exact for them and infallible for out-of-band values.
+    let a = sparse_uniform(p.shape.m, p.shape.k, Density::clamped(p.density_a), seed);
     let b = sparse_uniform(
         p.shape.k,
         p.shape.n,
-        Density::new(p.density_b).expect("validated by GemmProblem"),
+        Density::clamped(p.density_b),
         seed.wrapping_add(0x5151),
     );
     (a, b)

@@ -11,6 +11,18 @@
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable demos.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 pub use sigma_baselines as baselines;
 pub use sigma_core as arch;
 pub use sigma_energy as energy;
