@@ -5,11 +5,12 @@ set -eux
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-# Static analysis gate: sigma-lint scans the workspace for nondeterminism
-# sources, panicking library code, truncating counter casts, unsafe
-# outside the allowlist, and unvalidated Engine impls. --check-waivers
-# also fails on stale lint.toml waivers; the JSON report is kept as a CI
-# artifact.
+# Static analysis gate: sigma-lint scans the workspace (including the
+# event-scheduler module crates/core/src/sched.rs — the D-rules are what
+# keep the epoch queue deterministic) for nondeterminism sources,
+# panicking library code, truncating counter casts, unsafe outside the
+# allowlist, and unvalidated Engine impls. --check-waivers also fails on
+# stale lint.toml waivers; the JSON report is kept as a CI artifact.
 cargo run -q -p sigma-lint -- --check-waivers
 cargo run -q -p sigma-lint -- --json > /tmp/sigma_lint_report.json
 cargo build --workspace --release
@@ -19,6 +20,10 @@ cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet
 # committed BENCH_sim.json baseline (release build; the check self-skips
 # in debug builds where timings are incomparable).
 cargo run -q --release -p sigma-bench --bin perf_bench -- --check --smoke
+# Scheduler equivalence gate: the event-driven core must reproduce the
+# lockstep tick oracle bit-for-bit (stats and result f32 bits) on the
+# 128/512-PE smoke cases.
+cargo run -q --release -p sigma-bench --bin perf_bench -- --lockstep-check --quiet
 # Telemetry smoke leg: the trace subcommand must emit a Chrome trace that
 # passes its own validator, and a telemetry sweep must surface the new
 # profiling columns and drop a telemetry_summary.json.

@@ -122,6 +122,9 @@ pub struct RunRecord {
     pub route_cache_hits: u64,
     /// Benes route-cache misses (cold routings) across the run.
     pub route_cache_misses: u64,
+    /// Dead streaming cycles (no non-zero operand) the event scheduler
+    /// fast-forwarded; still included in `streaming_cycles`/`total_cycles`.
+    pub idle_cycles_skipped: u64,
     /// Wall-clock milliseconds the cell took (0.0 unless sweep telemetry
     /// was on).
     pub wall_ms: f64,
@@ -135,7 +138,7 @@ pub struct RunRecord {
 
 impl RunRecord {
     /// Column headers, in field order.
-    pub const HEADERS: [&'static str; 33] = [
+    pub const HEADERS: [&'static str; 34] = [
         "engine_slug",
         "engine",
         "workload",
@@ -165,6 +168,7 @@ impl RunRecord {
         "faults_escaped",
         "route_cache_hits",
         "route_cache_misses",
+        "idle_cycles_skipped",
         "wall_ms",
         "attempts",
         "mem_est_bytes",
@@ -217,6 +221,7 @@ impl RunRecord {
             faults_escaped: s.faults_escaped,
             route_cache_hits: s.route_cache_hits,
             route_cache_misses: s.route_cache_misses,
+            idle_cycles_skipped: s.idle_cycles_skipped,
             wall_ms: profile.wall_ms,
             attempts: profile.attempts,
             mem_est_bytes: profile.mem_est_bytes,
@@ -293,6 +298,7 @@ impl RunRecord {
             faults_escaped: 0,
             route_cache_hits: 0,
             route_cache_misses: 0,
+            idle_cycles_skipped: 0,
             wall_ms: profile.wall_ms,
             attempts: profile.attempts,
             mem_est_bytes: profile.mem_est_bytes,
@@ -333,6 +339,7 @@ impl RunRecord {
             self.faults_escaped.to_string(),
             self.route_cache_hits.to_string(),
             self.route_cache_misses.to_string(),
+            self.idle_cycles_skipped.to_string(),
             format!("{:.3}", self.wall_ms),
             self.attempts.to_string(),
             self.mem_est_bytes.to_string(),
@@ -380,6 +387,7 @@ impl RunRecord {
             ("faults_escaped", self.faults_escaped.to_string()),
             ("route_cache_hits", self.route_cache_hits.to_string()),
             ("route_cache_misses", self.route_cache_misses.to_string()),
+            ("idle_cycles_skipped", self.idle_cycles_skipped.to_string()),
             ("wall_ms", format!("{:.3}", self.wall_ms)),
             ("attempts", self.attempts.to_string()),
             ("mem_est_bytes", self.mem_est_bytes.to_string()),
@@ -507,6 +515,7 @@ mod tests {
         r.mem_est_bytes = 4096;
         r.route_cache_hits = 9;
         r.route_cache_misses = 2;
+        r.idle_cycles_skipped = 17;
         let row = r.row();
         let col = |name: &str| RunRecord::HEADERS.iter().position(|h| *h == name).unwrap();
         assert_eq!(row[col("wall_ms")], "12.346");
@@ -514,7 +523,9 @@ mod tests {
         assert_eq!(row[col("mem_est_bytes")], "4096");
         assert_eq!(row[col("route_cache_hits")], "9");
         assert_eq!(row[col("route_cache_misses")], "2");
+        assert_eq!(row[col("idle_cycles_skipped")], "17");
         assert!(r.to_json().contains("\"route_cache_hits\": 9"));
+        assert!(r.to_json().contains("\"idle_cycles_skipped\": 17"));
     }
 
     #[test]

@@ -107,6 +107,7 @@ pub struct SigmaConfig {
     packing: PackingOrder,
     route_cache: bool,
     telemetry: bool,
+    lockstep: bool,
 }
 
 impl SigmaConfig {
@@ -143,6 +144,7 @@ impl SigmaConfig {
             packing: PackingOrder::GroupMajor,
             route_cache: true,
             telemetry: false,
+            lockstep: false,
         })
     }
 
@@ -172,6 +174,7 @@ impl SigmaConfig {
             packing: PackingOrder::GroupMajor,
             route_cache: true,
             telemetry: false,
+            lockstep: false,
         }
     }
 
@@ -192,6 +195,7 @@ impl SigmaConfig {
             packing: PackingOrder::GroupMajor,
             route_cache: true,
             telemetry: false,
+            lockstep: false,
         }
     }
 
@@ -288,6 +292,24 @@ impl SigmaConfig {
     #[must_use]
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Whether the engine runs the legacy lockstep tick loop instead of
+    /// the event-driven scheduler (default: off, i.e. event-driven).
+    /// The lockstep loop ticks every Flex-DPE every streaming step; it is
+    /// kept as a debug oracle — both paths produce bitwise-identical
+    /// [`EngineRun`](crate::engine_api::EngineRun)s (outputs, stats, and
+    /// traces), which `perf_bench --lockstep-check` asserts in CI.
+    #[must_use]
+    pub fn lockstep(&self) -> bool {
+        self.lockstep
+    }
+
+    /// Returns a copy with the lockstep tick loop forced on or off.
+    #[must_use]
+    pub fn with_lockstep(mut self, enabled: bool) -> Self {
+        self.lockstep = enabled;
         self
     }
 
@@ -389,6 +411,8 @@ mod tests {
         assert!(c.with_bandwidth(0).is_err());
         assert!(!c.telemetry());
         assert!(c.with_telemetry(true).telemetry());
+        assert!(!c.lockstep());
+        assert!(c.with_lockstep(true).lockstep());
     }
 
     #[test]

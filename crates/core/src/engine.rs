@@ -12,6 +12,7 @@ use crate::config::{Dataflow, SigmaConfig, SigmaError};
 use crate::controller::ControllerPlan;
 use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultReport};
 use crate::flex_dpe::{DpeStep, FlexDpe};
+use crate::sched::{Event, EventQueue};
 use crate::stats::CycleStats;
 use crate::trace::{Phase, Trace};
 use sigma_interconnect::{Fan, FanReduction, FanScratch};
@@ -348,11 +349,38 @@ impl SigmaSim {
     /// cluster per row), `streaming` is `K x S` (one streamed vector per
     /// step). `emit(group, step, partial)` accumulates output.
     ///
+    /// Dispatches to the event-driven scheduler
+    /// ([`SigmaSim::run_stationary_event`]) by default; fault-injected
+    /// runs and configurations with [`SigmaConfig::lockstep`] set take the
+    /// legacy tick loop ([`SigmaSim::run_stationary_lockstep`]). The two
+    /// paths produce bitwise-identical results, stats, and traces —
+    /// asserted per-run in tests and in CI via
+    /// `perf_bench --lockstep-check`.
+    fn run_stationary(
+        &self,
+        stationary: &SparseMatrix,
+        streaming: &SparseMatrix,
+        trace: Option<&mut Trace>,
+        faults: Option<&mut FaultInjector<'_>>,
+        emit: impl FnMut(usize, usize, f32),
+    ) -> Result<CycleStats, SigmaError> {
+        if faults.is_some() || self.config.lockstep() {
+            self.run_stationary_lockstep(stationary, streaming, trace, faults, emit)
+        } else {
+            self.run_stationary_event(stationary, streaming, trace, emit)
+        }
+    }
+
+    /// The legacy lockstep tick loop: every Flex-DPE steps on every
+    /// streaming cycle. Kept as the debug oracle for the event scheduler
+    /// and as the only path supporting fault injection (faults are
+    /// cycle-stamped per step, so batching would change their timing).
+    ///
     /// With an armed injector, bitmap-word corruptions are applied to the
     /// streaming metadata *before* the controller plans (the controller
     /// then believes the corrupted occupancy, skipping values whose bits
     /// were cleared), and datapath faults fire inside each Flex-DPE step.
-    fn run_stationary(
+    fn run_stationary_lockstep(
         &self,
         stationary: &SparseMatrix,
         streaming: &SparseMatrix,
@@ -476,6 +504,13 @@ impl SigmaSim {
                 this_fold_stream += step_cycles;
                 stats.sram_reads += sends;
                 stats.issued_macs += occupied as u128;
+                if sends == 0 {
+                    // A dead step: no operand is streamed, but the cycle is
+                    // still spent. The event scheduler fast-forwards these;
+                    // the oracle executes them and counts them identically.
+                    stats.idle_cycles_skipped += step_cycles;
+                    self.telemetry.add(Counter::IdleCyclesSkipped, step_cycles);
+                }
                 self.telemetry.add(Counter::SramStreamingReads, sends);
                 self.telemetry.observe(Hist::StreamStepCycles, step_cycles);
                 if let Some(t) = trace.as_deref_mut() {
@@ -525,6 +560,249 @@ impl SigmaSim {
         }
         // Mapping decisions: stationary non-zeros the controller dropped
         // because their contraction row can never meet a streamed value.
+        self.telemetry.add(
+            Counter::StationaryDropped,
+            (stationary.nnz() as u64).saturating_sub(stats.mapped_nonzeros),
+        );
+        Ok(stats)
+    }
+
+    /// Event-driven stationary execution: the default scheduler.
+    ///
+    /// Instead of ticking every Flex-DPE on every streaming cycle, each
+    /// fold advances through a three-event chain on a deterministic
+    /// [`EventQueue`] — `LoadFold` → `Stream` → `Drain` — and the cycle
+    /// cursor jumps straight between interesting cycles:
+    ///
+    /// * **Per-fold send counts are batched word-level**: one walk over
+    ///   the streaming bitmap's occupancy words
+    ///   ([`Bitmap::row_iter_ones`]) yields every step's send count in
+    ///   O(nnz), replacing the per-(contraction, step) bit probing of the
+    ///   tick loop.
+    /// * **Dead steps fast-forward**: a step with zero sends streams only
+    ///   `+0.0` operands, every product is `±0.0`, and every FAN add and
+    ///   output accumulation is a bitwise no-op (output cells can never
+    ///   hold `-0.0`, and `x + ±0.0 == x` bitwise for every non-`-0.0`
+    ///   `x`), so the datapath is skipped entirely and the cycle is
+    ///   charged in bulk — surfacing as
+    ///   [`CycleStats::idle_cycles_skipped`].
+    /// * **Live steps replay the compiled FAN schedule**
+    ///   ([`FlexDpe::step_compiled`]) over a contiguous column gather,
+    ///   instead of re-deriving the reduction tree per wave.
+    /// * **The drain is a next-event hint**: the fold's add latency is
+    ///   [`FlexDpe::drain_cycles`] (the FAN's latency-until-quiescent, a
+    ///   constant of the layout), not a per-tick countdown.
+    ///
+    /// Results, stats, and traces are bitwise-identical to
+    /// [`SigmaSim::run_stationary_lockstep`]; telemetry batches to the
+    /// exact same counter totals and histogram multisets.
+    fn run_stationary_event(
+        &self,
+        stationary: &SparseMatrix,
+        streaming: &SparseMatrix,
+        mut trace: Option<&mut Trace>,
+        mut emit: impl FnMut(usize, usize, f32),
+    ) -> Result<CycleStats, SigmaError> {
+        let pes = self.config.total_pes();
+        let bw = self.config.input_bandwidth() as u64;
+        let stream_bw = self.config.stream_bandwidth() as u64;
+        let dpe = self.config.dpe_size();
+        let steps = streaming.cols();
+        let kdim = streaming.rows();
+        let stream_bitmap = streaming.bitmap();
+
+        let plan = ControllerPlan::build_with_order(
+            stationary,
+            stream_bitmap,
+            pes,
+            self.config.packing_order(),
+        );
+        self.telemetry.add(Counter::FoldsPlanned, plan.folds.len() as u64);
+
+        // Steps-major gather of the streaming matrix: the streamed column
+        // of step `s` is the contiguous slice `stream_tr[s*k .. (s+1)*k]`,
+        // so the hot loop indexes a dense slice instead of calling a
+        // column-strided closure per operand.
+        let mut stream_tr = vec![0.0f32; kdim * steps];
+        for (r, c, v) in streaming.iter() {
+            stream_tr[c * kdim + r] = v;
+        }
+
+        let mut stats = CycleStats { pes: pes as u64, ..CycleStats::default() };
+        let mut engines: Vec<FlexDpe> = Vec::new();
+        let mut local_ids: Vec<Option<u32>> = vec![None; dpe];
+        let mut step_out = DpeStep::default();
+        let mut fanout_scratch: Vec<usize> = Vec::new();
+        // Per-step send counts for the current fold, recomputed word-level
+        // per fold (see above), and the indices of the live (non-dead)
+        // steps. Reused across folds.
+        let mut sends_buf: Vec<u64> = vec![0; steps];
+        let mut live_steps: Vec<u32> = Vec::with_capacity(steps);
+
+        let mut queue = EventQueue::new();
+        let mut prev_fold_stream = 0u64;
+        let mut active_dpes = 0usize;
+        let mut end_cycle = 0u64;
+        if !plan.folds.is_empty() {
+            queue.push(0, Event::LoadFold(0));
+        }
+        while let Some((cursor, event)) = queue.pop() {
+            match event {
+                Event::LoadFold(f) => {
+                    let fold = &plan.folds[f];
+                    let occupied = fold.occupied();
+                    stats.folds += 1;
+                    stats.mapped_nonzeros += occupied as u64;
+                    stats.occupied_slots += occupied as u64;
+                    let load = (occupied as u64).div_ceil(bw);
+                    let visible_load = if self.config.double_buffered() && f > 0 {
+                        load.saturating_sub(prev_fold_stream)
+                    } else {
+                        load
+                    };
+                    stats.loading_cycles += visible_load;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(Phase::Load, f as u64, None, visible_load);
+                    }
+                    stats.sram_reads += occupied as u64;
+                    self.telemetry.add(Counter::SramStationaryReads, occupied as u64);
+                    if self.telemetry.is_enabled() {
+                        fanout_scratch.clear();
+                        fanout_scratch.extend(fold.elements.iter().map(|e| e.contraction));
+                        fanout_scratch.sort_unstable();
+                        let mut i = 0;
+                        while i < fanout_scratch.len() {
+                            let mut j = i + 1;
+                            while j < fanout_scratch.len() && fanout_scratch[j] == fanout_scratch[i]
+                            {
+                                j += 1;
+                            }
+                            self.telemetry.observe(Hist::MulticastFanout, (j - i) as u64);
+                            i = j;
+                        }
+                    }
+                    active_dpes = occupied.div_ceil(dpe);
+                    while engines.len() < active_dpes {
+                        let mut unit = FlexDpe::new(dpe)?;
+                        unit.set_route_caching(self.config.route_cache());
+                        unit.set_telemetry(self.telemetry.clone());
+                        engines.push(unit);
+                    }
+                    for (d, unit) in engines.iter_mut().enumerate().take(active_dpes) {
+                        let lo = d * dpe;
+                        let hi = (lo + dpe).min(occupied);
+                        local_ids.fill(None);
+                        local_ids[..hi - lo].copy_from_slice(&fold.vec_ids[lo..hi]);
+                        unit.load(&fold.elements[lo..hi], &local_ids)?;
+                    }
+                    queue.push(cursor + visible_load, Event::Stream(f));
+                }
+                Event::Stream(f) => {
+                    let fold = &plan.folds[f];
+                    let occupied = fold.occupied();
+                    // Word-level send counting: one pass over the occupancy
+                    // words of this fold's contraction rows.
+                    sends_buf.fill(0);
+                    for &k in &fold.distinct_contractions {
+                        for c in stream_bitmap.row_iter_ones(k) {
+                            sends_buf[c] += 1;
+                        }
+                    }
+                    // Pass 1 — per-step accounting in step order: cycle
+                    // charges, trace records, and the dead-step
+                    // fast-forward (every streamed operand of a dead step
+                    // is +0.0, so the whole datapath is a bitwise no-op:
+                    // charge the cycle, skip the work).
+                    let mut fold_stream = 0u64;
+                    let mut fold_sends = 0u64;
+                    let mut dead_steps = 0u64;
+                    live_steps.clear();
+                    for (step, &sends) in sends_buf.iter().enumerate() {
+                        let step_cycles = sends.div_ceil(stream_bw).max(1);
+                        fold_stream += step_cycles;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record(Phase::Stream, f as u64, Some(step), step_cycles);
+                        }
+                        if sends == 0 {
+                            dead_steps += step_cycles;
+                            continue;
+                        }
+                        fold_sends += sends;
+                        self.telemetry.observe(Hist::StreamStepCycles, step_cycles);
+                        live_steps.push(step as u32);
+                    }
+                    // Pass 2 — the datapath, unit-outer/step-inner so each
+                    // unit's stationary state stays cache-resident across
+                    // the whole fold. Per output cell the accumulation
+                    // order is unchanged (fold-major, then unit-major:
+                    // within a fold each cluster touches a cell at most
+                    // once per step), so results stay bitwise identical to
+                    // the step-outer lockstep loop.
+                    let mut fold_useful = 0u64;
+                    for unit in engines.iter_mut().take(active_dpes) {
+                        for &step in &live_steps {
+                            let step = step as usize;
+                            let col = &stream_tr[step * kdim..step * kdim + kdim];
+                            unit.step_compiled(col, &mut step_out)?;
+                            fold_useful += step_out.useful_macs as u64;
+                            for s in &step_out.reduction.sums {
+                                let group = fold.cluster_groups[s.vec_id as usize];
+                                emit(group, step, s.value);
+                            }
+                        }
+                    }
+                    stats.streaming_cycles += fold_stream;
+                    stats.sram_reads += fold_sends;
+                    stats.issued_macs += occupied as u128 * steps as u128;
+                    stats.useful_macs += u128::from(fold_useful);
+                    stats.idle_cycles_skipped += dead_steps;
+                    self.telemetry.add(Counter::SramStreamingReads, fold_sends);
+                    self.telemetry.add(Counter::IdleCyclesSkipped, dead_steps);
+                    self.telemetry.add(Counter::UsefulMacs, fold_useful);
+                    if self.telemetry.is_enabled() {
+                        // Dead steps all cost exactly one cycle.
+                        self.telemetry.observe_n(Hist::StreamStepCycles, 1, dead_steps);
+                        for unit in engines.iter().take(active_dpes) {
+                            unit.record_steps_telemetry(steps as u64);
+                        }
+                    }
+                    prev_fold_stream = fold_stream;
+                    queue.push(cursor + fold_stream, Event::Drain(f));
+                }
+                Event::Drain(f) => {
+                    // The fold's add latency is the slowest unit's
+                    // latency-until-quiescent — a constant of the loaded
+                    // layout, so no per-tick countdown is needed.
+                    let drain = if steps == 0 {
+                        0
+                    } else {
+                        engines
+                            .iter()
+                            .take(active_dpes)
+                            .map(FlexDpe::drain_cycles)
+                            .max()
+                            .unwrap_or(0)
+                    };
+                    stats.add_cycles += drain;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(Phase::Drain, f as u64, None, drain);
+                    }
+                    end_cycle = cursor + drain;
+                    if f + 1 < plan.folds.len() {
+                        queue.push(end_cycle, Event::LoadFold(f + 1));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            end_cycle,
+            stats.total_cycles(),
+            "event cursor and Table-II accounting must agree"
+        );
+        for unit in &engines {
+            stats.route_cache_hits += unit.route_cache().hits();
+            stats.route_cache_misses += unit.route_cache().misses();
+        }
         self.telemetry.add(
             Counter::StationaryDropped,
             (stationary.nnz() as u64).saturating_sub(stats.mapped_nonzeros),
@@ -669,6 +947,43 @@ mod tests {
         let sim = cfg(4, 8, 8, Dataflow::InputStationary);
         for (i, d) in [0.0, 0.1, 0.3, 0.5, 0.8, 1.0].iter().enumerate() {
             check_correct(&sim, 7, 12, 5, *d, 0.6, 42 + i as u64);
+        }
+    }
+
+    #[test]
+    fn event_and_lockstep_paths_are_bitwise_identical() {
+        // The event scheduler must be indistinguishable from the tick-loop
+        // oracle: same outputs (bitwise), same stats (including the new
+        // idle counter — the oracle executes dead steps, the scheduler
+        // skips them, both charge them), same trace event sequence.
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+            for (i, &(da, db)) in
+                [(0.05, 0.1), (0.3, 0.6), (1.0, 1.0), (0.5, 0.02)].iter().enumerate()
+            {
+                let base = SigmaConfig::new(4, 8, 8, df).unwrap();
+                for cfg in [base, base.with_double_buffering(true)] {
+                    let event = SigmaSim::new(cfg).unwrap();
+                    let lockstep = SigmaSim::new(cfg.with_lockstep(true)).unwrap();
+                    let seed = 500 + i as u64;
+                    let a = sparse_uniform(9, 14, Density::new(da).unwrap(), seed);
+                    let b = sparse_uniform(14, 11, Density::new(db).unwrap(), seed + 1);
+                    let (run_e, trace_e) = event.run_gemm_traced(&a, &b).unwrap();
+                    let (run_l, trace_l) = lockstep.run_gemm_traced(&a, &b).unwrap();
+                    assert_eq!(run_e.stats, run_l.stats, "{df} densities ({da},{db})");
+                    assert_eq!(trace_e, trace_l, "{df} densities ({da},{db})");
+                    assert_eq!(run_e.result.rows(), run_l.result.rows());
+                    for (x, y) in run_e.result.as_slice().iter().zip(run_l.result.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{df} densities ({da},{db})");
+                    }
+                    if da <= 0.05 || db <= 0.05 {
+                        assert!(
+                            run_e.stats.idle_cycles_skipped > 0,
+                            "very sparse runs must have dead cycles to skip"
+                        );
+                    }
+                    assert!(run_e.stats.idle_cycles_skipped <= run_e.stats.streaming_cycles);
+                }
+            }
         }
     }
 

@@ -22,7 +22,7 @@
 
 use crate::config::SigmaError;
 use crate::controller::MappedElement;
-use sigma_interconnect::{BenesNetwork, Fan, FanReduction, FanScratch, RouteCache};
+use sigma_interconnect::{BenesNetwork, Fan, FanProgram, FanReduction, FanScratch, RouteCache};
 use sigma_telemetry::{Counter, Hist, Telemetry};
 
 /// The result of streaming one vector through a Flex-DPE.
@@ -56,6 +56,11 @@ pub struct FlexDpe {
     // Reusable hot-loop state.
     products: Vec<f32>,
     fan_scratch: FanScratch,
+    /// The FAN add schedule compiled once per load: the schedule is a pure
+    /// function of the `vecID` layout, so the event-driven engine replays
+    /// it per streamed wave instead of re-deriving the reduction structure
+    /// ([`FlexDpe::step_compiled`]).
+    program: FanProgram,
     route_cache: RouteCache,
     load_req: Vec<Option<usize>>,
     /// Sorted-and-deduped to count distinct contractions at load time;
@@ -87,6 +92,7 @@ impl FlexDpe {
             distinct_operands: 0,
             products: vec![0.0; size],
             fan_scratch: FanScratch::default(),
+            program: FanProgram::default(),
             route_cache: RouteCache::new(),
             load_req: Vec::with_capacity(size),
             distinct_scratch: Vec::with_capacity(size),
@@ -175,9 +181,10 @@ impl FlexDpe {
             .map_err(|e| {
                 SigmaError::Internal(format!("identity loading pattern failed to route: {e}"))
             })?;
-        if cold {
-            // Validate freshly derived switch settings end-to-end; hits
-            // reuse a configuration that already passed this check.
+        if cold && cfg!(debug_assertions) {
+            // Validate freshly derived switch settings end-to-end (debug
+            // builds only — the walk exists solely to feed the asserts);
+            // hits reuse a configuration that already passed this check.
             let inputs: Vec<Option<usize>> = (0..self.size).map(Some).collect();
             let delivered = cfg.apply(&inputs);
             for (i, d) in delivered.iter().enumerate().take(elements.len()) {
@@ -192,8 +199,11 @@ impl FlexDpe {
                 .observe(Hist::MultiplierOccupancyPct, (elements.len() * 100 / self.size) as u64);
         }
 
-        // In-place refill of the flattened stationary store.
+        // In-place refill of the flattened stationary store. The product
+        // buffer is zeroed here (not per step) so `step_compiled` can rely
+        // on unoccupied slots staying 0.0 across the whole fold.
         self.values.fill(0.0);
+        self.products.fill(0.0);
         self.occupied_words.fill(0);
         self.distinct_scratch.clear();
         for (slot, e) in elements.iter().enumerate() {
@@ -207,6 +217,11 @@ impl FlexDpe {
         self.distinct_scratch.sort_unstable();
         self.distinct_scratch.dedup();
         self.distinct_operands = self.distinct_scratch.len();
+        // Compile the FAN add schedule for this vecID layout. Compilation
+        // fails only for non-contiguous cluster layouts, which per-step
+        // reduction would reject anyway; the program is simply marked
+        // invalid and [`FlexDpe::step_compiled`] refuses to run.
+        let _ = self.program.compile(&self.fan, &self.vec_ids);
         Ok(())
     }
 
@@ -218,6 +233,8 @@ impl FlexDpe {
         self.vec_ids.fill(None);
         self.occupied_count = 0;
         self.distinct_operands = 0;
+        // An all-idle layout compiles to the (valid) empty program.
+        let _ = self.program.compile(&self.fan, &self.vec_ids);
     }
 
     /// Streams one vector through the engine: `operand(k)` supplies the
@@ -298,6 +315,100 @@ impl FlexDpe {
             );
         }
         Ok(())
+    }
+
+    /// Allocation-free streaming step on the *compiled* FAN schedule: the
+    /// streamed operands arrive as a dense contraction-indexed column
+    /// slice and the reduction replays the add schedule compiled at
+    /// [`FlexDpe::load`] time instead of re-deriving the tree structure
+    /// per wave. Bitwise-identical results to [`FlexDpe::step_into`] —
+    /// same products, same f32 association order — at a fraction of the
+    /// cost; this is the event-driven engine's steady-state path.
+    ///
+    /// Records **no** per-step telemetry: the event scheduler batches the
+    /// per-step counters per fold (they are constants of the layout), so
+    /// recording here would double-count.
+    ///
+    /// # Errors
+    ///
+    /// [`SigmaError::Internal`] if no valid program is compiled (a
+    /// non-contiguous layout was loaded, or nothing was loaded yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `column` does not cover every
+    /// contraction index the loaded elements reference.
+    pub fn step_compiled(&mut self, column: &[f32], out: &mut DpeStep) -> Result<(), SigmaError> {
+        if !self.program.is_valid() {
+            return Err(SigmaError::Internal(
+                "step_compiled without a valid compiled FAN program".to_string(),
+            ));
+        }
+        // No products.fill here: load() zeroes the buffer and this loop
+        // rewrites every occupied slot, while the compiled program only
+        // reads cluster leaves (all occupied) — unoccupied slots stay 0.0
+        // across steps by construction.
+        //
+        // Occupancy is always a contiguous prefix (`load` packs elements
+        // into slots `0..len`), so the product pass runs over plain
+        // slices instead of walking the occupancy words bit by bit.
+        let occ = self.occupied_count;
+        debug_assert_eq!(
+            self.occupied_words.iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+            occ,
+            "occupancy words out of sync with occupied_count"
+        );
+        debug_assert!(occ == 0 || self.slot_occupied(occ - 1), "occupancy must be a prefix");
+        let mut useful = 0usize;
+        for ((p, &v), &c) in
+            self.products[..occ].iter_mut().zip(&self.values[..occ]).zip(&self.contractions[..occ])
+        {
+            let x = column[c];
+            useful += usize::from(x != 0.0);
+            *p = v * x;
+        }
+        self.program.execute_into(&mut self.products, &mut out.reduction);
+        out.useful_macs = useful;
+        out.operands_consumed = self.distinct_operands;
+        Ok(())
+    }
+
+    /// Cycles until the FAN is quiescent after the last streamed wave of
+    /// the current load — the drain the engine charges once per fold.
+    /// Zero when nothing is loaded (the empty program drains instantly).
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        self.program.latency_until_quiescent()
+    }
+
+    /// Batch-records the per-step telemetry [`FlexDpe::step_into`] would
+    /// have recorded over `steps` waves of the current layout. Every
+    /// per-step quantity except useful MACs is a pure function of the
+    /// loaded layout — `n` waves add `n×` the same counter deltas and
+    /// observe the same histogram value `n` times — so the event-driven
+    /// engine calls this once per fold and the resulting registry state
+    /// is identical to `steps` individual recordings. Useful MACs are
+    /// data-dependent; the engine accumulates those separately.
+    pub fn record_steps_telemetry(&self, steps: u64) {
+        if !self.telemetry.is_enabled() || steps == 0 {
+            return;
+        }
+        self.telemetry.add(Counter::StreamSteps, steps);
+        self.telemetry.add(Counter::IssuedMacs, self.occupied_count as u64 * steps);
+        let adds = self.program.adds_performed() as u64;
+        let outs = self.program.output_count() as u64;
+        self.telemetry.add(Counter::FanAdds, adds * steps);
+        self.telemetry.add(Counter::FanClusterSums, outs * steps);
+        self.telemetry.observe_n(
+            Hist::FanAdderOccupancyPct,
+            adds * 100 / (self.fan.adder_count() as u64).max(1),
+            steps,
+        );
+        self.telemetry.observe_n(
+            Hist::FanLinkOccupancyPct,
+            outs * 100 / (self.fan.forwarding_link_count() as u64).max(1),
+            steps,
+        );
     }
 
     /// Computes the product vector for one streamed wave (shared by the
@@ -491,6 +602,61 @@ mod tests {
         let reference = dpe.step(&|k| k as f32).unwrap();
         dpe.step_into(&|k| k as f32, &mut out).unwrap();
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn step_compiled_matches_step_into_bitwise() {
+        let mut dpe = FlexDpe::new(8).unwrap();
+        let els = elements(&[(0, 0, 2.5), (0, 1, -3.0), (0, 2, 4.0), (1, 1, 0.5), (1, 3, -6.0)]);
+        dpe.load(&els, &ids(&[0, 0, 0, 1, 1], 8)).unwrap();
+        let mut a = DpeStep::default();
+        let mut b = DpeStep::default();
+        for wave in 0..6 {
+            // Include zeros and negative zero among the streamed values.
+            let col: Vec<f32> = (0..4)
+                .map(|k| match (k + wave) % 4 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => 1.5 + wave as f32,
+                    _ => -2.25,
+                })
+                .collect();
+            dpe.step_into(&|k| col[k], &mut a).unwrap();
+            dpe.step_compiled(&col, &mut b).unwrap();
+            assert_eq!(dpe.drain_cycles(), a.reduction.critical_cycles);
+            assert_eq!(a.useful_macs, b.useful_macs, "wave {wave}");
+            assert_eq!(a.operands_consumed, b.operands_consumed);
+            assert_eq!(a.reduction.adds_performed, b.reduction.adds_performed);
+            assert_eq!(a.reduction.critical_cycles, b.reduction.critical_cycles);
+            assert_eq!(a.reduction.sums.len(), b.reduction.sums.len());
+            for (x, y) in a.reduction.sums.iter().zip(&b.reduction.sums) {
+                assert_eq!(x.vec_id, y.vec_id);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "wave {wave}");
+            }
+        }
+        // Reload with a different layout: the program recompiles.
+        dpe.load(&elements(&[(2, 0, 1.0), (3, 1, 7.0)]), &ids(&[0, 1], 8)).unwrap();
+        let col = [2.0f32, 3.0];
+        dpe.step_into(&|k| col[k], &mut a).unwrap();
+        dpe.step_compiled(&col, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(dpe.drain_cycles(), a.reduction.critical_cycles);
+    }
+
+    #[test]
+    fn step_compiled_without_load_is_rejected() {
+        let mut dpe = FlexDpe::new(4).unwrap();
+        let mut out = DpeStep::default();
+        // Freshly constructed: no program compiled yet.
+        assert!(dpe.step_compiled(&[1.0], &mut out).is_err());
+        dpe.load(&elements(&[(0, 0, 1.0)]), &ids(&[0], 4)).unwrap();
+        assert!(dpe.step_compiled(&[1.0], &mut out).is_ok());
+        assert_eq!(out.reduction.sums[0].value, 1.0);
+        // clear() recompiles the empty (valid) program.
+        dpe.clear();
+        assert!(dpe.step_compiled(&[1.0], &mut out).is_ok());
+        assert!(out.reduction.sums.is_empty());
+        assert_eq!(dpe.drain_cycles(), 0);
     }
 
     #[test]

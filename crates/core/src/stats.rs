@@ -42,6 +42,11 @@ pub struct CycleStats {
     /// Benes route configurations derived cold (cache miss or caching
     /// disabled).
     pub route_cache_misses: u64,
+    /// Streaming cycles whose step carried no non-zero streamed operands —
+    /// dead cycles the event scheduler fast-forwards in O(1). They remain
+    /// part of [`CycleStats::streaming_cycles`] (and thus total cycles);
+    /// the lockstep oracle executes them and counts them identically.
+    pub idle_cycles_skipped: u64,
     /// Fault events that fired during the run (zero unless a
     /// [`FaultPlan`](crate::fault::FaultPlan) was armed).
     pub faults_injected: u64,
@@ -120,6 +125,7 @@ impl CycleStats {
             sram_reads: self.sram_reads + other.sram_reads,
             route_cache_hits: self.route_cache_hits + other.route_cache_hits,
             route_cache_misses: self.route_cache_misses + other.route_cache_misses,
+            idle_cycles_skipped: self.idle_cycles_skipped + other.idle_cycles_skipped,
             faults_injected: self.faults_injected + other.faults_injected,
             faults_detected: self.faults_detected + other.faults_detected,
             faults_corrected: self.faults_corrected + other.faults_corrected,

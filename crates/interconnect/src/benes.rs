@@ -477,6 +477,18 @@ impl BenesNetwork {
         &self,
         src: &[Option<usize>],
     ) -> Result<BenesConfig, BenesError> {
+        self.route_monotone_multicast_scratch(src, &mut MulticastScratch::default())
+    }
+
+    /// [`BenesNetwork::route_monotone_multicast`] with caller-owned
+    /// recursion scratch, so repeated cold routings (e.g. the route
+    /// cache's miss path) stay allocation-light: the coloring buffers are
+    /// reused across calls instead of reallocated per network node.
+    pub(crate) fn route_monotone_multicast_scratch(
+        &self,
+        src: &[Option<usize>],
+        scratch: &mut MulticastScratch,
+    ) -> Result<BenesConfig, BenesError> {
         if src.len() != self.size {
             return Err(BenesError::SizeMismatch { expected: self.size, actual: src.len() });
         }
@@ -492,8 +504,35 @@ impl BenesNetwork {
             }
             last = Some(s);
         }
-        route_multicast(src)
+        route_multicast(src, 0, scratch)
     }
+}
+
+/// Reusable per-recursion-depth buffers for [`route_multicast`].
+///
+/// The multicast recursion visits `N − 1` network nodes and needs five
+/// working vectors per node; allocating them fresh dominates cold-routing
+/// cost on wide networks. The scratch keeps one set per depth (sub-requests
+/// at the same depth are processed sequentially, so siblings can share),
+/// making repeated cold routes allocation-light.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MulticastScratch {
+    levels: Vec<MulticastLevel>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MulticastLevel {
+    /// Distinct demanded sources, increasing.
+    sources: Vec<usize>,
+    /// `paired_with_next[s] = Some(t)` when some output switch demands the
+    /// distinct pair `(s, t)`.
+    paired_with_next: Vec<Option<usize>>,
+    /// Greedy subnet color per source port.
+    color_of: Vec<Option<u8>>,
+    /// Sub-request for the upper half-size network.
+    up_src: Vec<Option<usize>>,
+    /// Sub-request for the lower half-size network.
+    low_src: Vec<Option<usize>>,
 }
 
 /// Recursive looping-algorithm permutation routing. `src[o]` = input index.
@@ -589,7 +628,11 @@ fn route_perm(src: &[usize]) -> Result<BenesConfig, BenesError> {
 /// input switch or an output switch) are *adjacent* in source order, so the
 /// conflict graph is a path and greedy alternating coloring suffices; the
 /// sub-requests are again monotone, giving routability by induction.
-fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
+fn route_multicast(
+    src: &[Option<usize>],
+    depth: usize,
+    scratch: &mut MulticastScratch,
+) -> Result<BenesConfig, BenesError> {
     let n = src.len();
     if n == 2 {
         let state = match (src[0], src[1]) {
@@ -626,12 +669,33 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
         return Ok(BenesConfig::Leaf(state));
     }
     let half = n / 2;
+    if scratch.levels.len() <= depth {
+        scratch.levels.push(MulticastLevel::default());
+    }
+    let mut lv = std::mem::take(&mut scratch.levels[depth]);
+    let MulticastLevel { sources, paired_with_next, color_of, up_src, low_src } = &mut lv;
 
     // Distinct demanded sources in increasing order.
-    let mut sources: Vec<usize> = Vec::new();
+    sources.clear();
     for &s in src.iter().flatten() {
         if sources.last() != Some(&s) {
             sources.push(s);
+        }
+    }
+
+    // An output switch demanding two distinct sources always pairs a
+    // source with its *successor* in source order (the request is
+    // monotone, so the demanded sources are non-decreasing across output
+    // ports). One pass precomputes those pairings so the greedy coloring
+    // below runs in O(n) instead of rescanning every output switch per
+    // source.
+    paired_with_next.clear();
+    paired_with_next.resize(n, None);
+    for j in 0..half {
+        if let (Some(a), Some(b)) = (src[2 * j], src[2 * j + 1]) {
+            if a != b {
+                paired_with_next[a] = Some(b);
+            }
         }
     }
 
@@ -639,7 +703,8 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
     // an input switch or are demanded together by some output switch.
     // Indexed by source port (sources are < n), deterministic by
     // construction — no hash-map involved.
-    let mut color_of: Vec<Option<u8>> = vec![None; n];
+    color_of.clear();
+    color_of.resize(n, None);
     let mut prev_color = 0u8;
     for (idx, &s) in sources.iter().enumerate() {
         if idx == 0 {
@@ -649,10 +714,7 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
         }
         let p = sources[idx - 1];
         let same_input_switch = p / 2 == s / 2;
-        let same_output_switch = (0..half).any(|j| {
-            matches!((src[2 * j], src[2 * j + 1]),
-                (Some(a), Some(b)) if (a == p && b == s) || (a == s && b == p))
-        });
+        let same_output_switch = paired_with_next[p] == Some(s);
         let c = if same_input_switch || same_output_switch { 1 - prev_color } else { prev_color };
         color_of[s] = Some(c);
         prev_color = c;
@@ -699,8 +761,10 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
             .flatten()
             .ok_or(BenesError::Internal("multicast source missing a subnet color"))
     };
-    let mut up_src: Vec<Option<usize>> = vec![None; half];
-    let mut low_src: Vec<Option<usize>> = vec![None; half];
+    up_src.clear();
+    up_src.resize(half, None);
+    low_src.clear();
+    low_src.resize(half, None);
     let mut output_states = Vec::with_capacity(half);
     for j in 0..half {
         let (a, b) = (src[2 * j], src[2 * j + 1]);
@@ -751,10 +815,21 @@ fn route_multicast(src: &[Option<usize>]) -> Result<BenesConfig, BenesError> {
         output_states.push(state);
     }
 
+    // Move the sub-request buffers out and park the rest of this level's
+    // scratch before recursing, so deeper levels (and later siblings at
+    // this depth) reuse their own buffers.
+    let up = std::mem::take(up_src);
+    let low = std::mem::take(low_src);
+    scratch.levels[depth] = lv;
+    let upper = route_multicast(&up, depth + 1, scratch)?;
+    let lower = route_multicast(&low, depth + 1, scratch)?;
+    scratch.levels[depth].up_src = up;
+    scratch.levels[depth].low_src = low;
+
     Ok(BenesConfig::Node {
         input: input_states,
-        upper: Box::new(route_multicast(&up_src)?),
-        lower: Box::new(route_multicast(&low_src)?),
+        upper: Box::new(upper),
+        lower: Box::new(lower),
         output: output_states,
     })
 }

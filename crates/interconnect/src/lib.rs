@@ -42,6 +42,7 @@ pub mod benes;
 pub mod butterfly;
 pub mod fan;
 pub mod fault;
+pub mod program;
 pub mod reduction;
 pub mod route_cache;
 
@@ -49,6 +50,7 @@ pub use benes::{BenesConfig, BenesError, BenesNetwork, MultipassRouting, SwitchS
 pub use butterfly::{Butterfly, ButterflyRouting};
 pub use fan::{Fan, FanError, FanReduction, FanScratch, SegmentSum};
 pub use fault::{flip_bit, force_bit, AdderFault, StuckLevel};
+pub use program::FanProgram;
 pub use reduction::{ReductionKind, ReductionNetwork};
 pub use route_cache::RouteCache;
 

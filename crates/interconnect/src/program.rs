@@ -1,0 +1,412 @@
+//! Compiled FAN schedules: the structural half of a reduction wave,
+//! factored out of the per-cycle loop.
+//!
+//! [`Fan::reduce_into`](crate::Fan::reduce_into) re-derives the same
+//! interval structure on every wave: which adders fire, in what order,
+//! where each cluster's partial accumulates, and when each sum
+//! completes. None of that depends on the multiplier *values* — it is a
+//! pure function of the `vecID` layout, which SIGMA fixes once per fold
+//! when the stationary operand is loaded. A [`FanProgram`] runs the
+//! interval algorithm once at load time and records:
+//!
+//! * the exact ordered add sequence as `(dst, src)` leaf positions
+//!   (partial sums live at their interval's leftmost leaf), and
+//! * the output template: one entry per cluster in left-to-right leaf
+//!   order with its `vecID`, leaf range, accumulator slot, and
+//!   completion cycle.
+//!
+//! [`FanProgram::execute_into`] then replays the adds over a wave's
+//! product buffer with the hardware's exact association order, so the
+//! resulting [`FanReduction`] is **bitwise identical** to
+//! [`Fan::reduce_into`](crate::Fan::reduce_into) at a fraction of the
+//! cost — this is the per-wave fast path of the event-driven simulator.
+//!
+//! The compiled `critical_cycles` doubles as the network's
+//! *latency-until-quiescent* ([`FanProgram::latency_until_quiescent`]):
+//! the number of cycles after the final wave issue until every adder has
+//! drained, which the epoch scheduler charges once per fold instead of
+//! stepping the tree tick by tick.
+
+use crate::fan::{Fan, FanError, FanReduction, SegmentSum};
+
+/// One cluster output in a compiled FAN schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProgramOutput {
+    /// Cluster identifier.
+    vec_id: u32,
+    /// Leaf slot where the cluster's final partial accumulates (its
+    /// leftmost leaf).
+    slot: usize,
+    /// Inclusive leaf range the cluster occupies.
+    leaf_range: (usize, usize),
+    /// Cycles after wave issue at which the sum is available.
+    completion_cycles: u64,
+}
+
+/// A compiled, value-independent FAN reduction schedule.
+///
+/// Compile once per stationary load with [`FanProgram::compile`], then
+/// replay per streaming wave with [`FanProgram::execute_into`]. Both
+/// calls are allocation-free once the internal buffers are warm, so the
+/// simulator's steady-state hot loop stays heap-quiet.
+///
+/// ```
+/// use sigma_interconnect::{Fan, FanProgram, FanReduction};
+/// let fan = Fan::new(8)?;
+/// let ids = [0, 0, 0, 1, 1, 2, 2, 2].map(Some);
+/// let mut program = FanProgram::default();
+/// program.compile(&fan, &ids)?;
+/// let mut work = [1.0, 2.0, 3.0, 10.0, 20.0, 100.0, 200.0, 300.0];
+/// let mut out = FanReduction::default();
+/// program.execute_into(&mut work, &mut out);
+/// let reference = fan.reduce(&[1.0, 2.0, 3.0, 10.0, 20.0, 100.0, 200.0, 300.0], &ids)?;
+/// assert_eq!(out, reference);
+/// # Ok::<(), sigma_interconnect::FanError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FanProgram {
+    /// Ordered add schedule: `work[dst] += work[src]`, in the exact
+    /// level-by-level order the hardware fires its adders.
+    adds: Vec<(usize, usize)>,
+    /// Cluster outputs in left-to-right leaf order.
+    outputs: Vec<ProgramOutput>,
+    /// Completion time of the slowest cluster.
+    critical_cycles: u64,
+    /// Leaf count the program was compiled for.
+    size: usize,
+    /// `true` after a successful [`FanProgram::compile`].
+    valid: bool,
+    // Compile-time scratch, reused across compilations.
+    intervals: Vec<(usize, usize)>,
+    completion: Vec<u64>,
+    seen: Vec<u32>,
+}
+
+impl FanProgram {
+    /// Compiles the add schedule and output template for one `vecID`
+    /// layout on `fan`. Reuses internal buffers, so recompilation is
+    /// allocation-free once warm.
+    ///
+    /// # Errors
+    ///
+    /// Same layout errors as [`Fan::reduce`](crate::Fan::reduce):
+    /// [`FanError::SizeMismatch`] and
+    /// [`FanError::NonContiguousSegments`]. On error the program is
+    /// cleared and [`FanProgram::is_valid`] returns `false`.
+    pub fn compile(&mut self, fan: &Fan, vec_ids: &[Option<u32>]) -> Result<(), FanError> {
+        self.adds.clear();
+        self.outputs.clear();
+        self.critical_cycles = 0;
+        self.size = fan.size();
+        self.valid = false;
+        if vec_ids.len() != fan.size() {
+            return Err(FanError::SizeMismatch { expected: fan.size(), actual: vec_ids.len() });
+        }
+        // Contiguity check, identical to the per-wave one in
+        // `Fan::reduce_into`: one id per run, sorted, no duplicates.
+        self.seen.clear();
+        let mut prev: Option<u32> = None;
+        for id in vec_ids.iter() {
+            if let Some(cur) = *id {
+                if prev != Some(cur) {
+                    self.seen.push(cur);
+                }
+            }
+            prev = *id;
+        }
+        self.seen.sort_unstable();
+        if let Some(dup) = self.seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(FanError::NonContiguousSegments(dup[0]));
+        }
+
+        // Value-free replay of the interval merge: partials live at each
+        // interval's leftmost leaf, so merging (s0..=e0) with (s1..=e1)
+        // records the add `work[s0] += work[s1]`.
+        let intervals = &mut self.intervals;
+        intervals.clear();
+        self.completion.resize(fan.size(), u64::MAX);
+        self.completion.fill(u64::MAX);
+        for (i, id) in vec_ids.iter().enumerate() {
+            if id.is_some() {
+                intervals.push((i, i));
+                let left_same = i > 0 && vec_ids[i - 1] == *id;
+                let right_same = i + 1 < fan.size() && vec_ids[i + 1] == *id;
+                if !left_same && !right_same {
+                    self.completion[i] = 0;
+                }
+            }
+        }
+        let levels = fan.level_count();
+        for lvl in 0..levels {
+            let mut i = 0;
+            while i + 1 < intervals.len() {
+                let (s0, e0) = intervals[i];
+                let (s1, e1) = intervals[i + 1];
+                let adjacent = e0 + 1 == s1;
+                let same_cluster = adjacent && vec_ids[e0] == vec_ids[s1];
+                let adder_id = e0;
+                if same_cluster && fan.adder_level(adder_id) == lvl {
+                    self.adds.push((s0, s1));
+                    intervals[i] = (s0, e1);
+                    intervals.remove(i + 1);
+                    let whole = (s0 == 0 || vec_ids[s0 - 1] != vec_ids[s0])
+                        && (e1 + 1 == fan.size() || vec_ids[e1 + 1] != vec_ids[e1]);
+                    if whole {
+                        self.completion[s0] = u64::from(lvl) + 1;
+                    }
+                    continue;
+                }
+                i += 1;
+            }
+        }
+
+        let mut critical = 0u64;
+        for &(s, e) in intervals.iter() {
+            let cycles = self.completion[s];
+            debug_assert_ne!(cycles, u64::MAX, "every cluster completes within log2(N) levels");
+            critical = critical.max(cycles);
+            let Some(vec_id) = vec_ids[s] else {
+                debug_assert!(false, "interval starts at an active leaf");
+                continue;
+            };
+            self.outputs.push(ProgramOutput {
+                vec_id,
+                slot: s,
+                leaf_range: (s, e),
+                completion_cycles: cycles,
+            });
+        }
+        self.critical_cycles = critical;
+        self.valid = true;
+        Ok(())
+    }
+
+    /// Replays the compiled add schedule over one wave of multiplier
+    /// products, writing the reduction into `out` (cleared first).
+    ///
+    /// `work` is consumed in place: slots belonging to active clusters
+    /// are overwritten with partial sums as the schedule fires. Idle
+    /// leaves are never read, so callers need not zero them. The result
+    /// is bitwise identical to
+    /// [`Fan::reduce_into`](crate::Fan::reduce_into) on the same values
+    /// and the compiled `vecID` layout — same add order, same activation
+    /// counts, same completion times.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `work` is shorter than the
+    /// compiled network size. Debug-asserts that the program is valid.
+    pub fn execute_into(&self, work: &mut [f32], out: &mut FanReduction) {
+        debug_assert!(self.valid, "execute_into on an invalid FanProgram");
+        debug_assert!(work.len() >= self.size);
+        out.sums.clear();
+        for &(dst, src) in &self.adds {
+            work[dst] += work[src];
+        }
+        out.sums.reserve(self.outputs.len());
+        for o in &self.outputs {
+            out.sums.push(SegmentSum {
+                vec_id: o.vec_id,
+                value: work[o.slot],
+                leaf_range: o.leaf_range,
+                completion_cycles: o.completion_cycles,
+            });
+        }
+        out.adds_performed = self.adds.len();
+        out.critical_cycles = self.critical_cycles;
+    }
+
+    /// `true` after a successful [`FanProgram::compile`]; `false` for a
+    /// fresh program or after a compile error.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Number of adder activations per wave (constant across waves).
+    #[must_use]
+    pub fn adds_performed(&self) -> usize {
+        self.adds.len()
+    }
+
+    /// Number of cluster sums emitted per wave.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Completion time of the slowest cluster — the cycles needed after
+    /// the final wave issue for the tree to drain completely. This is
+    /// the FAN's *next-interesting-cycle* hint to the epoch scheduler:
+    /// between wave issue and `now + latency_until_quiescent()` nothing
+    /// observable happens at the network boundary.
+    #[must_use]
+    pub fn latency_until_quiescent(&self) -> u64 {
+        self.critical_cycles
+    }
+
+    /// Alias for [`FanProgram::latency_until_quiescent`], matching the
+    /// `critical_cycles` field of [`FanReduction`].
+    #[must_use]
+    pub fn critical_cycles(&self) -> u64 {
+        self.critical_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fan::FanScratch;
+
+    fn ids(spec: &[i64]) -> Vec<Option<u32>> {
+        spec.iter().map(|&x| if x < 0 { None } else { Some(x as u32) }).collect()
+    }
+
+    fn assert_program_matches_reduce(fan: &Fan, vec_ids: &[Option<u32>], values: &[f32]) {
+        let reference = fan.reduce(values, vec_ids).unwrap();
+        let mut program = FanProgram::default();
+        program.compile(fan, vec_ids).unwrap();
+        let mut work = values.to_vec();
+        let mut out = FanReduction::default();
+        program.execute_into(&mut work, &mut out);
+        assert_eq!(out, reference, "compiled replay must match reduce bitwise");
+        assert_eq!(program.adds_performed(), reference.adds_performed);
+        assert_eq!(program.critical_cycles(), reference.critical_cycles);
+        assert_eq!(program.output_count(), reference.sums.len());
+    }
+
+    #[test]
+    fn matches_reduce_on_representative_layouts() {
+        let fan8 = Fan::new(8).unwrap();
+        let vals8: Vec<f32> = (1..=8).map(|x| x as f32 * 1.5 - 7.0).collect();
+        assert_program_matches_reduce(&fan8, &ids(&[0; 8]), &vals8);
+        assert_program_matches_reduce(&fan8, &ids(&[0, 0, 0, 1, 1, 2, 2, 2]), &vals8);
+        assert_program_matches_reduce(&fan8, &ids(&[0, 1, 2, 3, 3, 4, 5, 6]), &vals8);
+        assert_program_matches_reduce(&fan8, &ids(&[0, 0, -1, -1, 1, 1, -1, -1]), &vals8);
+        assert_program_matches_reduce(&fan8, &ids(&[-1; 8]), &vals8);
+
+        let fan16 = Fan::new(16).unwrap();
+        let vals16: Vec<f32> = (0..16).map(|x| (x * x) as f32 - 40.0).collect();
+        assert_program_matches_reduce(
+            &fan16,
+            &ids(&[0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2, 3, 3, 3]),
+            &vals16,
+        );
+        assert_program_matches_reduce(
+            &fan16,
+            &ids(&[-1, 0, 0, -1, 1, 1, 1, -1, -1, 2, 2, 2, 2, -1, 3, 3]),
+            &vals16,
+        );
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical_across_many_waves() {
+        // One compile, many value waves — the event scheduler's usage
+        // pattern. Values include negatives, zeros of both signs, and
+        // magnitudes chosen to exercise rounding, so "bitwise" is a real
+        // claim rather than an approximate one.
+        let fan = Fan::new(16).unwrap();
+        let layout = ids(&[0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2, -1, 3, 3]);
+        let mut program = FanProgram::default();
+        program.compile(&fan, &layout).unwrap();
+        let mut scratch = FanScratch::default();
+        let mut reference = FanReduction::default();
+        let mut out = FanReduction::default();
+        let mut work = [0.0f32; 16];
+        let mut x = 0x2545f491u32;
+        for _ in 0..64 {
+            let mut values = [0.0f32; 16];
+            for v in values.iter_mut() {
+                // xorshift-derived mix of magnitudes and signs.
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                *v = (x as f32 / u32::MAX as f32 - 0.5) * 1e3;
+                if x & 7 == 0 {
+                    *v = 0.0;
+                }
+                if x & 15 == 1 {
+                    *v = -0.0;
+                }
+            }
+            fan.reduce_into(&values, &layout, &[], &mut scratch, &mut reference).unwrap();
+            work.copy_from_slice(&values);
+            program.execute_into(&mut work, &mut out);
+            assert_eq!(out.adds_performed, reference.adds_performed);
+            assert_eq!(out.critical_cycles, reference.critical_cycles);
+            assert_eq!(out.sums.len(), reference.sums.len());
+            for (a, b) in out.sums.iter().zip(reference.sums.iter()) {
+                assert_eq!(a.vec_id, b.vec_id);
+                assert_eq!(a.leaf_range, b.leaf_range);
+                assert_eq!(a.completion_cycles, b.completion_cycles);
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "sums must match bit-for-bit");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_leaves_are_never_read() {
+        let fan = Fan::new(8).unwrap();
+        let layout = ids(&[0, 0, -1, -1, 1, 1, -1, -1]);
+        let mut program = FanProgram::default();
+        program.compile(&fan, &layout).unwrap();
+        // Poison idle slots with NaN: if the replay read them, the sums
+        // would be NaN.
+        let mut work = [1.0, 2.0, f32::NAN, f32::NAN, 3.0, 4.0, f32::NAN, f32::NAN];
+        let mut out = FanReduction::default();
+        program.execute_into(&mut work, &mut out);
+        assert_eq!(out.sums.len(), 2);
+        assert_eq!(out.sums[0].value, 3.0);
+        assert_eq!(out.sums[1].value, 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_layouts_and_marks_invalid() {
+        let fan = Fan::new(4).unwrap();
+        let mut program = FanProgram::default();
+        assert!(!program.is_valid());
+        assert_eq!(
+            program.compile(&fan, &ids(&[0, 1, 0, 1])),
+            Err(FanError::NonContiguousSegments(0))
+        );
+        assert!(!program.is_valid());
+        assert!(matches!(
+            program.compile(&fan, &ids(&[0, 0, 0])),
+            Err(FanError::SizeMismatch { expected: 4, actual: 3 })
+        ));
+        assert!(!program.is_valid());
+        // A later good compile recovers.
+        program.compile(&fan, &ids(&[0, 0, 1, 1])).unwrap();
+        assert!(program.is_valid());
+        assert_eq!(program.adds_performed(), 2);
+        assert_eq!(program.output_count(), 2);
+    }
+
+    #[test]
+    fn quiescent_latency_matches_critical_cycles() {
+        let fan = Fan::new(8).unwrap();
+        let mut program = FanProgram::default();
+        // Boundary-crossing pair: completion 3 even with a single add.
+        program.compile(&fan, &ids(&[0, 1, 2, 3, 3, 4, 5, 6])).unwrap();
+        assert_eq!(program.latency_until_quiescent(), 3);
+        // All-singleton layout is quiescent immediately.
+        program.compile(&fan, &ids(&[0, 1, 2, 3, 4, 5, 6, 7])).unwrap();
+        assert_eq!(program.latency_until_quiescent(), 0);
+    }
+
+    #[test]
+    fn recompile_is_allocation_free_shape() {
+        // Not the counting-allocator test (that lives in sigma-core's
+        // alloc_free harness) — just check buffers are reused: capacity
+        // does not shrink and results stay correct after recompiles.
+        let fan = Fan::new(8).unwrap();
+        let mut program = FanProgram::default();
+        program.compile(&fan, &ids(&[0, 0, 0, 0, 1, 1, 1, 1])).unwrap();
+        let adds_cap = program.adds.capacity();
+        program.compile(&fan, &ids(&[0, 1, 2, 3, 4, 5, 6, 7])).unwrap();
+        assert!(program.adds.capacity() >= adds_cap.min(1));
+        assert_eq!(program.adds_performed(), 0);
+        program.compile(&fan, &ids(&[0, 0, 0, 0, 1, 1, 1, 1])).unwrap();
+        assert_eq!(program.adds_performed(), 6);
+    }
+}

@@ -17,7 +17,7 @@
 //! cold through the same entry points; the `sigma-core` proptests compare
 //! the two modes end-to-end.
 
-use crate::benes::{BenesConfig, BenesError, BenesNetwork, MultipassRouting};
+use crate::benes::{BenesConfig, BenesError, BenesNetwork, MulticastScratch, MultipassRouting};
 use std::collections::BTreeMap;
 
 /// A request slot in the canonical key encoding: `u32::MAX` encodes `None`,
@@ -50,6 +50,9 @@ pub struct RouteCache {
     general_routings: Vec<MultipassRouting>,
     /// Reusable key buffer so cache hits do not allocate.
     key_buf: Vec<RouteSlot>,
+    /// Reusable recursion scratch so cold monotone routes stay
+    /// allocation-light.
+    route_scratch: MulticastScratch,
     /// Cold-route storage when the cache is disabled (so the borrow-return
     /// API shape is identical in both modes).
     cold_config: Option<BenesConfig>,
@@ -147,7 +150,7 @@ impl RouteCache {
     ) -> Result<(&BenesConfig, bool), BenesError> {
         if !self.enabled {
             self.misses += 1;
-            let cfg = net.route_monotone_multicast(src)?;
+            let cfg = net.route_monotone_multicast_scratch(src, &mut self.route_scratch)?;
             return Ok((self.cold_config.insert(cfg), true));
         }
         Self::encode_key(&mut self.key_buf, src);
@@ -155,7 +158,7 @@ impl RouteCache {
             self.hits += 1;
             return Ok((&self.monotone_configs[idx], false));
         }
-        let cfg = net.route_monotone_multicast(src)?;
+        let cfg = net.route_monotone_multicast_scratch(src, &mut self.route_scratch)?;
         self.misses += 1;
         let idx = self.monotone_configs.len();
         self.monotone_configs.push(cfg);

@@ -223,6 +223,44 @@ impl Bitmap {
         OnesIter { bitmap: self, word_idx: 0, pending: self.words.first().copied().unwrap_or(0) }
     }
 
+    /// Storage word `w` restricted to the bit range `[start, end)`:
+    /// bits below `start` and at-or-above `end` are cleared.
+    #[inline]
+    fn masked_word(&self, w: usize, start: usize, end: usize) -> u64 {
+        let base = w * 64;
+        let mut word = self.words[w];
+        if start > base {
+            word &= u64::MAX << (start - base);
+        }
+        if end < base + 64 {
+            word &= (1u64 << (end - base)) - 1;
+        }
+        word
+    }
+
+    /// Iterator over the column indices of set bits in row `r`, in
+    /// ascending order — the word-level primitive behind the epoch
+    /// scheduler's per-fold send batching: one pass over a streaming
+    /// contraction row yields every step that consumes it.
+    ///
+    /// Like [`Bitmap::iter_ones`], zero words are skipped and set bits
+    /// are walked with `trailing_zeros`, so cost scales with
+    /// `row nnz + row words`, not `cols`. Rows that straddle word
+    /// boundaries (the row-major packing does not pad) are masked at
+    /// both edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_iter_ones(&self, r: usize) -> RowOnesIter<'_> {
+        assert!(r < self.rows, "bitmap row {r} out of bounds");
+        let start = r * self.cols;
+        let end = start + self.cols;
+        let word_idx = start / 64;
+        let pending = if start < end { self.masked_word(word_idx, start, end) } else { 0 };
+        RowOnesIter { bitmap: self, start, end, word_idx, pending }
+    }
+
     /// The transpose of this bitmap.
     #[must_use]
     pub fn transposed(&self) -> Bitmap {
@@ -265,6 +303,38 @@ impl Iterator for OnesIter<'_> {
         self.pending &= self.pending - 1;
         let bit = self.word_idx * 64 + tz;
         Some((bit / self.bitmap.cols, bit % self.bitmap.cols))
+    }
+}
+
+/// Word-skipping iterator over the set bits of one [`Bitmap`] row,
+/// yielding column indices in ascending order (see
+/// [`Bitmap::row_iter_ones`]).
+#[derive(Debug, Clone)]
+pub struct RowOnesIter<'a> {
+    bitmap: &'a Bitmap,
+    /// First bit of the row in the packed bit address space.
+    start: usize,
+    /// One past the last bit of the row.
+    end: usize,
+    word_idx: usize,
+    pending: u64,
+}
+
+impl Iterator for RowOnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pending == 0 {
+            self.word_idx += 1;
+            if self.word_idx * 64 >= self.end {
+                return None;
+            }
+            self.pending = self.bitmap.masked_word(self.word_idx, self.start, self.end);
+        }
+        let tz = self.pending.trailing_zeros() as usize;
+        self.pending &= self.pending - 1;
+        Some(self.word_idx * 64 + tz - self.start)
     }
 }
 
@@ -406,6 +476,111 @@ mod tests {
         assert_eq!(empty.row_count_ones(2), 0);
         assert!(!empty.row_or(0));
         assert_eq!(empty.iter_ones().count(), 0);
+    }
+
+    /// Per-bit reference check of every word-level row helper on one shape.
+    fn assert_row_helpers_match_reference(b: &Bitmap) {
+        for r in 0..b.rows() {
+            let reference: Vec<usize> = (0..b.cols()).filter(|&c| b.get(r, c)).collect();
+            assert_eq!(b.row_count_ones(r), reference.len(), "row_count_ones row {r}");
+            assert_eq!(b.row_or(r), !reference.is_empty(), "row_or row {r}");
+            let fast: Vec<usize> = b.row_iter_ones(r).collect();
+            assert_eq!(fast, reference, "row_iter_ones row {r}");
+        }
+        let naive: Vec<(usize, usize)> = (0..b.rows())
+            .flat_map(|r| (0..b.cols()).map(move |c| (r, c)))
+            .filter(|&(r, c)| b.get(r, c))
+            .collect();
+        let fast: Vec<_> = b.iter_ones().collect();
+        assert_eq!(fast, naive, "iter_ones must stay row-major");
+    }
+
+    #[test]
+    fn row_helpers_on_empty_rows_and_empty_shapes() {
+        // All-zero rows between populated ones.
+        let mut b = Bitmap::new(5, 70);
+        b.set(0, 69, true);
+        b.set(4, 0, true);
+        assert_row_helpers_match_reference(&b);
+        for r in 1..4 {
+            assert_eq!(b.row_count_ones(r), 0);
+            assert!(!b.row_or(r));
+            assert_eq!(b.row_iter_ones(r).count(), 0);
+        }
+        // Zero-column shape: every row is an empty bit range.
+        let degenerate = Bitmap::new(4, 0);
+        assert_row_helpers_match_reference(&degenerate);
+        assert_eq!(degenerate.row_iter_ones(3).count(), 0);
+        // Fully empty but non-degenerate bitmap.
+        assert_row_helpers_match_reference(&Bitmap::new(3, 100));
+    }
+
+    #[test]
+    fn row_helpers_on_exact_word_multiples() {
+        // cols = 64 and 128: rows land exactly on word boundaries, so the
+        // edge masks must degenerate to whole words without shifting by 64.
+        for cols in [64usize, 128] {
+            let mut b = Bitmap::new(3, cols);
+            for c in 0..cols {
+                if c % 3 == 0 {
+                    b.set(0, c, true);
+                }
+            }
+            b.set(1, 0, true);
+            b.set(1, 63, true);
+            b.set(1, cols - 1, true);
+            assert_row_helpers_match_reference(&b);
+            assert_eq!(b.row_count_ones(0), cols.div_ceil(3));
+            let edges: Vec<usize> = b.row_iter_ones(1).collect();
+            if cols == 64 {
+                assert_eq!(edges, vec![0, 63]);
+            } else {
+                assert_eq!(edges, vec![0, 63, 127]);
+            }
+        }
+        // A single 64-wide row occupying exactly one full word.
+        let mut one = Bitmap::new(1, 64);
+        one.xor_word(0, u64::MAX);
+        assert_eq!(one.row_count_ones(0), 64);
+        assert_eq!(one.row_iter_ones(0).count(), 64);
+    }
+
+    #[test]
+    fn row_helpers_on_trailing_partial_words() {
+        // cols = 65 and 100: every row straddles word boundaries at
+        // unaligned offsets and the last row ends in a partial word.
+        for cols in [65usize, 100] {
+            let mut b = Bitmap::new(4, cols);
+            for i in 0..(4 * cols) {
+                if i % 5 == 0 || i % 17 == 2 {
+                    b.set(i / cols, i % cols, true);
+                }
+            }
+            // Force bits at every row's first and last column so both
+            // edge masks are exercised with occupancy.
+            for r in 0..4 {
+                b.set(r, 0, true);
+                b.set(r, cols - 1, true);
+            }
+            assert_row_helpers_match_reference(&b);
+            // Neighboring rows must not leak through the masks: clearing
+            // a whole row leaves adjacent rows untouched.
+            let mut cleared = b.clone();
+            for c in 0..cols {
+                cleared.set(2, c, false);
+            }
+            assert_eq!(cleared.row_count_ones(2), 0);
+            assert!(!cleared.row_or(2));
+            assert_eq!(cleared.row_count_ones(1), b.row_count_ones(1));
+            assert_eq!(cleared.row_count_ones(3), b.row_count_ones(3));
+            assert_row_helpers_match_reference(&cleared);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_iter_ones_out_of_bounds_panics() {
+        let _ = Bitmap::new(2, 8).row_iter_ones(2);
     }
 
     #[test]

@@ -38,11 +38,15 @@ pub enum Counter {
     /// Stationary non-zeros the controller dropped (streaming-side empty
     /// contraction rows that can never contribute).
     StationaryDropped,
+    /// Streaming cycles whose step had no non-zero operands — dead
+    /// cycles the event scheduler fast-forwards in O(1) while still
+    /// charging them to the cycle totals.
+    IdleCyclesSkipped,
 }
 
 impl Counter {
     /// Every counter, in emission order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::RouteCacheHits,
         Counter::RouteCacheMisses,
         Counter::SramStationaryReads,
@@ -55,6 +59,7 @@ impl Counter {
         Counter::IssuedMacs,
         Counter::FoldsPlanned,
         Counter::StationaryDropped,
+        Counter::IdleCyclesSkipped,
     ];
 
     /// Stable snake_case name (CSV/JSON key).
@@ -73,6 +78,7 @@ impl Counter {
             Counter::IssuedMacs => "issued_macs",
             Counter::FoldsPlanned => "folds_planned",
             Counter::StationaryDropped => "stationary_dropped",
+            Counter::IdleCyclesSkipped => "idle_cycles_skipped",
         }
     }
 }
@@ -167,6 +173,14 @@ impl HistCells {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn observe_n(&self, value: u64, n: u64) {
+        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
 }
 
 /// The shared registry cells behind an enabled [`Telemetry`] handle.
@@ -228,6 +242,22 @@ impl Telemetry {
     pub fn observe(&self, hist: Hist, value: u64) {
         if let Some(reg) = &self.inner {
             reg.hists[hist as usize].observe(value);
+        }
+    }
+
+    /// Records `n` identical histogram observations in one shot —
+    /// bucket, count, sum, and max land exactly as `n` calls to
+    /// [`Telemetry::observe`] would. This is how the epoch scheduler
+    /// accumulates per-step occupancy metrics whose value is constant
+    /// across a whole fold without visiting every step. No-op when
+    /// disabled or when `n == 0`.
+    #[inline]
+    pub fn observe_n(&self, hist: Hist, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(reg) = &self.inner {
+            reg.hists[hist as usize].observe_n(value, n);
         }
     }
 
@@ -417,6 +447,21 @@ mod tests {
         assert_eq!(h.buckets[3], 2); // 3..=4
         assert_eq!(h.buckets[4], 1); // 5..=8
         assert_eq!(h.buckets[8], 1); // 65..=128
+    }
+
+    #[test]
+    fn observe_n_is_equivalent_to_n_observes() {
+        let batched = Telemetry::enabled();
+        let looped = Telemetry::enabled();
+        for (value, n) in [(0u64, 3u64), (1, 7), (4, 2), (100, 5), (13, 0)] {
+            batched.observe_n(Hist::StreamStepCycles, value, n);
+            for _ in 0..n {
+                looped.observe(Hist::StreamStepCycles, value);
+            }
+        }
+        let b = batched.snapshot();
+        let l = looped.snapshot();
+        assert_eq!(b.hist("stream_step_cycles"), l.hist("stream_step_cycles"));
     }
 
     #[test]
