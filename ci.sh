@@ -16,6 +16,10 @@ cargo run -q -p sigma-lint -- --json > /tmp/sigma_lint_report.json
 cargo build --workspace --release
 cargo test --workspace -q
 cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet
+# Crash-safety gate: SIGKILL a journaled child sweep at seeded cell
+# counts, resume from the surviving journal, and demand the final
+# CSV/JSON renderings be byte-identical to an uninterrupted run.
+cargo run -q --release -p sigma-bench --bin chaos_resume -- --smoke
 # Perf regression gate: compare simulated-cycles-per-second against the
 # committed BENCH_sim.json baseline (release build; the check self-skips
 # in debug builds where timings are incomparable).

@@ -21,6 +21,12 @@
 //! `--list-engines` prints the registry's slugs. `--telemetry` on a sweep
 //! turns on per-cell wall-time profiling, a live progress line, and a
 //! `telemetry_summary.json` artifact (path via `--out`).
+//!
+//! `--resume JOURNAL` makes `--sweep` crash-safe: every completed cell is
+//! appended (and fsynced) to the journal as it finishes, cells already in
+//! the journal replay instead of re-running, and the output is
+//! byte-identical to an uninterrupted sweep — kill the process at any
+//! point and rerun the same command to pick up where it left off.
 
 use sigma_baselines::{GemmAccelerator, SystolicArray};
 use sigma_bench::harness::{
@@ -51,6 +57,7 @@ struct Args {
     sweep: bool,
     trace: bool,
     telemetry: bool,
+    resume: Option<String>,
     out: Option<String>,
     threads: Option<usize>,
     seed: u64,
@@ -81,6 +88,7 @@ impl Args {
             engine: None,
             list_engines: false,
             sweep: false,
+            resume: None,
             trace: false,
             telemetry: false,
             out: None,
@@ -158,6 +166,10 @@ impl Args {
                     };
                     Ok(())
                 })?,
+                "--resume" => take(&mut |v| {
+                    args.resume = Some(v.to_string());
+                    Ok(())
+                })?,
                 "--out" => take(&mut |v| {
                     args.out = Some(v.to_string());
                     Ok(())
@@ -176,6 +188,7 @@ impl Args {
                         | --engine NAME [--seed S] \
                         | --sweep [--workload M:N:K[:da[:db]]]... [--threads T] [--seed S] \
                         [--output text|csv|json] [--telemetry] [--out SUMMARY.json] \
+                        [--resume JOURNAL] \
                         | trace [--out TRACE.json] [--telemetry] [--seed S] \
                         | --list-engines"
                         .to_string())
@@ -348,7 +361,30 @@ fn run_sweep(args: &Args) -> i32 {
     if let Some(t) = args.threads {
         sweep = sweep.with_threads(t);
     }
-    let records = sweep.run(&default_registry());
+    let records = match &args.resume {
+        Some(path) => {
+            // Crash-safe mode: completed cells replay from the journal,
+            // fresh cells are appended durably as they finish, and the
+            // records are byte-identical to an uninterrupted run.
+            match sweep.resume(&default_registry(), std::path::Path::new(path)) {
+                Ok(outcome) => {
+                    for warning in &outcome.warnings {
+                        eprintln!("[resume] {warning}");
+                    }
+                    eprintln!(
+                        "[resume] {} cells replayed from {path}, {} executed",
+                        outcome.resume_hits, outcome.journal_appends
+                    );
+                    outcome.records
+                }
+                Err(e) => {
+                    eprintln!("cannot resume from {path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => sweep.run(&default_registry()),
+    };
     match args.output {
         Output::Text => println!("{}", records_table("Engine sweep", &records)),
         Output::Csv => print!("{}", records_table("Engine sweep", &records).to_csv()),

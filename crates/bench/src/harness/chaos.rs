@@ -7,7 +7,7 @@
 //!
 //! [`default_registry`]: super::registry::default_registry
 
-use sigma_core::{CycleStats, Engine, EngineError, EngineRun};
+use sigma_core::{CancelToken, CycleStats, Engine, EngineError, EngineRun};
 use sigma_matrix::{Matrix, SparseMatrix};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
@@ -73,6 +73,71 @@ impl Engine for WedgingEngine {
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         sigma_core::validate_finite(a, b)?;
         std::thread::sleep(self.stall);
+        Ok(EngineRun::new(
+            Matrix::zeros(a.rows(), b.cols()),
+            CycleStats { pes: 1, ..CycleStats::default() },
+        ))
+    }
+}
+
+/// An engine that spins until cooperatively cancelled (or a bound
+/// elapses).
+///
+/// Unlike [`WedgingEngine`] — which sleeps through its whole stall no
+/// matter what — this engine polls its [`CancelToken`] the way the real
+/// simulator does at fold boundaries. A watchdog that cancels the token
+/// and waits a short grace period gets the thread back instead of
+/// leaking it, which is exactly what the bounded-thread-count test
+/// proves.
+#[derive(Debug)]
+pub struct SpinningEngine {
+    /// Upper bound on the spin, so an un-cancelled call still returns
+    /// eventually and test processes terminate cleanly.
+    pub bound: Duration,
+}
+
+impl SpinningEngine {
+    /// A spinner that gives up after `bound` if never cancelled.
+    #[must_use]
+    pub fn new(bound: Duration) -> Self {
+        Self { bound }
+    }
+}
+
+impl Default for SpinningEngine {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(60))
+    }
+}
+
+impl Engine for SpinningEngine {
+    fn name(&self) -> String {
+        "Chaos (spins, cancellable)".to_string()
+    }
+
+    fn pes(&self) -> usize {
+        1
+    }
+
+    fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
+        // Without a token the spin just runs to its bound.
+        self.run_cancellable(a, b, &CancelToken::new())
+    }
+
+    fn run_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<EngineRun, EngineError> {
+        sigma_core::validate_finite(a, b)?;
+        let start = std::time::Instant::now();
+        while start.elapsed() < self.bound {
+            if cancel.is_cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
         Ok(EngineRun::new(
             Matrix::zeros(a.rows(), b.cols()),
             CycleStats { pes: 1, ..CycleStats::default() },
@@ -160,6 +225,24 @@ mod tests {
         let run = WedgingEngine::new(Duration::from_millis(5)).run(&a, &b).unwrap();
         assert_eq!(run.result.rows(), 3);
         assert_eq!(run.result.cols(), 4);
+    }
+
+    #[test]
+    fn spinning_engine_exits_promptly_when_cancelled() {
+        let (a, b) = operands();
+        let spinner = SpinningEngine::new(Duration::from_secs(30));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = std::time::Instant::now();
+        assert!(matches!(spinner.run_cancellable(&a, &b, &cancel), Err(EngineError::Cancelled)));
+        assert!(start.elapsed() < Duration::from_secs(1), "cancellation must be prompt");
+    }
+
+    #[test]
+    fn spinning_engine_answers_at_its_bound_without_cancellation() {
+        let (a, b) = operands();
+        let run = SpinningEngine::new(Duration::from_millis(5)).run(&a, &b).unwrap();
+        assert_eq!(run.result.rows(), 3);
     }
 
     #[test]

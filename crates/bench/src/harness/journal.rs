@@ -1,0 +1,719 @@
+//! The write-ahead run journal: crash-safe memoization of sweep cells.
+//!
+//! A killed or OOM'd sweep process used to lose every completed cell.
+//! The journal closes that gap: each finished cell's [`RunRecord`] is
+//! appended (and fsynced) as **one canonical JSON line** keyed by a
+//! content hash of the canonicalized (engine slug, workload spec, seed)
+//! tuple, so [`Sweep::resume`](crate::harness::Sweep::resume) can replay
+//! the file, skip completed cells, and produce final CSV/JSON output
+//! byte-identical to an uninterrupted run.
+//!
+//! # Crash model
+//!
+//! * **Appends** go straight to the journal file followed by
+//!   `sync_data`, so a SIGKILL can lose at most the line being written —
+//!   which then survives as a *truncated final line*. Replay tolerates
+//!   it (skip-and-warn); every earlier line is durable.
+//! * **Rotation/compaction** rewrites the whole journal through a
+//!   sibling temp file, fsyncs it, and atomically renames it over the
+//!   journal — a crash mid-compaction leaves either the old or the new
+//!   file, never a torn one. This is the only non-append write path, and
+//!   the sigma-lint D6 rule holds the harness to it.
+//! * **Corruption** (garbage bytes, duplicate keys, stale schema
+//!   versions, keys from a different suite) is skipped line-by-line with
+//!   a warning; one bad line never poisons the rest of the journal.
+//!
+//! # Key canonicalization
+//!
+//! The key is a hand-rolled FNV-1a 64-bit digest (no external hash
+//! crates, and deliberately *not* `std::collections`' `RandomState`,
+//! which the D1 determinism lints ban) over a canonical string naming
+//! the schema version, engine slug, workload name, GEMM shape, operand
+//! density *bit patterns* (exact, not formatted), and the materialized
+//! seed. Two cells collide only if they would produce the same record.
+
+use crate::harness::record::{RunRecord, RunStatus};
+use crate::harness::sweep::WorkloadSpec;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Version stamped into every journal line; replay skips other versions.
+pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// FNV-1a 64-bit over `bytes` — deterministic across platforms and runs.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content key of one (engine, workload, seed) sweep cell.
+///
+/// Canonical form hashed: schema version, engine slug, workload name,
+/// `m x n x k`, the exact IEEE-754 bit patterns of both densities, and
+/// the seed the operands were materialized from.
+#[must_use]
+pub fn cell_key(engine_slug: &str, workload: &WorkloadSpec, seed: u64) -> u64 {
+    let p = &workload.problem;
+    let canonical = format!(
+        "v{JOURNAL_SCHEMA}|{engine_slug}|{}|{}x{}x{}|da={:016x}|db={:016x}|seed={seed:016x}",
+        workload.name,
+        p.shape.m,
+        p.shape.n,
+        p.shape.k,
+        p.density_a.to_bits(),
+        p.density_b.to_bits(),
+    );
+    fnv1a_64(canonical.as_bytes())
+}
+
+/// Append-side handle on a journal file.
+///
+/// Lines are appended with `sync_data` after each write; see the module
+/// docs for the crash model.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: File,
+    appends: u64,
+}
+
+impl JournalWriter {
+    /// Opens (or creates) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { path: path.to_path_buf(), file, appends: 0 })
+    }
+
+    /// Appends one completed cell as a canonical JSON line and fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the write or sync fails.
+    pub fn append(&mut self, key: u64, record: &RunRecord) -> std::io::Result<()> {
+        let line = format!(
+            "{{\"schema\": {JOURNAL_SCHEMA}, \"key\": \"{key:016x}\", \"record\": {}}}\n",
+            record.to_json()
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Lines appended through this writer (not counting replayed ones).
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// The journal path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically rewrites the journal to exactly `entries`, in order —
+    /// the segment-rotation step: duplicates, skipped garbage, and torn
+    /// tails are dropped, and the result lands via write-temp / fsync /
+    /// rename so a crash leaves either the old or the new journal intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the temp write or rename fails.
+    pub fn compact(&mut self, entries: &[(u64, &RunRecord)]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut tmp_file = File::create(&tmp)?;
+            for (key, record) in entries {
+                let line = format!(
+                    "{{\"schema\": {JOURNAL_SCHEMA}, \"key\": \"{key:016x}\", \"record\": {}}}\n",
+                    record.to_json()
+                );
+                tmp_file.write_all(line.as_bytes())?;
+            }
+            tmp_file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Re-open so later appends land after the rotated content, and
+        // best-effort fsync the parent directory so the rename itself is
+        // durable.
+        self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        if let Some(parent) = self.path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// `(key, record)` pairs in journal order, first occurrence of each
+    /// key winning.
+    pub entries: Vec<(u64, RunRecord)>,
+    /// One human-readable warning per skipped line.
+    pub warnings: Vec<String>,
+}
+
+impl JournalReplay {
+    /// The replayed record for `key`, if the journal holds one.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&RunRecord> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, r)| r)
+    }
+}
+
+/// Replays the journal at `path`, tolerating the corruption classes in
+/// the module docs. A missing file replays as empty (fresh sweep).
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the file not existing. Corrupt
+/// *content* never errors — it is skipped with a warning.
+pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
+    let text = match File::open(path) {
+        Ok(mut f) => {
+            // Invalid UTF-8 (binary garbage) must degrade per-line, not
+            // fail the whole replay: read raw and convert lossily.
+            let mut raw = Vec::new();
+            f.read_to_end(&mut raw)?;
+            String::from_utf8_lossy(&raw).into_owned()
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = JournalReplay::default();
+    let ends_with_newline = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        let torn = last && !ends_with_newline;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(Parsed::StaleSchema(schema)) => {
+                out.warnings.push(format!(
+                    "journal line {}: stale schema version {schema} (want {JOURNAL_SCHEMA}); skipped",
+                    i + 1
+                ));
+            }
+            Ok(Parsed::Entry(key, record)) => {
+                if out.entries.iter().any(|(k, _)| *k == key) {
+                    out.warnings.push(format!(
+                        "journal line {}: duplicate key {key:016x}; keeping the first occurrence",
+                        i + 1
+                    ));
+                    continue;
+                }
+                out.entries.push((key, *record));
+            }
+            Err(why) => {
+                if torn {
+                    out.warnings.push(format!(
+                        "journal line {}: truncated final line (crash mid-append); skipped",
+                        i + 1
+                    ));
+                } else {
+                    out.warnings.push(format!("journal line {}: {why}; skipped", i + 1));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Outcome of parsing one syntactically valid journal line.
+enum Parsed {
+    /// A current-schema entry.
+    Entry(u64, Box<RunRecord>),
+    /// A line from a different schema version — its record layout may
+    /// not match ours, so it is reported without attempting to parse it.
+    StaleSchema(u32),
+}
+
+/// Parses one journal line.
+fn parse_line(line: &str) -> Result<Parsed, String> {
+    let value = parse_json(line)?;
+    let obj = value.as_object().ok_or("top level is not an object")?;
+    let schema = field(obj, "schema")?
+        .as_raw()
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or("schema is not an integer")?;
+    if schema != JOURNAL_SCHEMA {
+        return Ok(Parsed::StaleSchema(schema));
+    }
+    let key = field(obj, "key")?
+        .as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("key is not a hex string")?;
+    let record_obj = field(obj, "record")?.as_object().ok_or("record is not an object")?;
+    let record = record_from_obj(record_obj)?;
+    Ok(Parsed::Entry(key, Box::new(record)))
+}
+
+/// Minimal JSON value for journal replay. Numbers stay raw strings so
+/// the caller parses them at full precision into the right width.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// A string literal, unescaped.
+    Str(String),
+    /// A number, kept as its raw source text.
+    Raw(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(kv) => Some(kv),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_raw(&self) -> Option<&str> {
+        match self {
+            Json::Raw(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, String> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v).ok_or(format!("missing field {name:?}"))
+}
+
+/// Hand-rolled parser for the flat-ish JSON the journal emits (objects,
+/// strings, numbers, booleans, null; arrays are not needed). Errors are
+/// short human-readable strings — replay turns them into warnings.
+fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at offset {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("empty number at offset {start}"));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map(|s| Json::Raw(s.to_string()))
+        .map_err(|_| format!("non-UTF-8 number at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    // Caller guarantees bytes[*pos] == b'"'.
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("malformed \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("malformed escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences arrive
+                // via String::from_utf8_lossy, so boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string".to_string())?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    // Caller guarantees bytes[*pos] == b'{'.
+    *pos += 1;
+    let mut kv = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(kv));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        kv.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(kv));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Rebuilds a [`RunRecord`] from its journal JSON object. All numeric
+/// fields round-trip exactly (floats are emitted with `{:?}`, the
+/// shortest representation that parses back to the same bits), with one
+/// documented exception: a non-finite `max_abs_err` is emitted as JSON
+/// `null` and replays as `+inf` — the sentinel every failure record uses.
+fn record_from_obj(obj: &[(String, Json)]) -> Result<RunRecord, String> {
+    fn str_field(obj: &[(String, Json)], name: &str) -> Result<String, String> {
+        field(obj, name)?.as_str().map(str::to_string).ok_or(format!("{name} is not a string"))
+    }
+    fn num<T: std::str::FromStr>(obj: &[(String, Json)], name: &str) -> Result<T, String> {
+        field(obj, name)?
+            .as_raw()
+            .and_then(|s| s.parse::<T>().ok())
+            .ok_or(format!("{name} is not a number of the expected width"))
+    }
+    fn bool_field(obj: &[(String, Json)], name: &str) -> Result<bool, String> {
+        field(obj, name)?.as_bool().ok_or(format!("{name} is not a boolean"))
+    }
+    let status_name = str_field(obj, "status")?;
+    let status = RunStatus::parse(&status_name).ok_or(format!("unknown status {status_name:?}"))?;
+    let max_abs_err = match field(obj, "max_abs_err")? {
+        Json::Null => f64::INFINITY,
+        other => {
+            other.as_raw().and_then(|s| s.parse().ok()).ok_or("max_abs_err is not a number")?
+        }
+    };
+    let error = match field(obj, "error")? {
+        Json::Null => None,
+        other => Some(other.as_str().ok_or("error is not a string")?.to_string()),
+    };
+    Ok(RunRecord {
+        engine_slug: str_field(obj, "engine_slug")?,
+        engine: str_field(obj, "engine")?,
+        workload: str_field(obj, "workload")?,
+        m: num(obj, "m")?,
+        n: num(obj, "n")?,
+        k: num(obj, "k")?,
+        density_a: num(obj, "density_a")?,
+        density_b: num(obj, "density_b")?,
+        seed: num(obj, "seed")?,
+        pes: num(obj, "pes")?,
+        loading_cycles: num(obj, "loading_cycles")?,
+        streaming_cycles: num(obj, "streaming_cycles")?,
+        add_cycles: num(obj, "add_cycles")?,
+        total_cycles: num(obj, "total_cycles")?,
+        folds: num(obj, "folds")?,
+        useful_macs: num(obj, "useful_macs")?,
+        issued_macs: num(obj, "issued_macs")?,
+        stationary_utilization: num(obj, "stationary_utilization")?,
+        compute_efficiency: num(obj, "compute_efficiency")?,
+        overall_efficiency: num(obj, "overall_efficiency")?,
+        max_abs_err,
+        verified: bool_field(obj, "verified")?,
+        status,
+        faults_injected: num(obj, "faults_injected")?,
+        faults_detected: num(obj, "faults_detected")?,
+        faults_corrected: num(obj, "faults_corrected")?,
+        faults_escaped: num(obj, "faults_escaped")?,
+        route_cache_hits: num(obj, "route_cache_hits")?,
+        route_cache_misses: num(obj, "route_cache_misses")?,
+        idle_cycles_skipped: num(obj, "idle_cycles_skipped")?,
+        wall_ms: num(obj, "wall_ms")?,
+        attempts: num(obj, "attempts")?,
+        mem_est_bytes: num(obj, "mem_est_bytes")?,
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::record::CellProfile;
+    use sigma_core::model::GemmProblem;
+    use sigma_core::{CycleStats, EngineRun};
+    use sigma_matrix::{GemmShape, Matrix};
+
+    fn workload() -> WorkloadSpec {
+        WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.25))
+    }
+
+    fn sample(slug: &str) -> RunRecord {
+        let p = workload().problem;
+        let run = EngineRun::new(
+            Matrix::zeros(4, 5),
+            CycleStats { streaming_cycles: 10, pes: 8, ..CycleStats::default() },
+        );
+        RunRecord::from_run(
+            slug,
+            "Engine",
+            8,
+            "wl",
+            &p,
+            7,
+            &run,
+            1e-6,
+            true,
+            CellProfile::default(),
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sigma_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn cell_keys_separate_engines_workloads_and_seeds() {
+        let w = workload();
+        let mut keys = vec![
+            cell_key("sigma", &w, 7),
+            cell_key("eie", &w, 7),
+            cell_key("sigma", &w, 8),
+            cell_key(
+                "sigma",
+                &WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 7), 0.5, 0.25)),
+                7,
+            ),
+            cell_key(
+                "sigma",
+                &WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.26)),
+                7,
+            ),
+        ];
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 5, "every dimension must perturb the key");
+        assert_eq!(cell_key("sigma", &w, 7), cell_key("sigma", &w, 7));
+    }
+
+    #[test]
+    fn append_then_replay_round_trips_records_exactly() {
+        let path = tmp("round_trip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        let mut degraded = sample("slow");
+        degraded.status = RunStatus::Degraded;
+        degraded.error = Some("budget exhausted twice; degraded".to_string());
+        let records = [sample("a"), sample("b"), degraded];
+        for (i, r) in records.iter().enumerate() {
+            w.append(i as u64, r).unwrap();
+        }
+        assert_eq!(w.appends(), 3);
+        let replay = replay(&path).unwrap();
+        assert!(replay.warnings.is_empty(), "{:?}", replay.warnings);
+        assert_eq!(replay.entries.len(), 3);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(replay.get(i as u64).unwrap(), r);
+            // Byte-identity is the real contract: re-rendered JSON and
+            // CSV rows must match the original exactly.
+            assert_eq!(replay.get(i as u64).unwrap().to_json(), r.to_json());
+            assert_eq!(replay.get(i as u64).unwrap().row(), r.row());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failure_records_round_trip_including_infinite_max_err() {
+        let path = tmp("failure_round_trip");
+        let _ = std::fs::remove_file(&path);
+        let p = workload().problem;
+        let rec = RunRecord::from_failure(
+            "e",
+            "E \"quoted\"\nname",
+            1,
+            "w",
+            &p,
+            0,
+            RunStatus::Timeout,
+            "engine exceeded the 10 ms watchdog budget".to_string(),
+            CellProfile::default(),
+        );
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(42, &rec).unwrap();
+        let got = replay(&path).unwrap();
+        assert_eq!(got.get(42).unwrap(), &rec);
+        assert_eq!(got.get(42).unwrap().row(), rec.row());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_with_a_warning() {
+        let path = tmp("torn_tail");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(1, &sample("a")).unwrap();
+        w.append(2, &sample("b")).unwrap();
+        // Simulate a SIGKILL mid-append: chop the file mid-way through
+        // the final line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert!(replay.get(1).is_some());
+        assert_eq!(replay.warnings.len(), 1);
+        assert!(replay.warnings[0].contains("truncated final line"), "{}", replay.warnings[0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_duplicates_and_stale_schema_are_skipped_with_warnings() {
+        let path = tmp("corruption");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(1, &sample("a")).unwrap();
+        // Garbage bytes (including invalid UTF-8) in the middle.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"\xff\xfenot json at all\n").unwrap();
+            f.write_all(b"{\"schema\": 99, \"key\": \"00000000000000aa\", \"record\": {}}\n")
+                .unwrap();
+        }
+        // Duplicate of key 1 with different content, then a fresh key.
+        w.append(1, &sample("dup")).unwrap();
+        w.append(2, &sample("b")).unwrap();
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.get(1).unwrap().engine_slug, "a", "first occurrence wins");
+        assert!(replay.get(2).is_some());
+        assert_eq!(replay.warnings.len(), 3, "{:?}", replay.warnings);
+        assert!(replay.warnings.iter().any(|w| w.contains("stale schema")));
+        assert!(replay.warnings.iter().any(|w| w.contains("duplicate key")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let path = tmp("never_written");
+        let _ = std::fs::remove_file(&path);
+        let replay = replay(&path).unwrap();
+        assert!(replay.entries.is_empty());
+        assert!(replay.warnings.is_empty());
+    }
+
+    #[test]
+    fn compaction_rewrites_atomically_and_preserves_appendability() {
+        let path = tmp("compaction");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(1, &sample("a")).unwrap();
+        w.append(1, &sample("dup")).unwrap();
+        w.append(2, &sample("b")).unwrap();
+        let (ra, rb) = (sample("a"), sample("b"));
+        w.compact(&[(1, &ra), (2, &rb)]).unwrap();
+        let after = replay(&path).unwrap();
+        assert_eq!(after.entries.len(), 2);
+        assert!(after.warnings.is_empty());
+        // The writer keeps working after rotation.
+        w.append(3, &sample("c")).unwrap();
+        let appended = replay(&path).unwrap();
+        assert_eq!(appended.entries.len(), 3);
+        assert!(!path.with_extension("journal.tmp").exists(), "temp file cleaned up");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,6 +12,9 @@
 //!   seeding, results in a thread-count-independent order, and per-cell
 //!   panic isolation plus a watchdog budget (`status` column:
 //!   `ok | error | panic | timeout`);
+//! * [`journal`] — the write-ahead run journal: crash-safe memoization
+//!   of completed cells keyed by a content hash, with tolerant replay
+//!   and atomic compaction, behind `Sweep::resume`;
 //! * [`chaos`] — deliberately misbehaving engines (panic / wedge /
 //!   flake) used to prove the sweep's degradation contract;
 //! * [`profile`] — the sweep-level telemetry aggregate (wall time, retry
@@ -30,15 +33,19 @@
 pub mod analytic;
 pub mod chaos;
 pub mod emit;
+pub mod journal;
 pub mod profile;
 pub mod record;
 pub mod registry;
 pub mod sweep;
 
 pub use analytic::{speedup_over, SigmaAnalytic};
-pub use chaos::{FlakyEngine, PanickingEngine, WedgingEngine};
+pub use chaos::{FlakyEngine, PanickingEngine, SpinningEngine, WedgingEngine};
 pub use emit::{emit_tables, emit_tables_with};
+pub use journal::{cell_key, replay, JournalReplay, JournalWriter, JOURNAL_SCHEMA};
 pub use profile::{EngineProfile, SweepProfile};
 pub use record::{records_table, records_to_json, CellProfile, RunRecord, RunStatus};
 pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};
-pub use sweep::{demo_suite, derive_seed, par_map, Sweep, WorkloadSpec};
+pub use sweep::{
+    demo_suite, derive_seed, live_cell_threads, par_map, ResumeOutcome, Sweep, WorkloadSpec,
+};

@@ -42,6 +42,9 @@ pub struct SweepProfile {
     pub panics: usize,
     /// Cells that exceeded the watchdog budget.
     pub timeouts: usize,
+    /// Cells that fell back to the analytic model after exhausting their
+    /// budget repeatedly (`status=degraded`).
+    pub degraded: usize,
     /// Cells that needed more than one attempt.
     pub retried_cells: usize,
     /// Summed attempts across all cells (= cells when nothing retried).
@@ -76,6 +79,7 @@ impl SweepProfile {
                 RunStatus::Error => profile.errors += 1,
                 RunStatus::Panic => profile.panics += 1,
                 RunStatus::Timeout => profile.timeouts += 1,
+                RunStatus::Degraded => profile.degraded += 1,
             }
             if r.attempts > 1 {
                 profile.retried_cells += 1;
@@ -137,8 +141,9 @@ impl SweepProfile {
         out.push_str("{\n");
         out.push_str(&format!("  \"cells\": {},\n", self.cells));
         out.push_str(&format!(
-            "  \"status\": {{\"ok\": {}, \"error\": {}, \"panic\": {}, \"timeout\": {}}},\n",
-            self.ok, self.errors, self.panics, self.timeouts
+            "  \"status\": {{\"ok\": {}, \"error\": {}, \"panic\": {}, \"timeout\": {}, \
+             \"degraded\": {}}},\n",
+            self.ok, self.errors, self.panics, self.timeouts, self.degraded
         ));
         out.push_str(&format!("  \"retried_cells\": {},\n", self.retried_cells));
         out.push_str(&format!("  \"total_attempts\": {},\n", self.total_attempts));
@@ -217,7 +222,7 @@ mod tests {
         ];
         let p = SweepProfile::from_records(&records);
         assert_eq!(p.cells, 3);
-        assert_eq!((p.ok, p.errors, p.panics, p.timeouts), (1, 0, 1, 1));
+        assert_eq!((p.ok, p.errors, p.panics, p.timeouts, p.degraded), (1, 0, 1, 1, 0));
         assert_eq!(p.retried_cells, 2);
         assert_eq!(p.total_attempts, 6);
         assert!((p.total_wall_ms - 8.0).abs() < 1e-9);

@@ -19,6 +19,25 @@ pub enum RunStatus {
     Panic,
     /// The engine exceeded the watchdog budget and was abandoned.
     Timeout,
+    /// The engine exhausted its budget repeatedly and the sweep fell
+    /// back to the analytic model: the record carries the fallback's
+    /// numbers, not the original engine's.
+    Degraded,
+}
+
+impl RunStatus {
+    /// Parses the CSV/JSON rendering back into a status (journal replay).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "error" => Some(RunStatus::Error),
+            "panic" => Some(RunStatus::Panic),
+            "timeout" => Some(RunStatus::Timeout),
+            "degraded" => Some(RunStatus::Degraded),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for RunStatus {
@@ -28,6 +47,7 @@ impl std::fmt::Display for RunStatus {
             RunStatus::Error => "error",
             RunStatus::Panic => "panic",
             RunStatus::Timeout => "timeout",
+            RunStatus::Degraded => "degraded",
         })
     }
 }

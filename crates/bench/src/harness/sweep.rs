@@ -11,19 +11,40 @@
 //! watchdog thread behind `catch_unwind`, so a panicking engine yields a
 //! `status=panic` record, a wedged engine yields `status=timeout` once
 //! the budget lapses, and every other cell is unaffected — a sweep never
-//! dies because one engine does. A cell that times out leaves its worker
-//! thread running detached until the engine returns on its own (Rust has
-//! no safe thread cancellation); the sweep simply stops waiting for it.
+//! dies because one engine does. On timeout the watchdog first cancels
+//! the cell's [`CancelToken`] and waits a bounded grace period:
+//! cooperative engines (the SIGMA simulator polls the token at fold
+//! boundaries) return promptly and the worker thread is *joined*, so the
+//! live-thread count stays bounded no matter how many cells time out.
+//! Only a non-cooperative engine (one that never polls, like
+//! [`WedgingEngine`]) leaves its thread running detached until it
+//! returns on its own — Rust has no safe forced thread cancellation.
+//! A cell whose budget lapses *twice* is degraded: the sweep reruns it
+//! on the analytic SIGMA model and records `status=degraded` with the
+//! fallback's numbers, so a sweep always terminates with a full grid.
+//!
+//! Crash-safety contract: [`Sweep::resume`] drives the same grid through
+//! the write-ahead [`journal`](crate::harness::journal) — completed
+//! cells replay from disk, missing cells run and are appended durably —
+//! and its final records are byte-identical to an uninterrupted
+//! [`Sweep::run`].
+//!
+//! [`WedgingEngine`]: crate::harness::chaos::WedgingEngine
 
+use crate::harness::analytic::SigmaAnalytic;
+use crate::harness::journal::{cell_key, replay, JournalWriter};
 use crate::harness::record::{CellProfile, RunRecord, RunStatus};
 use crate::harness::registry::EngineEntry;
+use sigma_baselines::AnalyticEngine;
 use sigma_core::model::GemmProblem;
-use sigma_core::{Engine, EngineError, EngineRun};
+use sigma_core::{CancelToken, Engine, EngineError, EngineRun};
 use sigma_matrix::{GemmShape, Matrix, SparseMatrix};
+use sigma_telemetry::{Counter, Telemetry};
 use sigma_workloads::materialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Once};
+use std::sync::{mpsc, Arc, Mutex, Once};
 use std::time::Duration;
 
 /// One named workload of a sweep.
@@ -145,20 +166,68 @@ enum CellOutcome {
     Failed(RunStatus, String),
 }
 
+/// Cell worker threads currently alive (spawned and not yet exited),
+/// across every sweep in the process.
+static LIVE_CELL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Decrements the live-thread counters when a cell worker exits, however
+/// it exits (normal return, caught panic, cancellation).
+struct LiveThreadGuard {
+    local: Arc<AtomicUsize>,
+}
+
+impl LiveThreadGuard {
+    fn enter(local: &Arc<AtomicUsize>) -> Self {
+        LIVE_CELL_THREADS.fetch_add(1, Ordering::SeqCst);
+        local.fetch_add(1, Ordering::SeqCst);
+        Self { local: Arc::clone(local) }
+    }
+}
+
+impl Drop for LiveThreadGuard {
+    fn drop(&mut self) {
+        LIVE_CELL_THREADS.fetch_sub(1, Ordering::SeqCst);
+        self.local.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Cell worker threads currently alive across the whole process.
+///
+/// After a sweep over cooperative engines returns, this settles back to
+/// its pre-sweep value even when cells timed out — the watchdog cancels
+/// and joins them. Only non-cooperative engines (never polling their
+/// [`CancelToken`]) can hold it elevated.
+#[must_use]
+pub fn live_cell_threads() -> usize {
+    LIVE_CELL_THREADS.load(Ordering::SeqCst)
+}
+
 /// Runs one attempt of `engine` on `(a, b)` on a dedicated watchdog
 /// thread, converting panics and budget overruns into [`CellOutcome`]s.
+///
+/// On a budget overrun the watchdog cancels the cell's [`CancelToken`]
+/// and waits up to `grace` for the engine to notice (cooperative engines
+/// poll at fold boundaries), joining the thread instead of leaking it.
+/// The cell is recorded `timeout` either way — the budget was exceeded —
+/// so cancellation changes resource usage, never records.
 fn attempt_cell(
     engine: &Arc<dyn Engine>,
     a: &Arc<SparseMatrix>,
     b: &Arc<SparseMatrix>,
     budget: Option<Duration>,
+    grace: Duration,
+    live: &Arc<AtomicUsize>,
 ) -> CellOutcome {
     install_quiet_panic_hook();
     let engine = Arc::clone(engine);
     let (a, b) = (Arc::clone(a), Arc::clone(b));
+    let cancel = CancelToken::new();
+    let token = cancel.clone();
+    let live = Arc::clone(live);
     let (tx, rx) = mpsc::channel();
     let spawned = std::thread::Builder::new().name(CELL_THREAD_NAME.to_string()).spawn(move || {
-        let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(&a, &b)));
+        let _guard = LiveThreadGuard::enter(&live);
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.run_cancellable(&a, &b, &token)));
         // The receiver may have given up (timeout); a failed send is fine.
         let _ = tx.send(outcome);
     });
@@ -169,6 +238,11 @@ fn attempt_cell(
         Some(budget) => match rx.recv_timeout(budget) {
             Ok(outcome) => outcome,
             Err(_) => {
+                // Budget exceeded: ask the engine to stop at its next
+                // fold boundary, then wait a grace period so cooperative
+                // engines' threads are reaped rather than leaked.
+                cancel.cancel();
+                let _ = rx.recv_timeout(grace);
                 let budget_ms = u64::try_from(budget.as_millis()).unwrap_or(u64::MAX);
                 let msg = EngineError::Timeout { budget_ms }.to_string();
                 return CellOutcome::Failed(RunStatus::Timeout, msg);
@@ -195,7 +269,11 @@ pub struct Sweep {
     threads: usize,
     budget: Option<Duration>,
     retries: u32,
+    backoff: Duration,
+    cancel_grace: Duration,
     telemetry: bool,
+    registry: Telemetry,
+    live: Arc<AtomicUsize>,
 }
 
 impl Sweep {
@@ -212,8 +290,22 @@ impl Sweep {
             threads,
             budget: Some(Duration::from_secs(30)),
             retries: 0,
+            backoff: Duration::from_millis(25),
+            cancel_grace: Duration::from_millis(250),
             telemetry: false,
+            registry: Telemetry::off(),
+            live: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Cell worker threads of *this* sweep (and its clones) currently
+    /// alive. After a run over cooperative engines this settles back to
+    /// zero even when cells timed out — the watchdog cancels and joins
+    /// them; see the free function [`live_cell_threads`] for the
+    /// process-wide count.
+    #[must_use]
+    pub fn live_threads(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
     }
 
     /// Overrides the sweep seed.
@@ -239,9 +331,46 @@ impl Sweep {
 
     /// Allows up to `retries` extra attempts for a cell that panicked,
     /// errored, or timed out (the record keeps the *last* outcome).
+    ///
+    /// Retries are spaced by deterministic seeded exponential backoff
+    /// (see [`Sweep::with_backoff`]), and a cell whose budget lapses on
+    /// two attempts is degraded to the analytic model instead of burning
+    /// further budget (`status=degraded`).
     #[must_use]
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Overrides the base retry backoff (default 25 ms; `Duration::ZERO`
+    /// disables sleeping entirely).
+    ///
+    /// Attempt `n`'s delay is `backoff * 2^(n-1)` (exponent capped at 5)
+    /// plus a jitter in `[0, backoff)` derived deterministically from
+    /// the sweep seed and the cell's coordinates — so two runs of the
+    /// same sweep back off identically, but a fleet of flaky cells does
+    /// not retry in lockstep.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Overrides the post-cancellation grace period (default 250 ms) the
+    /// watchdog waits for a timed-out engine to notice its
+    /// [`CancelToken`] before detaching the thread.
+    #[must_use]
+    pub fn with_cancel_grace(mut self, grace: Duration) -> Self {
+        self.cancel_grace = grace;
+        self
+    }
+
+    /// Attaches a [`Telemetry`] registry; [`Sweep::resume`] records its
+    /// `journal_appends` / `resume_hits` / `degraded_cells` counters
+    /// there. Detached (the default) the calls are no-ops.
+    #[must_use]
+    pub fn with_telemetry_registry(mut self, registry: Telemetry) -> Self {
+        self.registry = registry;
         self
     }
 
@@ -287,16 +416,95 @@ impl Sweep {
         self.execute(engines, 1)
     }
 
-    fn execute(&self, engines: &[EngineEntry], threads: usize) -> Vec<RunRecord> {
-        struct Prepared {
-            seed: u64,
-            a: Arc<SparseMatrix>,
-            b: Arc<SparseMatrix>,
-            reference: Matrix,
-            tol: f32,
-        }
-        let prepared: Vec<Prepared> = self
-            .workloads
+    /// Resumes (or starts) a journaled sweep: cells whose key is already
+    /// in the journal at `journal_path` replay from disk, missing cells
+    /// run and are appended durably as they complete, and the journal is
+    /// compacted atomically at the end. The returned records are
+    /// byte-identical to an uninterrupted [`Sweep::run`] — a sweep
+    /// killed at *any* point loses at most its in-flight cells.
+    ///
+    /// When a [`Telemetry`] registry is attached (see
+    /// [`Sweep::with_telemetry_registry`]), the `journal_appends`,
+    /// `resume_hits`, and `degraded_cells` counters are recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or compacting the journal. A
+    /// *corrupt* journal never errors — bad lines are skipped with a
+    /// warning in the outcome and their cells simply rerun.
+    pub fn resume(
+        &self,
+        engines: &[EngineEntry],
+        journal_path: &Path,
+    ) -> std::io::Result<ResumeOutcome> {
+        let replayed = replay(journal_path)?;
+        let prepared = self.prepare();
+        let jobs = self.jobs(engines);
+        let writer = Mutex::new(JournalWriter::open(journal_path)?);
+        let append_warnings = Mutex::new(Vec::new());
+        let results: Vec<(RunRecord, bool)> = par_map(&jobs, self.threads, |_, &(ei, wi)| {
+            let entry = &engines[ei];
+            let w = &self.workloads[wi];
+            let input = &prepared[wi];
+            let key = cell_key(&entry.slug, w, input.seed);
+            if let Some(done) = replayed.get(key) {
+                return (done.clone(), true);
+            }
+            let record = self.run_cell(entry, ei, wi, w, input);
+            // Append (and fsync) before reporting the cell complete:
+            // once a record is visible to the caller it must survive a
+            // SIGKILL. An append failure downgrades to a warning — the
+            // sweep still finishes, it just re-runs the cell next time.
+            match writer.lock() {
+                Ok(mut wtr) => {
+                    if let Err(e) = wtr.append(key, &record) {
+                        if let Ok(mut warns) = append_warnings.lock() {
+                            warns.push(format!("journal append failed for {key:016x}: {e}"));
+                        }
+                    }
+                }
+                Err(_) => {
+                    if let Ok(mut warns) = append_warnings.lock() {
+                        warns.push(format!("journal writer poisoned before {key:016x}"));
+                    }
+                }
+            }
+            (record, false)
+        });
+        let resume_hits = results.iter().filter(|(_, hit)| *hit).count() as u64;
+        let records: Vec<RunRecord> = results.into_iter().map(|(r, _)| r).collect();
+        let degraded_cells =
+            records.iter().filter(|r| r.status == RunStatus::Degraded).count() as u64;
+        let mut writer = match writer.into_inner() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let journal_appends = writer.appends();
+        // Rotate the journal to exactly the final grid, in job order:
+        // duplicates, skipped garbage, and torn tails are dropped.
+        let entries: Vec<(u64, &RunRecord)> = jobs
+            .iter()
+            .zip(&records)
+            .map(|(&(ei, wi), r)| {
+                (cell_key(&engines[ei].slug, &self.workloads[wi], prepared[wi].seed), r)
+            })
+            .collect();
+        writer.compact(&entries)?;
+        let mut warnings = replayed.warnings;
+        warnings.extend(match append_warnings.into_inner() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+        self.registry.add(Counter::JournalAppends, journal_appends);
+        self.registry.add(Counter::ResumeHits, resume_hits);
+        self.registry.add(Counter::DegradedCells, degraded_cells);
+        Ok(ResumeOutcome { records, journal_appends, resume_hits, degraded_cells, warnings })
+    }
+
+    /// Materializes every workload's operands, reference product, and
+    /// tolerance, independent of engine order and thread count.
+    fn prepare(&self) -> Vec<Prepared> {
+        self.workloads
             .iter()
             .enumerate()
             .map(|(wi, w)| {
@@ -308,62 +516,151 @@ impl Sweep {
                 let tol = 1e-3 * w.problem.shape.k.max(1) as f32;
                 Prepared { seed, a: Arc::new(a), b: Arc::new(b), reference, tol }
             })
-            .collect();
+            .collect()
+    }
 
-        let jobs: Vec<(usize, usize)> = (0..engines.len())
+    /// The engine-major job grid.
+    fn jobs(&self, engines: &[EngineEntry]) -> Vec<(usize, usize)> {
+        (0..engines.len())
             .flat_map(|ei| (0..self.workloads.len()).map(move |wi| (ei, wi)))
-            .collect();
+            .collect()
+    }
 
+    /// Deterministic backoff before retry attempt `attempt` (the second
+    /// execution is attempt 2): exponential in the attempt number with
+    /// seeded jitter, a pure function of (sweep seed, cell coordinates,
+    /// attempt).
+    fn backoff_delay(&self, ei: usize, wi: usize, attempt: u32) -> Duration {
+        if self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = 2u32.saturating_pow(attempt.saturating_sub(2).min(5));
+        let base = self.backoff.saturating_mul(exp);
+        let cell_seed = self.seed ^ ((ei as u64) << 32) ^ (wi as u64);
+        let jitter_span = u64::try_from(self.backoff.as_nanos()).unwrap_or(u64::MAX).max(1);
+        let jitter_ns = derive_seed(cell_seed, u64::from(attempt)) % jitter_span;
+        base.saturating_add(Duration::from_nanos(jitter_ns))
+    }
+
+    /// Runs one (engine, workload) cell to a final record: watchdogged
+    /// attempts with deterministic backoff between them, then — if the
+    /// budget lapsed on two or more attempts — the graceful-degradation
+    /// ladder onto the analytic SIGMA model.
+    fn run_cell(
+        &self,
+        entry: &EngineEntry,
+        ei: usize,
+        wi: usize,
+        w: &WorkloadSpec,
+        input: &Prepared,
+    ) -> RunRecord {
+        let started = self.telemetry.then(std::time::Instant::now);
+        let mut outcome = attempt_cell(
+            &entry.engine,
+            &input.a,
+            &input.b,
+            self.budget,
+            self.cancel_grace,
+            &self.live,
+        );
+        let mut attempts: u32 = 1;
+        let mut timeouts = u32::from(matches!(outcome, CellOutcome::Failed(RunStatus::Timeout, _)));
+        while attempts <= self.retries && matches!(outcome, CellOutcome::Failed(..)) {
+            attempts += 1;
+            std::thread::sleep(self.backoff_delay(ei, wi, attempts));
+            outcome = attempt_cell(
+                &entry.engine,
+                &input.a,
+                &input.b,
+                self.budget,
+                self.cancel_grace,
+                &self.live,
+            );
+            timeouts += u32::from(matches!(outcome, CellOutcome::Failed(RunStatus::Timeout, _)));
+        }
+        // Graceful degradation: a cell that exhausted its budget twice
+        // is not going to finish — rerun it on the analytic model so the
+        // sweep still terminates with a full grid. The record keeps the
+        // original engine's slug (the grid cell), carries the fallback's
+        // name and numbers, and is marked `degraded`.
+        let mut degraded_from = None;
+        if timeouts >= 2 {
+            if let CellOutcome::Failed(RunStatus::Timeout, msg) = &outcome {
+                let fallback: Arc<dyn Engine> =
+                    Arc::new(AnalyticEngine::new(SigmaAnalytic::paper()));
+                let fb = attempt_cell(
+                    &fallback,
+                    &input.a,
+                    &input.b,
+                    self.budget,
+                    self.cancel_grace,
+                    &self.live,
+                );
+                if let CellOutcome::Done(run) = fb {
+                    degraded_from =
+                        Some((format!("{msg}; degraded to analytic fallback"), fallback));
+                    attempts += 1;
+                    outcome = CellOutcome::Done(run);
+                }
+            }
+        }
+        // The operand footprint is derived from nnz alone, so it is
+        // deterministic; wall time is only recorded when telemetry is
+        // on, keeping default records byte-identical across machines.
+        let profile = CellProfile {
+            wall_ms: started.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3),
+            attempts,
+            mem_est_bytes: operand_footprint_bytes(&input.a, &input.b),
+        };
+        match outcome {
+            CellOutcome::Done(run) => {
+                let (name, pes) = match &degraded_from {
+                    Some((_, fallback)) => (fallback.name(), fallback.pes()),
+                    None => (entry.engine.name(), entry.engine.pes()),
+                };
+                let max_abs_err = f64::from(run.result.max_abs_diff(&input.reference));
+                let verified = run.result.approx_eq(&input.reference, input.tol);
+                let mut record = RunRecord::from_run(
+                    &entry.slug,
+                    &name,
+                    pes,
+                    &w.name,
+                    &w.problem,
+                    input.seed,
+                    &run,
+                    max_abs_err,
+                    verified,
+                    profile,
+                );
+                if let Some((why, _)) = degraded_from {
+                    record.status = RunStatus::Degraded;
+                    record.error = Some(why);
+                }
+                record
+            }
+            CellOutcome::Failed(status, msg) => RunRecord::from_failure(
+                &entry.slug,
+                &entry.engine.name(),
+                entry.engine.pes(),
+                &w.name,
+                &w.problem,
+                input.seed,
+                status,
+                msg,
+                profile,
+            ),
+        }
+    }
+
+    fn execute(&self, engines: &[EngineEntry], threads: usize) -> Vec<RunRecord> {
+        let prepared = self.prepare();
+        let jobs = self.jobs(engines);
         let total = jobs.len();
         let completed = AtomicUsize::new(0);
         par_map(&jobs, threads, |_, &(ei, wi)| {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
-            let input = &prepared[wi];
-            let started = self.telemetry.then(std::time::Instant::now);
-            let mut outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
-            let mut attempts: u32 = 1;
-            while attempts <= self.retries && matches!(outcome, CellOutcome::Failed(..)) {
-                attempts += 1;
-                outcome = attempt_cell(&entry.engine, &input.a, &input.b, self.budget);
-            }
-            // The operand footprint is derived from nnz alone, so it is
-            // deterministic; wall time is only recorded when telemetry is
-            // on, keeping default records byte-identical across machines.
-            let profile = CellProfile {
-                wall_ms: started.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3),
-                attempts,
-                mem_est_bytes: operand_footprint_bytes(&input.a, &input.b),
-            };
-            let record = match outcome {
-                CellOutcome::Done(run) => {
-                    let max_abs_err = f64::from(run.result.max_abs_diff(&input.reference));
-                    let verified = run.result.approx_eq(&input.reference, input.tol);
-                    RunRecord::from_run(
-                        &entry.slug,
-                        &entry.engine.name(),
-                        entry.engine.pes(),
-                        &w.name,
-                        &w.problem,
-                        input.seed,
-                        &run,
-                        max_abs_err,
-                        verified,
-                        profile,
-                    )
-                }
-                CellOutcome::Failed(status, msg) => RunRecord::from_failure(
-                    &entry.slug,
-                    &entry.engine.name(),
-                    entry.engine.pes(),
-                    &w.name,
-                    &w.problem,
-                    input.seed,
-                    status,
-                    msg,
-                    profile,
-                ),
-            };
+            let record = self.run_cell(entry, ei, wi, w, &prepared[wi]);
             if self.telemetry {
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 eprint!("\r[sweep] {done}/{total} cells ({}: {})", entry.slug, w.name);
@@ -374,6 +671,31 @@ impl Sweep {
             record
         })
     }
+}
+
+/// One workload's materialized inputs: operands, the dense reference
+/// product, and the verification tolerance.
+struct Prepared {
+    seed: u64,
+    a: Arc<SparseMatrix>,
+    b: Arc<SparseMatrix>,
+    reference: Matrix,
+    tol: f32,
+}
+
+/// What [`Sweep::resume`] produced, beyond the records themselves.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The full grid, engine-major — byte-identical to [`Sweep::run`].
+    pub records: Vec<RunRecord>,
+    /// Cells executed (and durably journaled) by *this* invocation.
+    pub journal_appends: u64,
+    /// Cells replayed from the journal instead of re-executed.
+    pub resume_hits: u64,
+    /// Cells (replayed or fresh) that degraded to the analytic model.
+    pub degraded_cells: u64,
+    /// Replay and append warnings (corrupt lines skipped, ...).
+    pub warnings: Vec<String>,
 }
 
 /// Deterministic estimate of a cell's operand working set: compressed
@@ -511,6 +833,221 @@ mod tests {
         let with_retry = Sweep::new(suite).with_threads(1).with_retries(2).run(&flaky_fleet());
         assert_eq!(with_retry[0].status, RunStatus::Ok);
         assert!(with_retry[0].verified);
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_exponential() {
+        let sweep = Sweep::new(demo_suite()).with_seed(3);
+        let d2 = sweep.backoff_delay(1, 2, 2);
+        let d3 = sweep.backoff_delay(1, 2, 3);
+        let d4 = sweep.backoff_delay(1, 2, 4);
+        // Pure function of (seed, cell, attempt).
+        assert_eq!(d2, sweep.backoff_delay(1, 2, 2));
+        // Exponential envelope: attempt n's base doubles, jitter < base.
+        assert!(d3 > d2, "{d3:?} vs {d2:?}");
+        assert!(d4 > d3, "{d4:?} vs {d3:?}");
+        assert!(d4 < Duration::from_millis(25 * 4 + 25));
+        // Different cells jitter differently (with overwhelming odds).
+        let other = Sweep::new(demo_suite()).with_seed(3).backoff_delay(0, 0, 2);
+        assert_ne!(d2, other);
+        // Zero base disables sleeping entirely.
+        let quiet = Sweep::new(demo_suite()).with_backoff(Duration::ZERO);
+        assert_eq!(quiet.backoff_delay(1, 2, 2), Duration::ZERO);
+    }
+
+    /// Satellite 1 acceptance: N cooperative timeouts leave no lingering
+    /// watchdog threads — the cancel + grace join reaps every one.
+    #[test]
+    fn cooperative_timeouts_leave_a_bounded_thread_count() {
+        use crate::harness::chaos::SpinningEngine;
+        let fleet = vec![
+            EngineEntry::new("chaos-spin-a", Box::new(SpinningEngine::default())),
+            EngineEntry::new("chaos-spin-b", Box::new(SpinningEngine::default())),
+        ];
+        let suite = demo_suite().into_iter().take(3).collect::<Vec<_>>();
+        let cells = fleet.len() * suite.len();
+        let sweep = Sweep::new(suite)
+            .with_threads(2)
+            .with_budget(Some(Duration::from_millis(50)))
+            .with_cancel_grace(Duration::from_secs(2));
+        let records = sweep.run(&fleet);
+        assert_eq!(records.len(), cells);
+        assert!(records.iter().all(|r| r.status == RunStatus::Timeout));
+        // Every worker was joined within its grace period; allow a brief
+        // scheduling window for the last guard to drop. (The per-sweep
+        // counter is used because concurrently running tests park their
+        // own — deliberately non-cooperative — threads in the global one.)
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sweep.live_threads() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sweep.live_threads(), 0, "timed-out cooperative cells must be reaped");
+    }
+
+    /// Tentpole acceptance: a cell that exhausts its budget twice falls
+    /// back to the analytic model and is recorded `degraded`, with the
+    /// fallback's name and numbers under the original engine's slug.
+    #[test]
+    fn repeated_timeouts_degrade_to_the_analytic_model() {
+        use crate::harness::chaos::SpinningEngine;
+        let fleet = vec![EngineEntry::new("chaos-spin", Box::new(SpinningEngine::default()))];
+        let suite = vec![demo_suite().remove(0)];
+        let records = Sweep::new(suite)
+            .with_threads(1)
+            .with_budget(Some(Duration::from_millis(40)))
+            .with_cancel_grace(Duration::from_secs(2))
+            .with_retries(1)
+            .with_backoff(Duration::ZERO)
+            .run(&fleet);
+        let r = &records[0];
+        assert_eq!(r.status, RunStatus::Degraded);
+        assert_eq!(r.engine_slug, "chaos-spin", "grid cell keeps the original slug");
+        assert!(r.engine.contains("[analytic]"), "{}", r.engine);
+        assert!(r.error.as_deref().unwrap_or("").contains("degraded to analytic fallback"));
+        assert_eq!(r.attempts, 3, "two budgeted attempts plus the fallback");
+        assert!(r.verified, "the analytic fallback computes the real product");
+        assert!(r.total_cycles > 0, "the record carries the fallback's numbers");
+        // Without retries there is a single timeout attempt: no ladder.
+        let single = Sweep::new(vec![demo_suite().remove(0)])
+            .with_threads(1)
+            .with_budget(Some(Duration::from_millis(40)))
+            .with_cancel_grace(Duration::from_secs(2))
+            .run(&fleet);
+        assert_eq!(single[0].status, RunStatus::Timeout);
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sigma_sweep_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.journal", std::process::id()))
+    }
+
+    /// Tentpole acceptance: a resumed sweep's records are byte-identical
+    /// to an uninterrupted run, whatever prefix of the journal survived.
+    #[test]
+    fn resume_replays_the_journal_and_matches_an_uninterrupted_run() {
+        let engines: Vec<_> = default_registry()
+            .into_iter()
+            .filter(|e| e.slug == "eie" || e.slug == "scnn" || e.slug == "cambricon-x")
+            .collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let sweep = Sweep::new(suite).with_seed(11).with_threads(2);
+        let baseline = sweep.run(&engines);
+
+        // Fresh resume: no journal yet, every cell executes + journals.
+        let path = journal_path("resume_fresh");
+        let _ = std::fs::remove_file(&path);
+        let first = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(first.records, baseline);
+        assert_eq!(first.journal_appends, baseline.len() as u64);
+        assert_eq!(first.resume_hits, 0);
+        assert!(first.warnings.is_empty(), "{:?}", first.warnings);
+
+        // Second resume: everything replays, nothing re-executes.
+        let second = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(second.records, baseline);
+        assert_eq!(second.journal_appends, 0);
+        assert_eq!(second.resume_hits, baseline.len() as u64);
+
+        // Simulated crash: keep only a prefix of the journal (as a
+        // SIGKILL mid-sweep would), resume, and demand byte-identity —
+        // including the rendered CSV/JSON artifacts.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, keep).unwrap();
+        let resumed = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(resumed.resume_hits, 2);
+        assert_eq!(resumed.journal_appends, baseline.len() as u64 - 2);
+        assert_eq!(resumed.records, baseline);
+        assert_eq!(
+            crate::harness::record::records_to_json(&resumed.records),
+            crate::harness::record::records_to_json(&baseline)
+        );
+        assert_eq!(
+            crate::harness::record::records_table("sweep", &resumed.records).to_csv(),
+            crate::harness::record::records_table("sweep", &baseline).to_csv()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite 3 acceptance: corruption in every class (torn tail,
+    /// garbage bytes, duplicates, stale schema) resumes cleanly — the
+    /// damaged cells just rerun.
+    #[test]
+    fn resume_survives_a_corrupted_journal() {
+        use std::io::Write;
+        let engines: Vec<_> = default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let sweep = Sweep::new(suite).with_seed(5).with_threads(1);
+        let baseline = sweep.run(&engines);
+        let path = journal_path("resume_corrupt");
+        let _ = std::fs::remove_file(&path);
+        let _ = sweep.resume(&engines, &path).unwrap();
+        // Vandalize: garbage line, stale schema, duplicate of line 1,
+        // then tear the final line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"\xfe\xffgarbage\n").unwrap();
+        f.write_all(b"{\"schema\": 0, \"key\": \"00\", \"record\": {}}\n").unwrap();
+        f.write_all(format!("{}\n", lines[0]).as_bytes()).unwrap();
+        f.write_all(&lines[1].as_bytes()[..lines[1].len() / 2]).unwrap();
+        drop(f);
+        let resumed = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(resumed.records, baseline);
+        assert_eq!(resumed.resume_hits, 2, "both intact lines still replay");
+        assert!(resumed.warnings.len() >= 3, "{:?}", resumed.warnings);
+        // Compaction scrubbed the damage: the next resume is all hits.
+        let clean = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(clean.resume_hits, baseline.len() as u64);
+        assert!(clean.warnings.is_empty(), "{:?}", clean.warnings);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Proptest-style sweep over every possible crash point: truncating
+    /// the journal after any byte count still resumes to byte-identical
+    /// records.
+    #[test]
+    fn resume_is_byte_identical_from_any_crash_point() {
+        let engines: Vec<_> = default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let sweep = Sweep::new(suite).with_seed(21).with_threads(1);
+        let baseline = sweep.run(&engines);
+        let path = journal_path("resume_crashpoints");
+        let _ = std::fs::remove_file(&path);
+        let _ = sweep.resume(&engines, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // A deterministic spread of crash offsets, including both ends.
+        let offsets: Vec<usize> =
+            (0..=8).map(|i| i * full.len() / 8).chain([1, full.len() - 1]).collect();
+        for cut in offsets {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let resumed = sweep.resume(&engines, &path).unwrap();
+            assert_eq!(resumed.records, baseline, "crash at byte {cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_records_telemetry_counters() {
+        use sigma_telemetry::{Counter, Telemetry};
+        let engines: Vec<_> = default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let registry = Telemetry::enabled();
+        let sweep = Sweep::new(suite)
+            .with_seed(2)
+            .with_threads(1)
+            .with_telemetry_registry(registry.clone());
+        let path = journal_path("resume_telemetry");
+        let _ = std::fs::remove_file(&path);
+        let _ = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(registry.counter(Counter::JournalAppends), 2);
+        assert_eq!(registry.counter(Counter::ResumeHits), 0);
+        let _ = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(registry.counter(Counter::JournalAppends), 2, "second pass appends nothing");
+        assert_eq!(registry.counter(Counter::ResumeHits), 2);
+        assert_eq!(registry.counter(Counter::DegradedCells), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Cooperative cancellation for long-running engine work.
+//!
+//! Rust has no safe preemptive thread cancellation, so the harness's
+//! per-cell watchdogs historically abandoned a timed-out cell's thread
+//! and let it simulate to completion — holding both operand matrices the
+//! whole time. A [`CancelToken`] closes that gap cooperatively: the
+//! watchdog sets the flag, and the simulator polls it at **fold
+//! boundaries** (the natural quiescent points of the Table-II execution
+//! model, where no stationary state is in flight) and returns
+//! [`SigmaError::Cancelled`](crate::SigmaError::Cancelled) instead of
+//! starting the next fold.
+//!
+//! The token is deliberately tiny — a shared atomic flag — so checking it
+//! once per fold is free compared to a fold's worth of streaming work,
+//! and an un-cancelled run is byte-identical to one executed without a
+//! token.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag: cloned into a worker, set by a watchdog.
+///
+/// Cloning is cheap (an `Arc` bump) and all clones observe the same
+/// flag. Once cancelled, a token stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; observers see it on their next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+        t.cancel();
+        assert!(t.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn token_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let observer = t.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

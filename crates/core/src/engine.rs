@@ -8,6 +8,7 @@
 //! order as the hardware, and the test suite asserts it matches the
 //! reference GEMM.
 
+use crate::cancel::CancelToken;
 use crate::config::{Dataflow, SigmaConfig, SigmaError};
 use crate::controller::ControllerPlan;
 use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultReport};
@@ -103,7 +104,43 @@ impl SigmaSim {
     ///
     /// Returns [`SigmaError::DimensionMismatch`] when `A.cols() != B.rows()`.
     pub fn run_gemm(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<GemmRun, SigmaError> {
-        self.run_gemm_impl(a, b, None, None).map(|(run, _)| run)
+        self.run_gemm_impl(a, b, None, None, None).map(|(run, _)| run)
+    }
+
+    /// Like [`SigmaSim::run_gemm`], but polls `cancel` at every fold (or
+    /// NLR wave) boundary and stops early when a watchdog sets it. An
+    /// un-cancelled run is byte-identical to [`SigmaSim::run_gemm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::Cancelled`] when the token fires before the
+    /// run completes, plus everything [`SigmaSim::run_gemm`] can return.
+    pub fn run_gemm_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<GemmRun, SigmaError> {
+        self.run_gemm_impl(a, b, None, None, Some(cancel)).map(|(run, _)| run)
+    }
+
+    /// Cancellable variant of [`SigmaSim::run_gemm_traced`]: polls
+    /// `cancel` at fold boundaries like
+    /// [`SigmaSim::run_gemm_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::Cancelled`] when the token fires, plus
+    /// everything [`SigmaSim::run_gemm_traced`] can return.
+    pub fn run_gemm_traced_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<(GemmRun, Trace), SigmaError> {
+        let mut trace = Trace::new();
+        let (run, _) = self.run_gemm_impl(a, b, Some(&mut trace), None, Some(cancel))?;
+        Ok((run, trace))
     }
 
     /// Like [`SigmaSim::run_gemm`], but also returns a cycle-stamped
@@ -119,7 +156,7 @@ impl SigmaSim {
         b: &SparseMatrix,
     ) -> Result<(GemmRun, Trace), SigmaError> {
         let mut trace = Trace::new();
-        let (run, _) = self.run_gemm_impl(a, b, Some(&mut trace), None)?;
+        let (run, _) = self.run_gemm_impl(a, b, Some(&mut trace), None, None)?;
         Ok((run, trace))
     }
 
@@ -129,6 +166,7 @@ impl SigmaSim {
         b: &SparseMatrix,
         mut trace: Option<&mut Trace>,
         mut faults: Option<&mut FaultInjector<'_>>,
+        cancel: Option<&CancelToken>,
     ) -> Result<(GemmRun, ()), SigmaError> {
         if a.cols() != b.rows() {
             return Err(SigmaError::DimensionMismatch { k_a: a.cols(), k_b: b.rows() });
@@ -149,6 +187,7 @@ impl SigmaSim {
                     b,
                     trace.as_deref_mut(),
                     faults.as_deref_mut(),
+                    cancel,
                     |group, step, v| {
                         let cur = out.get(group, step);
                         out.set(group, step, cur + v);
@@ -168,6 +207,7 @@ impl SigmaSim {
                     &at,
                     trace,
                     faults.as_deref_mut(),
+                    cancel,
                     |group, step, v| {
                         let cur = out.get(step, group);
                         out.set(step, group, cur + v);
@@ -175,7 +215,9 @@ impl SigmaSim {
                 )?;
                 Ok((GemmRun { result: out, stats }, ()))
             }
-            Dataflow::NoLocalReuse => Ok((self.run_no_local_reuse(a, b, trace, faults)?, ())),
+            Dataflow::NoLocalReuse => {
+                Ok((self.run_no_local_reuse(a, b, trace, faults, cancel)?, ()))
+            }
         }
     }
 
@@ -247,7 +289,7 @@ impl SigmaSim {
         plan: &FaultPlan,
     ) -> Result<(GemmRun, FaultReport), SigmaError> {
         let mut injector = FaultInjector::new(plan);
-        let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector))?;
+        let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector), None)?;
         let report = injector.into_report();
         run.stats.faults_injected = report.counters.injected;
         Ok((run, report))
@@ -279,8 +321,11 @@ impl SigmaSim {
         // Ground truth for escape accounting: the fault-free execution has
         // the identical accumulation order, so agreement is exact up to
         // the faults themselves. Only needed when faults are armed.
-        let baseline =
-            if plan.is_empty() { None } else { Some(self.run_gemm_impl(a, b, None, None)?.0) };
+        let baseline = if plan.is_empty() {
+            None
+        } else {
+            Some(self.run_gemm_impl(a, b, None, None, None)?.0)
+        };
 
         let mut injector = FaultInjector::new(plan);
         let mut counters = FaultCounters::default();
@@ -289,7 +334,7 @@ impl SigmaSim {
         let mut merged: Option<CycleStats> = None;
         let (mut current, clean) = loop {
             attempts += 1;
-            let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector))?;
+            let (mut run, _) = self.run_gemm_impl(a, b, None, Some(&mut injector), None)?;
             merged = Some(match merged {
                 Some(m) => m.merged(&run.stats),
                 None => run.stats,
@@ -362,12 +407,13 @@ impl SigmaSim {
         streaming: &SparseMatrix,
         trace: Option<&mut Trace>,
         faults: Option<&mut FaultInjector<'_>>,
+        cancel: Option<&CancelToken>,
         emit: impl FnMut(usize, usize, f32),
     ) -> Result<CycleStats, SigmaError> {
         if faults.is_some() || self.config.lockstep() {
-            self.run_stationary_lockstep(stationary, streaming, trace, faults, emit)
+            self.run_stationary_lockstep(stationary, streaming, trace, faults, cancel, emit)
         } else {
-            self.run_stationary_event(stationary, streaming, trace, emit)
+            self.run_stationary_event(stationary, streaming, trace, cancel, emit)
         }
     }
 
@@ -386,6 +432,7 @@ impl SigmaSim {
         streaming: &SparseMatrix,
         mut trace: Option<&mut Trace>,
         mut faults: Option<&mut FaultInjector<'_>>,
+        cancel: Option<&CancelToken>,
         mut emit: impl FnMut(usize, usize, f32),
     ) -> Result<CycleStats, SigmaError> {
         let pes = self.config.total_pes();
@@ -436,6 +483,12 @@ impl SigmaSim {
 
         let mut prev_fold_stream = 0u64;
         for fold in &plan.folds {
+            // Fold boundaries are the cancellation points: no stationary
+            // state is in flight, so stopping here abandons no work the
+            // caller could ever observe.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(SigmaError::Cancelled);
+            }
             let occupied = fold.occupied();
             stats.folds += 1;
             stats.mapped_nonzeros += occupied as u64;
@@ -601,6 +654,7 @@ impl SigmaSim {
         stationary: &SparseMatrix,
         streaming: &SparseMatrix,
         mut trace: Option<&mut Trace>,
+        cancel: Option<&CancelToken>,
         mut emit: impl FnMut(usize, usize, f32),
     ) -> Result<CycleStats, SigmaError> {
         let pes = self.config.total_pes();
@@ -649,6 +703,11 @@ impl SigmaSim {
         while let Some((cursor, event)) = queue.pop() {
             match event {
                 Event::LoadFold(f) => {
+                    // The same cancellation point as the lockstep oracle's
+                    // fold-loop top: nothing is in flight before a load.
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        return Err(SigmaError::Cancelled);
+                    }
                     let fold = &plan.folds[f];
                     let occupied = fold.occupied();
                     stats.folds += 1;
@@ -823,6 +882,7 @@ impl SigmaSim {
         b: &SparseMatrix,
         mut trace: Option<&mut Trace>,
         mut faults: Option<&mut FaultInjector<'_>>,
+        cancel: Option<&CancelToken>,
     ) -> Result<GemmRun, SigmaError> {
         let pes = self.config.total_pes();
         let stream_bw = self.config.stream_bandwidth() as u64;
@@ -862,6 +922,10 @@ impl SigmaSim {
         let mut red = FanReduction::default();
 
         for (w, wave) in pairs.chunks(pes).enumerate() {
+            // Wave boundaries are NLR's fold boundaries.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(SigmaError::Cancelled);
+            }
             stats.folds += 1;
             // Two operands per multiplier must be distributed.
             let stream_cycles = (2 * wave.len() as u64).div_ceil(stream_bw).max(1);
@@ -983,6 +1047,88 @@ mod tests {
                     }
                     assert!(run_e.stats.idle_cycles_skipped <= run_e.stats.streaming_cycles);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_parity_between_event_and_lockstep_configs() {
+        // Proptest-style sweep: seeds drive operands and fault sites.
+        // The contract under test: a faulted run under the event-driven
+        // config is indistinguishable from the lockstep oracle —
+        // identical injected/detected/corrected/escaped counters,
+        // identical fired-fault list, and a bitwise-identical result.
+        // (Faulted runs deliberately route through the tick loop so
+        // injection semantics cannot drift between schedulers; this test
+        // pins that routing.)
+        use crate::fault::{FaultKind, FaultSite};
+        let policy = RecoveryPolicy::default();
+        for seed in 0..16u64 {
+            let s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678);
+            let m = 6 + (s % 7) as usize;
+            let k = 8 + ((s >> 8) % 9) as usize;
+            let n = 5 + ((s >> 16) % 8) as usize;
+            let da = 0.2 + 0.1 * ((s >> 24) % 8) as f64;
+            let db = 0.2 + 0.1 * ((s >> 32) % 8) as f64;
+            let a = sparse_uniform(m, k, Density::new(da).unwrap(), s);
+            let b = sparse_uniform(k, n, Density::new(db).unwrap(), s ^ 0xABCD);
+            let dpe = (s >> 40) as usize % 4;
+            let slot = (s >> 44) as usize % 8;
+            let bit = 20 + ((s >> 48) % 11) as u32;
+            let plan = FaultPlan::single(
+                FaultSite::MultiplierOutput { dpe, slot },
+                FaultKind::TransientFlip { bit },
+            );
+            for df in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+                let base = SigmaConfig::new(4, 8, 8, df).unwrap();
+                let event = SigmaSim::new(base).unwrap();
+                let lockstep = SigmaSim::new(base.with_lockstep(true)).unwrap();
+                let (run_e, rep_e) = event.run_gemm_checked(&a, &b, &plan, &policy).unwrap();
+                let (run_l, rep_l) = lockstep.run_gemm_checked(&a, &b, &plan, &policy).unwrap();
+                assert_eq!(rep_e.counters, rep_l.counters, "seed {seed} {df}");
+                assert_eq!(rep_e.fired, rep_l.fired, "seed {seed} {df}");
+                assert_eq!(rep_e.numeric_effect, rep_l.numeric_effect, "seed {seed} {df}");
+                assert_eq!(rep_e.attempts, rep_l.attempts, "seed {seed} {df}");
+                for (x, y) in run_e.result.as_slice().iter().zip(run_l.result.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} {df}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_fold_boundaries_on_every_path() {
+        // A pre-cancelled token must stop the run before any fold on the
+        // event path, the lockstep oracle, and NLR alike.
+        let a = sparse_uniform(12, 20, Density::new(0.6).unwrap(), 31);
+        let b = sparse_uniform(20, 9, Density::new(0.6).unwrap(), 32);
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary, Dataflow::NoLocalReuse] {
+            let base = SigmaConfig::new(2, 8, 8, df).unwrap();
+            for cfg in [base, base.with_lockstep(true)] {
+                let sim = SigmaSim::new(cfg).unwrap();
+                let cancelled = CancelToken::new();
+                cancelled.cancel();
+                assert_eq!(
+                    sim.run_gemm_cancellable(&a, &b, &cancelled).unwrap_err(),
+                    SigmaError::Cancelled,
+                    "{df}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncancelled_run_is_byte_identical_to_plain_run() {
+        let a = sparse_uniform(10, 14, Density::new(0.4).unwrap(), 41);
+        let b = sparse_uniform(14, 7, Density::new(0.7).unwrap(), 42);
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary, Dataflow::NoLocalReuse] {
+            let sim = cfg(2, 8, 8, df);
+            let token = CancelToken::new();
+            let with_token = sim.run_gemm_cancellable(&a, &b, &token).unwrap();
+            let plain = sim.run_gemm(&a, &b).unwrap();
+            assert_eq!(with_token.stats, plain.stats, "{df}");
+            for (x, y) in with_token.result.as_slice().iter().zip(plain.result.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{df}");
             }
         }
     }

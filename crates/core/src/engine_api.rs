@@ -8,6 +8,7 @@
 //! `Send + Sync`, so a heterogeneous fleet of boxed engines can be fanned
 //! across threads by a sweep driver.
 
+use crate::cancel::CancelToken;
 use crate::config::SigmaError;
 use crate::engine::SigmaSim;
 use crate::stats::CycleStats;
@@ -58,6 +59,9 @@ pub enum EngineError {
     },
     /// The engine panicked; the payload is the panic message.
     Panicked(String),
+    /// The run was cancelled cooperatively: a harness watchdog set the
+    /// [`CancelToken`] and the engine stopped at its next fold boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -72,6 +76,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "engine exceeded the {budget_ms} ms watchdog budget")
             }
             EngineError::Panicked(msg) => write!(f, "engine panicked: {msg}"),
+            EngineError::Cancelled => write!(f, "run cancelled by the harness watchdog"),
         }
     }
 }
@@ -85,6 +90,7 @@ impl From<SigmaError> for EngineError {
                 EngineError::DimensionMismatch { k_a, k_b }
             }
             SigmaError::NonFiniteInput { .. } => EngineError::Numeric(e.to_string()),
+            SigmaError::Cancelled => EngineError::Cancelled,
             other => EngineError::Config(other.to_string()),
         }
     }
@@ -134,6 +140,29 @@ pub trait Engine: Send + Sync {
     /// engine cannot execute the problem.
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError>;
 
+    /// Cooperatively cancellable variant of [`Engine::run`]: the harness
+    /// watchdog holds a clone of `cancel` and sets it on timeout, and an
+    /// engine that supports cancellation polls it at fold boundaries and
+    /// returns [`EngineError::Cancelled`] instead of simulating to
+    /// completion. The default ignores the token and runs normally —
+    /// analytic baselines finish in microseconds, so there is nothing to
+    /// cancel. An un-cancelled run must be byte-identical to
+    /// [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::run`] returns, plus
+    /// [`EngineError::Cancelled`] when the token fires mid-run.
+    fn run_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<EngineRun, EngineError> {
+        let _ = cancel;
+        self.run(a, b)
+    }
+
     /// A snapshot of the engine's telemetry registry, when the engine
     /// records one and it is enabled. Analytic baselines (and engines
     /// built without telemetry) return `None` — the default.
@@ -152,6 +181,14 @@ impl<E: Engine + ?Sized> Engine for &E {
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         (**self).run(a, b)
     }
+    fn run_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<EngineRun, EngineError> {
+        (**self).run_cancellable(a, b, cancel)
+    }
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         (**self).telemetry()
     }
@@ -166,6 +203,14 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
     }
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         (**self).run(a, b)
+    }
+    fn run_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<EngineRun, EngineError> {
+        (**self).run_cancellable(a, b, cancel)
     }
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         (**self).telemetry()
@@ -188,6 +233,16 @@ impl Engine for SigmaSim {
 
     fn run(&self, a: &SparseMatrix, b: &SparseMatrix) -> Result<EngineRun, EngineError> {
         let (run, trace) = self.run_gemm_traced(a, b)?;
+        Ok(EngineRun { result: run.result, stats: run.stats, trace: Some(trace) })
+    }
+
+    fn run_cancellable(
+        &self,
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        cancel: &CancelToken,
+    ) -> Result<EngineRun, EngineError> {
+        let (run, trace) = self.run_gemm_traced_cancellable(a, b, cancel)?;
         Ok(EngineRun { result: run.result, stats: run.stats, trace: Some(trace) })
     }
 

@@ -4,7 +4,7 @@
 //! phase breakdowns, energy/area) requires the simulator to be
 //! bit-deterministic and overflow-free. The runtime harness already
 //! enforces byte-identical sweep output; this crate enforces the same
-//! invariants *statically*, before code runs, with five domain lints
+//! invariants *statically*, before code runs, with six domain lints
 //! (see [`rules`]) over a hand-rolled comment/string-aware lexer (see
 //! [`lexer`]). Waivers live in the repo-root `lint.toml` (see
 //! [`waivers`]); any unwaived finding fails CI.

@@ -1,4 +1,4 @@
-//! The five domain lints (D1–D5) over a lexed token stream.
+//! The six domain lints (D1–D6) over a lexed token stream.
 //!
 //! Every rule works on [`lex`](crate::lexer::lex) output, so comments,
 //! doc comments, and string/raw-string literals can never trigger a
@@ -12,6 +12,7 @@
 //! | D3   | no truncating casts on cycle/energy/MAC counters                 |
 //! | D4   | `unsafe` only in the explicit allowlist                          |
 //! | D5   | every `impl Engine` file validates operand finiteness            |
+//! | D6   | harness persistence code writes files atomically (temp+rename)   |
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -30,6 +31,10 @@ pub enum Lint {
     D4,
     /// An `impl Engine` without operand finiteness validation.
     D5,
+    /// A non-atomic file write (`File::create`/`fs::write` straight to
+    /// the target path) in harness persistence code, where a crash
+    /// mid-write must never corrupt a journal or result artifact.
+    D6,
 }
 
 impl Lint {
@@ -42,10 +47,11 @@ impl Lint {
             Lint::D3 => "D3",
             Lint::D4 => "D4",
             Lint::D5 => "D5",
+            Lint::D6 => "D6",
         }
     }
 
-    /// Parses `"D1"`..`"D5"` (case-insensitive).
+    /// Parses `"D1"`..`"D6"` (case-insensitive).
     #[must_use]
     pub fn parse(s: &str) -> Option<Lint> {
         match s.to_ascii_uppercase().as_str() {
@@ -54,6 +60,7 @@ impl Lint {
             "D3" => Some(Lint::D3),
             "D4" => Some(Lint::D4),
             "D5" => Some(Lint::D5),
+            "D6" => Some(Lint::D6),
             _ => None,
         }
     }
@@ -136,6 +143,11 @@ const D3_NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 /// Identifier segments that mark a counter expression (split on `_`).
 const COUNTER_SEGMENTS: &[&str] =
     &["cycle", "cycles", "mac", "macs", "energy", "joule", "joules", "pj", "nj", "latency"];
+
+/// Library code under this prefix owns durable artifacts (the run
+/// journal, sweep exports) and must write them atomically (lint D6):
+/// write a temp sibling, sync, rename over the target.
+const D6_ATOMIC_WRITE_PREFIX: &str = "crates/bench/src/harness/";
 
 /// Runs every applicable rule over one file's source.
 #[must_use]
@@ -234,6 +246,29 @@ pub fn check_file(policy: &FilePolicy, src: &str) -> Vec<Finding> {
                 findings.push(finding);
             }
         }
+
+        // D6: non-atomic writes in harness persistence library code.
+        // Writing a temp sibling first (any argument identifier naming
+        // `tmp`/`temp`) is the sanctioned half of write-then-rename.
+        if lib_code
+            && policy.path.starts_with(D6_ATOMIC_WRITE_PREFIX)
+            && tok.kind == TokenKind::Ident
+            && (text == "create" && path_prefix_is(&sig, src, i, "File")
+                || text == "write" && path_prefix_is(&sig, src, i, "fs"))
+            && sig.get(i + 1).map(|t| t.text(src)) == Some("(")
+            && !call_args_mention_temp(&sig, src, i + 1)
+        {
+            findings.push(Finding {
+                lint: Lint::D6,
+                path: policy.path.clone(),
+                line: tok.line,
+                token: qualified_tail(&sig, src, i),
+                hint: "a crash mid-write must never corrupt a durable artifact: write a temp \
+                       sibling, sync, and rename over the target (see JournalWriter::compact), \
+                       or carry a lint.toml waiver"
+                    .into(),
+            });
+        }
     }
 
     // D5: files that implement Engine must validate finiteness somewhere.
@@ -269,6 +304,32 @@ fn path_prefix_is(sig: &[&Token], src: &str, i: usize, prefix: &str) -> bool {
         && sig[i - 1].text(src) == ":"
         && sig[i - 2].text(src) == ":"
         && sig[i - 3].text(src) == prefix
+}
+
+/// D6: whether the call whose `(` sits at `sig[open]` names a temp
+/// file — any argument identifier containing `tmp`/`temp` marks the
+/// write as the temp half of a write-then-rename sequence.
+fn call_args_mention_temp(sig: &[&Token], src: &str, open: usize) -> bool {
+    let mut depth = 0usize;
+    for tok in sig.iter().skip(open) {
+        match tok.text(src) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            t if tok.kind == TokenKind::Ident => {
+                let lower = t.to_ascii_lowercase();
+                if lower.contains("tmp") || lower.contains("temp") {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
 }
 
 /// Renders `prefix::tail` for a path finding (e.g. `std::time`).
@@ -619,6 +680,43 @@ mod tests {
         assert_eq!(check_file(&lib_policy(), good), vec![]);
         let generic = "impl<E: Engine + ?Sized> Engine for Box<E> { }";
         assert_eq!(check_file(&lib_policy(), generic).len(), 1);
+    }
+
+    fn harness_policy() -> FilePolicy {
+        FilePolicy {
+            path: "crates/bench/src/harness/emit.rs".into(),
+            role: FileRole::Lib,
+            determinism_critical: false,
+            unsafe_allowed: false,
+        }
+    }
+
+    #[test]
+    fn d6_flags_bare_writes_in_harness_code() {
+        let got = check_file(&harness_policy(), "fn f() { std::fs::write(&path, data)?; }");
+        assert_eq!(got.iter().map(|f| f.lint).collect::<Vec<_>>(), vec![Lint::D6]);
+        assert_eq!(got[0].token, "fs::write");
+        let got = check_file(&harness_policy(), "fn f() { let f = File::create(&path)?; }");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, "File::create");
+    }
+
+    #[test]
+    fn d6_exempts_temp_siblings_tests_and_other_files() {
+        // The temp half of write-then-rename is the sanctioned pattern.
+        let src = "fn f() { let mut tmp_file = File::create(&tmp)?; }";
+        assert_eq!(check_file(&harness_policy(), src), vec![]);
+        let src = "fn f() { std::fs::write(&temp_path, data)?; }";
+        assert_eq!(check_file(&harness_policy(), src), vec![]);
+        // `fs::create_dir_all` and method-call `.write(..)` are not
+        // target-file writes.
+        let src = "fn f() { std::fs::create_dir_all(&dir)?; out.write(buf)?; }";
+        assert_eq!(check_file(&harness_policy(), src), vec![]);
+        // Test code and non-harness library code keep their latitude.
+        let src = "#[cfg(test)]\nmod tests { fn g() { let _ = std::fs::write(&path, b\"x\"); } }";
+        assert_eq!(check_file(&harness_policy(), src), vec![]);
+        let src = "fn f() { std::fs::write(&path, data)?; }";
+        assert_eq!(check_file(&lib_policy(), src), vec![]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Every entry must carry all three keys, `lint` must be one of
-//! `D1`..`D5`, and `reason` must be non-empty — a waiver without a
+//! `D1`..`D6`, and `reason` must be non-empty — a waiver without a
 //! written justification is rejected at parse time.
 
 use crate::rules::{Finding, Lint};

@@ -178,6 +178,25 @@ fn bin_and_test_targets_are_exempt_from_d2_but_not_d4() {
 }
 
 #[test]
+fn harness_persistence_writes_must_be_atomic() {
+    let ws = FixtureWorkspace::new("d6");
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write("crates/bench/Cargo.toml", "[package]\n");
+    ws.write(
+        "crates/bench/src/harness/store.rs",
+        "pub fn save(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {\n    \
+         std::fs::write(path, data)\n}\n\npub fn save_temp(tmp: &std::path::Path, data: &[u8]) \
+         -> std::io::Result<()> {\n    std::fs::write(tmp, data)\n}\n",
+    );
+    let report = run_with_waivers(&ws.root, Vec::new()).unwrap();
+    let d6: Vec<_> = report.findings.iter().filter(|f| f.lint == Lint::D6).collect();
+    // The direct write is flagged; the temp-sibling write is the
+    // sanctioned half of write-then-rename and passes.
+    assert_eq!(d6.len(), 1, "{:?}", report.findings);
+    assert_eq!((d6[0].line, d6[0].token.as_str()), (2, "fs::write"));
+}
+
+#[test]
 fn the_shipping_workspace_scans_clean() {
     // crates/lint/ -> crates/ -> repo root.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();

@@ -42,11 +42,19 @@ pub enum Counter {
     /// cycles the event scheduler fast-forwards in O(1) while still
     /// charging them to the cycle totals.
     IdleCyclesSkipped,
+    /// Completed sweep cells appended to the write-ahead run journal.
+    JournalAppends,
+    /// Sweep cells skipped on resume because the journal already held a
+    /// matching completed record.
+    ResumeHits,
+    /// Sweep cells that exhausted their watchdog budget repeatedly and
+    /// were rerun on the analytic fallback (`status=degraded`).
+    DegradedCells,
 }
 
 impl Counter {
     /// Every counter, in emission order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::RouteCacheHits,
         Counter::RouteCacheMisses,
         Counter::SramStationaryReads,
@@ -60,6 +68,9 @@ impl Counter {
         Counter::FoldsPlanned,
         Counter::StationaryDropped,
         Counter::IdleCyclesSkipped,
+        Counter::JournalAppends,
+        Counter::ResumeHits,
+        Counter::DegradedCells,
     ];
 
     /// Stable snake_case name (CSV/JSON key).
@@ -79,6 +90,9 @@ impl Counter {
             Counter::FoldsPlanned => "folds_planned",
             Counter::StationaryDropped => "stationary_dropped",
             Counter::IdleCyclesSkipped => "idle_cycles_skipped",
+            Counter::JournalAppends => "journal_appends",
+            Counter::ResumeHits => "resume_hits",
+            Counter::DegradedCells => "degraded_cells",
         }
     }
 }
