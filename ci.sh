@@ -41,3 +41,28 @@ cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep --telemetry \
 grep -q 'route_cache_hits' /tmp/sigma_ci_sweep.csv
 grep -q 'wall_ms' /tmp/sigma_ci_sweep.csv
 grep -q '"route_cache"' /tmp/sigma_ci_telemetry_summary.json
+# Run-cache parity gate: the same sweep cold (empty store), warm (reused
+# store), and cache-disabled must render byte-identical CSV and JSON —
+# a cache hit may only ever serve the bytes the engine would produce.
+rm -f /tmp/sigma_ci_cache.store
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --cache /tmp/sigma_ci_cache.store \
+    --cache-stats --output csv > /tmp/sigma_ci_cache_cold.csv
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --cache /tmp/sigma_ci_cache.store \
+    --cache-stats --output csv > /tmp/sigma_ci_cache_warm.csv
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --output csv > /tmp/sigma_ci_cache_off.csv
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --cache /tmp/sigma_ci_cache.store \
+    --output json > /tmp/sigma_ci_cache_warm.json
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --output json > /tmp/sigma_ci_cache_off.json
+cmp /tmp/sigma_ci_cache_cold.csv /tmp/sigma_ci_cache_warm.csv
+cmp /tmp/sigma_ci_cache_cold.csv /tmp/sigma_ci_cache_off.csv
+cmp /tmp/sigma_ci_cache_warm.json /tmp/sigma_ci_cache_off.json
+rm -f /tmp/sigma_ci_cache.store
+# Run-cache bench leg: warm-sweep throughput must be >= 50x cold, with
+# exactly-once execution for in-flight duplicate cells (the gate
+# self-skips the speedup ratio in debug builds, like --check).
+cargo run -q --release -p sigma-bench --bin perf_bench -- --dse-warm --smoke --quiet

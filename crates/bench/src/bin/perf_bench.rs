@@ -23,19 +23,33 @@
 //!   stats and results; exits non-zero on any divergence;
 //! * `--telemetry` — measure each case twice (telemetry off, then on) and
 //!   report the instrumentation overhead per case; no baseline is written;
+//! * `--dse-warm` — the run-cache leg: sweep a DSE-style grid cold (empty
+//!   cache), then warm (same store), demand byte-identical CSV/JSON against
+//!   an uncached run, a ≥ 50x warm-over-cold cells/sec speedup, and
+//!   exactly-once execution for in-flight duplicates;
+//! * `--json` — machine-readable results on stdout (per-case cycles/sec
+//!   plus the tolerance verdict against the baseline) instead of the
+//!   table; report-only, so the committed baseline is never rewritten
+//!   (combine with `--check` to keep the gate's exit code);
 //! * `--out PATH` / `--baseline PATH` — override the baseline location;
 //! * `--quiet` — suppress the table.
 //!
 //! `--check` requires an optimized build: debug timings are an order of
 //! magnitude off the committed numbers, so an unoptimized gate run warns
-//! and skips the comparison (force with `SIGMA_PERF_FORCE_CHECK=1`).
+//! and skips the comparison (force with `SIGMA_PERF_FORCE_CHECK=1`). The
+//! `--dse-warm` speedup gate skips under debug the same way (the parity
+//! and exactly-once checks always run).
 
+use sigma_bench::harness::{
+    default_registry, demo_suite, records_table, records_to_json, EngineEntry, RunCache, Sweep,
+};
 use sigma_bench::perf::{
     cases, lockstep_check, measure, measure_with, parse_baseline, to_json, PerfMeasurement,
 };
-use sigma_bench::util::Table;
+use sigma_bench::util::{json_string, Table};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Timed repetitions per case: best-of-3 normally, best-of-2 for smoke.
 const FULL_REPS: usize = 3;
@@ -52,6 +66,8 @@ struct Args {
     quiet: bool,
     telemetry: bool,
     lockstep_check: bool,
+    dse_warm: bool,
+    json: bool,
     baseline: PathBuf,
 }
 
@@ -62,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
         quiet: false,
         telemetry: false,
         lockstep_check: false,
+        dse_warm: false,
+        json: false,
         baseline: default_baseline_path(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" => args.quiet = true,
             "--telemetry" => args.telemetry = true,
             "--lockstep-check" => args.lockstep_check = true,
+            "--dse-warm" => args.dse_warm = true,
+            "--json" => args.json = true,
             "--out" | "--baseline" => {
                 let path = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
                 args.baseline = PathBuf::from(path);
@@ -79,7 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: perf_bench [--check] [--smoke] [--telemetry] [--lockstep-check] \
-                     [--quiet] [--out PATH] [--baseline PATH]"
+                     [--dse-warm] [--json] [--quiet] [--out PATH] [--baseline PATH]"
                 );
                 std::process::exit(0);
             }
@@ -148,6 +168,223 @@ fn run_overhead(ladder: &[sigma_bench::perf::PerfCase], reps: usize, quiet: bool
     ExitCode::SUCCESS
 }
 
+/// The warm-over-cold cells/sec floor the `--dse-warm` leg must clear.
+const DSE_WARM_MIN_SPEEDUP: f64 = 50.0;
+
+/// `--dse-warm`: the run-cache bench leg. Sweeps a DSE-style grid (the
+/// engine registry over demo workloads) three ways — uncached, cold cache,
+/// warm cache — and demands:
+///
+/// 1. CSV and JSON renderings byte-identical across all three;
+/// 2. warm cells/sec ≥ [`DSE_WARM_MIN_SPEEDUP`] x cold (release builds
+///    only — debug timings skip the gate exactly like `--check`);
+/// 3. in-flight duplicates execute exactly once (a triplicated fleet on a
+///    fresh store resolves every duplicate as a hit or a coalesce).
+#[allow(clippy::too_many_lines)]
+fn run_dse_warm(smoke: bool, quiet: bool, json: bool) -> ExitCode {
+    // A DSE-style grid with enough simulation work per cell that the
+    // cold/warm separation is timing-stable; smoke keeps the demo scale.
+    let workloads: Vec<_> = if smoke {
+        demo_suite().into_iter().take(1).collect()
+    } else {
+        use sigma_core::model::GemmProblem;
+        use sigma_matrix::GemmShape;
+        vec![
+            sigma_bench::harness::WorkloadSpec::new(
+                "dse dense 64x64x64",
+                GemmProblem::dense(GemmShape::new(64, 64, 64)),
+            ),
+            sigma_bench::harness::WorkloadSpec::new(
+                "dse sparse 96x96x96 (50%/80%)",
+                GemmProblem::sparse(GemmShape::new(96, 96, 96), 0.5, 0.2),
+            ),
+            sigma_bench::harness::WorkloadSpec::new(
+                "dse irregular 48x128x32 (30%/50%)",
+                GemmProblem::sparse(GemmShape::new(48, 128, 32), 0.7, 0.5),
+            ),
+        ]
+    };
+    let engines = default_registry();
+    let cells = engines.len() * workloads.len();
+    let store =
+        std::env::temp_dir().join(format!("sigma_perf_dse_warm_{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+
+    let sweep = Sweep::new(workloads.clone()).with_seed(33).with_threads(4);
+    let t0 = std::time::Instant::now();
+    let uncached = sweep.run(&engines);
+    let uncached_secs = t0.elapsed().as_secs_f64();
+
+    let cache = match RunCache::open(&store, 4096) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("perf_bench: cannot open cache store {}: {e}", store.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cached_sweep = sweep.with_cache(Arc::clone(&cache));
+    let t1 = std::time::Instant::now();
+    let cold = cached_sweep.run(&engines);
+    let cold_secs = t1.elapsed().as_secs_f64();
+    // Warm timing is best-of-3, like every other leg in this binary.
+    let mut warm_secs = f64::INFINITY;
+    let mut warm = Vec::new();
+    for _ in 0..3 {
+        let t2 = std::time::Instant::now();
+        warm = cached_sweep.run(&engines);
+        warm_secs = warm_secs.min(t2.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_file(&store);
+
+    // Gate 1: byte-identical artifacts, uncached vs cold vs warm.
+    let parity = [("cold", &cold), ("warm", &warm)];
+    for (leg, records) in parity {
+        if records_to_json(records) != records_to_json(&uncached)
+            || records_table("dse", records).to_csv() != records_table("dse", &uncached).to_csv()
+        {
+            eprintln!("perf_bench: DSE-WARM PARITY FAILURE: {leg} run differs from uncached");
+            return ExitCode::FAILURE;
+        }
+    }
+    let stats = cache.stats();
+    if stats.misses != cells as u64 || stats.hits != 3 * cells as u64 {
+        eprintln!(
+            "perf_bench: DSE-WARM CACHE FAILURE: expected {cells} misses then {} hits, \
+             got {} misses / {} hits",
+            3 * cells,
+            stats.misses,
+            stats.hits
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Gate 3: a triplicated fleet on a fresh store — every duplicate must
+    // resolve as a hit or an in-flight coalesce, never a recomputation.
+    let dup_store =
+        std::env::temp_dir().join(format!("sigma_perf_dse_dedup_{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&dup_store);
+    let dup_cache = match RunCache::open(&dup_store, 4096) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("perf_bench: cannot open cache store {}: {e}", dup_store.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let twin = Arc::clone(&engines[0].engine);
+    let fleet = vec![
+        EngineEntry { slug: engines[0].slug.clone(), engine: Arc::clone(&twin) },
+        EngineEntry { slug: engines[0].slug.clone(), engine: Arc::clone(&twin) },
+        EngineEntry { slug: engines[0].slug.clone(), engine: twin },
+    ];
+    let _ = Sweep::new(workloads.clone())
+        .with_seed(33)
+        .with_threads(4)
+        .with_cache(Arc::clone(&dup_cache))
+        .run(&fleet);
+    let _ = std::fs::remove_file(&dup_store);
+    let dup = dup_cache.stats();
+    let unique = workloads.len() as u64;
+    let dupes = (fleet.len() as u64) * unique - unique;
+    if dup.misses != unique || dup.hits + dup.coalesced != dupes {
+        eprintln!(
+            "perf_bench: DSE-WARM DEDUP FAILURE: {unique} unique cells must miss exactly once \
+             and {dupes} duplicates must coalesce; got {} misses / {} hits / {} coalesced",
+            dup.misses, dup.hits, dup.coalesced
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Gate 2: the speedup floor (skipped on debug timings, like --check).
+    let cold_rate = cells as f64 / cold_secs.max(1e-9);
+    let warm_rate = cells as f64 / warm_secs.max(1e-9);
+    let speedup = warm_rate / cold_rate;
+    let gate_speedup =
+        !cfg!(debug_assertions) || std::env::var_os("SIGMA_PERF_FORCE_CHECK").is_some();
+    if json {
+        println!(
+            "{{\n  \"schema\": 1,\n  \"bench\": \"dse_warm_cells_per_second\",\n  \"cells\": {cells},\n  \
+             \"uncached_secs\": {uncached_secs:.6},\n  \"cold_cells_per_sec\": {cold_rate:.1},\n  \
+             \"warm_cells_per_sec\": {warm_rate:.1},\n  \"speedup\": {speedup:.1},\n  \
+             \"min_speedup\": {DSE_WARM_MIN_SPEEDUP:.1},\n  \"speedup_gated\": {gate_speedup},\n  \
+             \"coalesced_duplicates\": {},\n  \"parity\": \"byte-identical\"\n}}",
+            dup.hits + dup.coalesced
+        );
+    } else if !quiet {
+        let mut t = Table::new(
+            "perf_bench - dse_warm (sweep cells per second)",
+            &["leg", "cells", "wall_ms", "cells/s"],
+        );
+        for (leg, secs) in [("uncached", uncached_secs), ("cold", cold_secs), ("warm", warm_secs)] {
+            t.push(vec![
+                leg.to_string(),
+                cells.to_string(),
+                format!("{:.2}", secs * 1e3),
+                format!("{:.1}", cells as f64 / secs.max(1e-9)),
+            ]);
+        }
+        print!("{t}");
+    }
+    if !gate_speedup {
+        eprintln!(
+            "perf_bench: dse-warm speedup gate skipped: unoptimized build timings are not \
+             comparable (measured {speedup:.1}x; rerun with --release, or set \
+             SIGMA_PERF_FORCE_CHECK=1)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if speedup < DSE_WARM_MIN_SPEEDUP {
+        eprintln!(
+            "perf_bench: DSE-WARM REGRESSION: warm sweep is only {speedup:.1}x cold \
+             (floor {DSE_WARM_MIN_SPEEDUP:.0}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perf_bench: dse-warm passed ({speedup:.0}x warm-over-cold, parity byte-identical, \
+         {} duplicate cells deduplicated)",
+        dup.hits + dup.coalesced
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--json`: the measurement set plus per-case baseline verdicts, as one
+/// machine-readable document on stdout.
+fn render_json(
+    measurements: &[PerfMeasurement],
+    baseline: &[(String, f64)],
+    smoke: bool,
+) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": 1,\n  \"bench\": \"sim_cycles_per_second\",\n  \"cases\": [\n",
+    );
+    for (i, m) in measurements.iter().enumerate() {
+        let tol = tolerance(smoke, m.case.pes());
+        let old = baseline.iter().find(|(n, _)| n == m.case.name).map(|(_, v)| *v);
+        let (baseline_field, ratio_field, verdict) = match old {
+            Some(old) => {
+                let ratio = m.cycles_per_sec / old;
+                let verdict = if ratio < 1.0 - tol { "regressed" } else { "pass" };
+                (format!("{old:.1}"), format!("{ratio:.4}"), verdict)
+            }
+            None => ("null".to_string(), "null".to_string(), "no-baseline"),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"pes\": {}, \"cycles\": {}, \"wall_ms\": {:.3}, \
+             \"cycles_per_sec\": {:.1}, \"baseline_cycles_per_sec\": {baseline_field}, \
+             \"ratio\": {ratio_field}, \"tolerance\": {tol}, \"verdict\": {}}}{}\n",
+            json_string(m.case.name),
+            m.case.pes(),
+            m.cycles,
+            m.best_secs * 1e3,
+            m.cycles_per_sec,
+            json_string(verdict),
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Per-case regression tolerance. Smoke runs use a loose 30% (two reps are
 /// noisy); full runs use 15%, tightened to 10% for the ≥4K-PE cases whose
 /// event-scheduler wall times are long enough to be timing-stable.
@@ -213,6 +450,9 @@ fn main() -> ExitCode {
     if args.telemetry {
         return run_overhead(&ladder, reps, args.quiet);
     }
+    if args.dse_warm {
+        return run_dse_warm(args.smoke, args.quiet, args.json);
+    }
 
     let baseline_text = std::fs::read_to_string(&args.baseline).unwrap_or_default();
     let baseline = parse_baseline(&baseline_text);
@@ -225,7 +465,9 @@ fn main() -> ExitCode {
         measurements.push(measure(case, reps).expect("ladder case must simulate"));
     }
 
-    if !args.quiet {
+    if args.json {
+        print!("{}", render_json(&measurements, &baseline, args.smoke));
+    } else if !args.quiet {
         print!("{}", render(&measurements, &baseline));
     }
 
@@ -276,6 +518,11 @@ fn main() -> ExitCode {
                 100.0 * tolerance(args.smoke, 4096),
             );
         }
+        return ExitCode::SUCCESS;
+    }
+    if args.json {
+        // Report-only: never rewrite the committed baseline from a mode
+        // meant for machine consumers.
         return ExitCode::SUCCESS;
     }
 

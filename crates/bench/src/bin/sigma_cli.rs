@@ -27,10 +27,18 @@
 //! the journal replay instead of re-running, and the output is
 //! byte-identical to an uninterrupted sweep — kill the process at any
 //! point and rerun the same command to pick up where it left off.
+//!
+//! `--cache STORE` attaches the persistent content-addressed run cache:
+//! cells seen by *any* previous sweep or invocation sharing the store are
+//! served from it instead of re-simulated, with byte-identical output
+//! (`--cache-cap N` bounds resident entries, default 4096; `--cache-stats`
+//! prints hit/miss/coalesce/eviction counts to stderr afterwards).
+
+use std::sync::Arc;
 
 use sigma_baselines::{GemmAccelerator, SystolicArray};
 use sigma_bench::harness::{
-    default_registry, demo_suite, engine_by_name, records_table, records_to_json, Sweep,
+    default_registry, demo_suite, engine_by_name, records_table, records_to_json, RunCache, Sweep,
     SweepProfile, WorkloadSpec,
 };
 use sigma_core::model::{estimate, estimate_best, GemmProblem};
@@ -58,6 +66,9 @@ struct Args {
     trace: bool,
     telemetry: bool,
     resume: Option<String>,
+    cache: Option<String>,
+    cache_cap: usize,
+    cache_stats: bool,
     out: Option<String>,
     threads: Option<usize>,
     seed: u64,
@@ -89,6 +100,9 @@ impl Args {
             list_engines: false,
             sweep: false,
             resume: None,
+            cache: None,
+            cache_cap: 4096,
+            cache_stats: false,
             trace: false,
             telemetry: false,
             out: None,
@@ -170,6 +184,15 @@ impl Args {
                     args.resume = Some(v.to_string());
                     Ok(())
                 })?,
+                "--cache" => take(&mut |v| {
+                    args.cache = Some(v.to_string());
+                    Ok(())
+                })?,
+                "--cache-cap" => take(&mut |v| {
+                    args.cache_cap = v.parse().map_err(|e| format!("--cache-cap: {e}"))?;
+                    Ok(())
+                })?,
+                "--cache-stats" => args.cache_stats = true,
                 "--out" => take(&mut |v| {
                     args.out = Some(v.to_string());
                     Ok(())
@@ -189,6 +212,7 @@ impl Args {
                         | --sweep [--workload M:N:K[:da[:db]]]... [--threads T] [--seed S] \
                         [--output text|csv|json] [--telemetry] [--out SUMMARY.json] \
                         [--resume JOURNAL] \
+                        [--cache STORE] [--cache-cap N] [--cache-stats] \
                         | trace [--out TRACE.json] [--telemetry] [--seed S] \
                         | --list-engines"
                         .to_string())
@@ -361,6 +385,25 @@ fn run_sweep(args: &Args) -> i32 {
     if let Some(t) = args.threads {
         sweep = sweep.with_threads(t);
     }
+    let mut warned = 0;
+    let cache = match &args.cache {
+        Some(path) => match RunCache::open(std::path::Path::new(path), args.cache_cap) {
+            Ok(cache) => {
+                let cache = Arc::new(cache);
+                for warning in cache.warnings() {
+                    eprintln!("[cache] {warning}");
+                    warned += 1;
+                }
+                sweep = sweep.with_cache(Arc::clone(&cache));
+                Some(cache)
+            }
+            Err(e) => {
+                eprintln!("cannot open cache {path}: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
     let records = match &args.resume {
         Some(path) => {
             // Crash-safe mode: completed cells replay from the journal,
@@ -385,6 +428,25 @@ fn run_sweep(args: &Args) -> i32 {
         }
         None => sweep.run(&default_registry()),
     };
+    if let Some(cache) = &cache {
+        for warning in cache.warnings().iter().skip(warned) {
+            eprintln!("[cache] {warning}");
+        }
+        if args.cache_stats {
+            let s = cache.stats();
+            eprintln!(
+                "[cache] {} entries in {} (cap {}): {} hits, {} misses, \
+                 {} coalesced in flight, {} evictions",
+                s.entries,
+                cache.path().display(),
+                cache.capacity(),
+                s.hits,
+                s.misses,
+                s.coalesced,
+                s.evictions
+            );
+        }
+    }
     match args.output {
         Output::Text => println!("{}", records_table("Engine sweep", &records)),
         Output::Csv => print!("{}", records_table("Engine sweep", &records).to_csv()),

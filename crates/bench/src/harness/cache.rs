@@ -1,0 +1,817 @@
+//! The content-addressed run cache: cross-sweep memoization of
+//! (engine, workload, seed) cells, with in-flight deduplication.
+//!
+//! The write-ahead journal (PR 7) memoizes cells *within* one resumable
+//! sweep; heavy DSE traffic (ROADMAP items 4 and 5) repeats the same
+//! cells *across* sweeps and CLI invocations. [`RunCache`] closes that
+//! gap: a persistent store shared by any number of sweeps, fronted by an
+//! in-memory `BTreeMap` index, that answers a repeated cell in one map
+//! lookup instead of a simulation — the Benes `RouteCache` idea lifted
+//! to whole-run granularity.
+//!
+//! # Keying
+//!
+//! Cells are addressed by [`CellKey`], a versioned canonical string over
+//! the *full* cell identity — key-layout revision, [`RECORD_SCHEMA`],
+//! engine slug, [`Engine::fingerprint`] (every result-affecting
+//! `SigmaConfig` knob), the fault plan, workload name + shape + exact
+//! density bit patterns, and the materialized seed — digested to 128
+//! bits as two independently-salted FNV-1a 64 halves. The canonical
+//! string is stored *alongside* every entry and compared on hit, so an
+//! FNV collision degrades to a miss, never a silently aliased record.
+//!
+//! # Coalescing
+//!
+//! Concurrent requests for the same key are deduplicated: the first
+//! caller's [`Lookup::Miss`] lease makes it the executor, and later
+//! callers block on a condvar until the lease is fulfilled (they wake to
+//! a hit, counted separately as *coalesced*) or abandoned (one waiter
+//! inherits the lease). Identical in-flight cells execute exactly once.
+//!
+//! # Eviction and crash-safety
+//!
+//! The index is capped: inserting beyond `capacity` evicts the
+//! least-recently-used entry (a generation counter bumped on every hit).
+//! Persistence reuses the journal machinery wholesale — fsynced
+//! canonical-JSON appends, tolerant replay, and write-temp/fsync/rename
+//! compaction (triggered amortized, once per `capacity` appends) — so
+//! the crash model and the sigma-lint D6 atomic-write ban carry over
+//! unchanged.
+//!
+//! [`Engine::fingerprint`]: sigma_core::Engine::fingerprint
+//! [`RECORD_SCHEMA`]: crate::harness::record::RECORD_SCHEMA
+
+use crate::harness::journal::{fnv1a_64, replay, JournalWriter};
+use crate::harness::record::{RunRecord, RECORD_SCHEMA};
+use crate::harness::sweep::WorkloadSpec;
+use sigma_core::{Engine, FaultPlan};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Revision of the [`CellKey`] canonical layout itself. Bumping it (when
+/// a segment is added, removed, or re-rendered) changes every key, so
+/// entries written by older layouts can never replay as hits.
+pub const CELL_KEY_REVISION: u32 = 1;
+
+/// Salt prefixed to the canonical string for the low digest half, so the
+/// two FNV-1a 64 halves of the 128-bit key are independent functions.
+const LO_DIGEST_SALT: &str = "sigma-cellkey-lo|";
+
+/// The full content identity of one sweep cell, canonicalized and
+/// digested.
+///
+/// Equality (and journal/cache hits) compare the *canonical string*, not
+/// the digest — the digest only indexes. See the module docs for what
+/// the canonical string covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    hi: u64,
+    lo: u64,
+    canonical: String,
+}
+
+impl CellKey {
+    /// Keys one cell: `engine_slug` is the grid coordinate (two slugs
+    /// may front identical engines and must still key apart — the
+    /// record's `engine_slug` column differs), `fingerprint` is the
+    /// engine's [`fingerprint`](sigma_core::Engine::fingerprint), and
+    /// `seed` is the workload's *materialized* seed (already derived
+    /// from the sweep seed and workload index).
+    #[must_use]
+    pub fn new(engine_slug: &str, fingerprint: &str, workload: &WorkloadSpec, seed: u64) -> Self {
+        Self::with_faults(engine_slug, fingerprint, &FaultPlan::none(), workload, seed)
+    }
+
+    /// [`CellKey::new`] with an explicit fault plan folded into the
+    /// identity (sweeps inject no faults, so [`CellKey::new`] uses the
+    /// empty plan; fault campaigns that memoize must key their plans).
+    #[must_use]
+    pub fn with_faults(
+        engine_slug: &str,
+        fingerprint: &str,
+        faults: &FaultPlan,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Self {
+        let p = &workload.problem;
+        let canonical = format!(
+            "k{CELL_KEY_REVISION}|rec{RECORD_SCHEMA}|{engine_slug}|{fingerprint}|{}|{}|{}x{}x{}|da={:016x}|db={:016x}|seed={seed:016x}",
+            faults.canonical_key(),
+            workload.name,
+            p.shape.m,
+            p.shape.n,
+            p.shape.k,
+            p.density_a.to_bits(),
+            p.density_b.to_bits(),
+        );
+        Self::from_canonical(canonical)
+    }
+
+    /// Convenience for harness call sites holding an engine: keys the
+    /// cell with the engine's own fingerprint and no faults.
+    #[must_use]
+    pub fn for_engine(
+        engine_slug: &str,
+        engine: &dyn Engine,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Self {
+        Self::new(engine_slug, &engine.fingerprint(), workload, seed)
+    }
+
+    /// Rebuilds a key from a canonical string (journal replay); the
+    /// digest is always recomputed, never trusted from disk.
+    #[must_use]
+    pub fn from_canonical(canonical: String) -> Self {
+        let hi = fnv1a_64(canonical.as_bytes());
+        let lo = fnv1a_64(format!("{LO_DIGEST_SALT}{canonical}").as_bytes());
+        Self { hi, lo, canonical }
+    }
+
+    /// The canonical identity string.
+    #[must_use]
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 128-bit digest as an ordered pair (index key).
+    #[must_use]
+    pub fn digest(&self) -> (u64, u64) {
+        (self.hi, self.lo)
+    }
+
+    /// The digest as 32 lowercase hex digits (the on-disk `"key"` field).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Observable cache traffic since the cache was opened (monotonic; the
+/// loaded-entry count is a level, not a counter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the index.
+    pub hits: u64,
+    /// Lookups that leased execution to the caller.
+    pub misses: u64,
+    /// Lookups that blocked on an in-flight duplicate and woke to its
+    /// result (counted instead of, not in addition to, `hits`).
+    pub coalesced: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Completed cells appended to the store by this process.
+    pub insertions: u64,
+    /// Entries currently resident in the index.
+    pub entries: u64,
+}
+
+/// One resident cache entry.
+#[derive(Debug)]
+struct Slot {
+    canonical: String,
+    record: RunRecord,
+    /// Generation stamp of the last hit/insert; smallest evicts first.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    /// Digest-indexed entries; the canonical string inside each slot is
+    /// the authoritative identity.
+    index: BTreeMap<(u64, u64), Slot>,
+    /// Digests currently leased to an executor.
+    pending: BTreeMap<(u64, u64), ()>,
+    writer: JournalWriter,
+    generation: u64,
+    appends_since_compaction: u64,
+    stats: CacheStats,
+    io_warnings: Vec<String>,
+}
+
+/// A persistent, capacity-bounded, coalescing result cache. See the
+/// module docs; share one instance across sweeps via `Arc`.
+#[derive(Debug)]
+pub struct RunCache {
+    state: Mutex<CacheState>,
+    cond: Condvar,
+    capacity: usize,
+    path: PathBuf,
+    load_warnings: Vec<String>,
+}
+
+/// What [`RunCache::lookup`] resolved to.
+#[derive(Debug)]
+pub enum Lookup<'a> {
+    /// The cell is cached (or an in-flight duplicate just completed);
+    /// here is its record.
+    Hit(Box<RunRecord>),
+    /// The cell is absent and *this caller* holds the execution lease:
+    /// run the cell and [`fulfill`](CellLease::fulfill) the lease (or
+    /// drop it to let a waiting duplicate take over).
+    Miss(CellLease<'a>),
+}
+
+/// An execution lease on one absent cell. Exactly one lease per key
+/// exists at a time; concurrent lookups for the same key block until the
+/// holder fulfills (they wake to a hit) or drops it (one waiter inherits
+/// the lease).
+#[derive(Debug)]
+pub struct CellLease<'a> {
+    cache: &'a RunCache,
+    key: CellKey,
+    fulfilled: bool,
+}
+
+impl CellLease<'_> {
+    /// The key this lease is for.
+    #[must_use]
+    pub fn key(&self) -> &CellKey {
+        &self.key
+    }
+
+    /// Publishes the executed cell: inserts it into the index, appends
+    /// it durably to the store, and wakes every coalesced waiter.
+    ///
+    /// An I/O failure on the append degrades to a warning (see
+    /// [`RunCache::warnings`]): the entry still serves from memory for
+    /// this process, it just won't survive a restart.
+    pub fn fulfill(mut self, record: &RunRecord) {
+        self.fulfilled = true;
+        self.cache.insert(&self.key, record);
+    }
+}
+
+impl Drop for CellLease<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let mut state = self.cache.lock();
+            state.pending.remove(&self.key.digest());
+            drop(state);
+            self.cache.cond.notify_all();
+        }
+    }
+}
+
+impl RunCache {
+    /// Opens (or creates) the cache persisted at `path`, holding at most
+    /// `capacity` entries (clamped to at least 1). Corrupt store content
+    /// never errors: damaged lines are skipped into [`RunCache::warnings`]
+    /// and their cells simply miss. When the store holds more than
+    /// `capacity` entries, the oldest (earliest-written) are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening the store file (a *missing* file is
+    /// a fresh cache, not an error).
+    pub fn open(path: &Path, capacity: usize) -> std::io::Result<Self> {
+        let capacity = capacity.max(1);
+        let replayed = replay(path)?;
+        let mut warnings = replayed.warnings;
+        let mut index = BTreeMap::new();
+        let mut generation = 0u64;
+        for (key, record) in replayed.entries {
+            generation += 1;
+            let slot =
+                Slot { canonical: key.canonical().to_string(), record, last_used: generation };
+            if index.insert(key.digest(), slot).is_some() {
+                // replay() already deduplicates per key; two *distinct*
+                // canonicals on one digest are a persisted collision.
+                warnings.push(format!(
+                    "cache load: digest collision on {}; keeping the later entry",
+                    key.hex()
+                ));
+            }
+        }
+        while index.len() > capacity {
+            if let Some(oldest) = min_generation_digest(&index) {
+                index.remove(&oldest);
+            }
+        }
+        let entries = index.len() as u64;
+        let writer = JournalWriter::open(path)?;
+        Ok(Self {
+            state: Mutex::new(CacheState {
+                index,
+                pending: BTreeMap::new(),
+                writer,
+                generation,
+                appends_since_compaction: 0,
+                stats: CacheStats { entries, ..CacheStats::default() },
+                io_warnings: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            capacity,
+            path: path.to_path_buf(),
+            load_warnings: warnings,
+        })
+    }
+
+    /// The store path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Warnings accumulated loading the store plus any append/compaction
+    /// I/O failures since (each degrades durability, never correctness).
+    #[must_use]
+    pub fn warnings(&self) -> Vec<String> {
+        let state = self.lock();
+        let mut all = self.load_warnings.clone();
+        all.extend(state.io_warnings.iter().cloned());
+        all
+    }
+
+    /// A snapshot of the traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Resolves `key`: a verified hit returns the record; an absent key
+    /// returns the execution lease; an in-flight key blocks until its
+    /// executor finishes. See [`Lookup`].
+    #[must_use]
+    pub fn lookup(&self, key: &CellKey) -> Lookup<'_> {
+        let digest = key.digest();
+        let mut state = self.lock();
+        let mut waited = false;
+        loop {
+            state.generation += 1;
+            let generation = state.generation;
+            if let Some(slot) = state.index.get_mut(&digest) {
+                // The canonical comparison is the hit condition; a digest
+                // collision (different canonical) falls through as a miss
+                // and can never alias.
+                if slot.canonical == key.canonical {
+                    slot.last_used = generation;
+                    let record = Box::new(slot.record.clone());
+                    if waited {
+                        state.stats.coalesced += 1;
+                    } else {
+                        state.stats.hits += 1;
+                    }
+                    return Lookup::Hit(record);
+                }
+            }
+            if state.pending.contains_key(&digest) {
+                state = match self.cond.wait(state) {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                waited = true;
+                continue;
+            }
+            state.pending.insert(digest, ());
+            state.stats.misses += 1;
+            return Lookup::Miss(CellLease { cache: self, key: key.clone(), fulfilled: false });
+        }
+    }
+
+    /// Probes without leasing: a verified hit returns the record (and
+    /// refreshes its generation), anything else — absent or in flight —
+    /// returns `None` without blocking or counting a miss.
+    #[must_use]
+    pub fn probe(&self, key: &CellKey) -> Option<Box<RunRecord>> {
+        let mut state = self.lock();
+        state.generation += 1;
+        let generation = state.generation;
+        let slot = state.index.get_mut(&key.digest())?;
+        (slot.canonical == key.canonical).then(|| {
+            slot.last_used = generation;
+            Box::new(slot.record.clone())
+        })
+    }
+
+    /// Inserts a fulfilled cell, evicts beyond capacity, appends to the
+    /// store, compacts amortized, and wakes waiters.
+    fn insert(&self, key: &CellKey, record: &RunRecord) {
+        let mut state = self.lock();
+        state.pending.remove(&key.digest());
+        state.generation += 1;
+        let generation = state.generation;
+        state.index.insert(
+            key.digest(),
+            Slot {
+                canonical: key.canonical.clone(),
+                record: record.clone(),
+                last_used: generation,
+            },
+        );
+        while state.index.len() > self.capacity {
+            if let Some(oldest) = min_generation_digest(&state.index) {
+                state.index.remove(&oldest);
+                state.stats.evictions += 1;
+            }
+        }
+        state.stats.insertions += 1;
+        state.stats.entries = state.index.len() as u64;
+        if let Err(e) = state.writer.append(key, record) {
+            let hex = key.hex();
+            state.io_warnings.push(format!("cache append failed for {hex}: {e}"));
+        } else {
+            state.appends_since_compaction += 1;
+        }
+        // Amortized store compaction: evicted and superseded lines pile
+        // up append-only; once a capacity's worth has landed, rewrite
+        // the file to exactly the resident index (atomically).
+        if state.appends_since_compaction >= self.capacity as u64 {
+            state.appends_since_compaction = 0;
+            let st = &mut *state;
+            let entries: Vec<(CellKey, &RunRecord)> = st
+                .index
+                .values()
+                .map(|slot| (CellKey::from_canonical(slot.canonical.clone()), &slot.record))
+                .collect();
+            let borrowed: Vec<(&CellKey, &RunRecord)> =
+                entries.iter().map(|(k, r)| (k, *r)).collect();
+            if let Err(e) = st.writer.compact(&borrowed) {
+                st.io_warnings.push(format!("cache compaction failed: {e}"));
+            }
+        }
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Locks the state, recovering from a poisoned mutex (a panicking
+    /// cache user must not wedge every other sweep thread).
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The digest of the entry with the smallest generation stamp.
+fn min_generation_digest(index: &BTreeMap<(u64, u64), Slot>) -> Option<(u64, u64)> {
+    index.iter().min_by_key(|(_, slot)| slot.last_used).map(|(digest, _)| *digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::record::CellProfile;
+    use sigma_core::model::GemmProblem;
+    use sigma_core::{CycleStats, EngineRun};
+    use sigma_matrix::{GemmShape, Matrix};
+
+    fn workload() -> WorkloadSpec {
+        WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.25))
+    }
+
+    fn sample(slug: &str) -> RunRecord {
+        let p = workload().problem;
+        let run = EngineRun::new(
+            Matrix::zeros(4, 5),
+            CycleStats { streaming_cycles: 10, pes: 8, ..CycleStats::default() },
+        );
+        RunRecord::from_run(
+            slug,
+            "Engine",
+            8,
+            "wl",
+            &p,
+            7,
+            &run,
+            1e-6,
+            true,
+            CellProfile::default(),
+        )
+    }
+
+    fn key(tag: &str) -> CellKey {
+        CellKey::new(tag, "fp", &workload(), 7)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sigma_cache_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.cache", std::process::id()))
+    }
+
+    fn fresh(name: &str, capacity: usize) -> RunCache {
+        let path = tmp(name);
+        let _ = std::fs::remove_file(&path);
+        RunCache::open(&path, capacity).unwrap()
+    }
+
+    #[test]
+    fn cell_keys_separate_every_identity_dimension() {
+        let w = workload();
+        let base = CellKey::new("sigma", "fp-a", &w, 7);
+        let other_shape =
+            WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 7), 0.5, 0.25));
+        let other_density =
+            WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.26));
+        let faulted = CellKey::with_faults(
+            "sigma",
+            "fp-a",
+            &FaultPlan::single(
+                sigma_core::FaultSite::BitmapWord { word: 0 },
+                sigma_core::FaultKind::CorruptWord { mask: 1 },
+            ),
+            &w,
+            7,
+        );
+        let variants = [
+            base.clone(),
+            CellKey::new("eie", "fp-a", &w, 7),
+            CellKey::new("sigma", "fp-b", &w, 7),
+            CellKey::new("sigma", "fp-a", &w, 8),
+            CellKey::new("sigma", "fp-a", &other_shape, 7),
+            CellKey::new("sigma", "fp-a", &other_density, 7),
+            faulted,
+        ];
+        let mut canonicals: Vec<&str> = variants.iter().map(CellKey::canonical).collect();
+        canonicals.sort_unstable();
+        canonicals.dedup();
+        assert_eq!(canonicals.len(), variants.len(), "every dimension perturbs the key");
+        let mut digests: Vec<(u64, u64)> = variants.iter().map(CellKey::digest).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), variants.len());
+        assert_eq!(base, CellKey::new("sigma", "fp-a", &w, 7), "keys are deterministic");
+        assert_eq!(base.hex().len(), 32);
+        assert_eq!(CellKey::from_canonical(base.canonical().to_string()), base);
+    }
+
+    /// Satellite 1 regression (staleness bug): the key layout revision
+    /// and the record schema are part of the identity, so bumping either
+    /// changes every key and stale persisted entries can never replay as
+    /// hits. The canonical prefix pins both.
+    #[test]
+    fn key_canonical_pins_layout_and_record_schema() {
+        let k = key("sigma");
+        let expected = format!("k{CELL_KEY_REVISION}|rec{RECORD_SCHEMA}|sigma|fp|f1;|wl|");
+        assert!(
+            k.canonical().starts_with(&expected),
+            "canonical {:?} must open with {expected:?}",
+            k.canonical()
+        );
+        // A simulated schema bump (what the canonical would become)
+        // yields a different digest — the persisted entry misses.
+        let bumped = CellKey::from_canonical(k.canonical().replacen(
+            &format!("rec{RECORD_SCHEMA}|"),
+            "rec999|",
+            1,
+        ));
+        assert_ne!(bumped.digest(), k.digest());
+        // Likewise an engine config revision: same slug, new fingerprint.
+        let reconfigured = CellKey::new("sigma", "fp-v2", &workload(), 7);
+        assert_ne!(reconfigured.digest(), k.digest());
+    }
+
+    #[test]
+    fn miss_fulfill_hit_round_trips_the_record() {
+        let cache = fresh("round_trip", 8);
+        let k = key("a");
+        match cache.lookup(&k) {
+            Lookup::Hit(_) => panic!("fresh cache cannot hit"),
+            Lookup::Miss(lease) => {
+                assert_eq!(lease.key(), &k);
+                lease.fulfill(&sample("a"));
+            }
+        }
+        match cache.lookup(&k) {
+            Lookup::Hit(record) => assert_eq!(*record, sample("a")),
+            Lookup::Miss(_) => panic!("fulfilled cell must hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(cache.warnings().is_empty(), "{:?}", cache.warnings());
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn cache_persists_across_reopen() {
+        let path = tmp("persist");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = RunCache::open(&path, 8).unwrap();
+            if let Lookup::Miss(lease) = cache.lookup(&key("a")) {
+                lease.fulfill(&sample("a"));
+            }
+            if let Lookup::Miss(lease) = cache.lookup(&key("b")) {
+                lease.fulfill(&sample("b"));
+            };
+        }
+        let reopened = RunCache::open(&path, 8).unwrap();
+        assert!(reopened.warnings().is_empty(), "{:?}", reopened.warnings());
+        assert_eq!(reopened.stats().entries, 2);
+        match reopened.lookup(&key("a")) {
+            Lookup::Hit(record) => {
+                assert_eq!(*record, sample("a"), "records replay bit-exactly");
+                assert_eq!(record.to_json(), sample("a").to_json());
+            }
+            Lookup::Miss(_) => panic!("persisted cell must hit after reopen"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hit_verifies_the_canonical_string_not_just_the_digest() {
+        let cache = fresh("collision", 8);
+        let k = key("a");
+        if let Lookup::Miss(lease) = cache.lookup(&k) {
+            lease.fulfill(&sample("a"));
+        }
+        // Forge a key with the same digest but a different canonical —
+        // exactly what an FNV collision would present.
+        let forged =
+            CellKey { hi: k.digest().0, lo: k.digest().1, canonical: "someone else".into() };
+        match cache.lookup(&forged) {
+            Lookup::Hit(_) => panic!("a digest collision must never alias"),
+            Lookup::Miss(lease) => drop(lease),
+        }
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = fresh("eviction", 2);
+        for tag in ["a", "b"] {
+            if let Lookup::Miss(lease) = cache.lookup(&key(tag)) {
+                lease.fulfill(&sample(tag));
+            }
+        }
+        // Touch "a" so "b" is the LRU entry, then insert "c".
+        assert!(matches!(cache.lookup(&key("a")), Lookup::Hit(_)));
+        if let Lookup::Miss(lease) = cache.lookup(&key("c")) {
+            lease.fulfill(&sample("c"));
+        }
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(matches!(cache.lookup(&key("a")), Lookup::Hit(_)), "recently used survives");
+        assert!(matches!(cache.lookup(&key("c")), Lookup::Hit(_)));
+        match cache.lookup(&key("b")) {
+            Lookup::Miss(lease) => drop(lease),
+            Lookup::Hit(_) => panic!("LRU entry must have been evicted"),
+        }
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn store_stays_bounded_via_amortized_compaction() {
+        let path = tmp("compaction");
+        let _ = std::fs::remove_file(&path);
+        let cache = RunCache::open(&path, 4).unwrap();
+        // 64 distinct cells through a 4-entry cache: without compaction
+        // the store would hold 64 lines.
+        for i in 0..64 {
+            let k = CellKey::new(&format!("slug{i}"), "fp", &workload(), 7);
+            if let Lookup::Miss(lease) = cache.lookup(&k) {
+                lease.fulfill(&sample("x"));
+            }
+        }
+        assert!(cache.warnings().is_empty(), "{:?}", cache.warnings());
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert!(lines <= 8, "store must stay within ~2x capacity, got {lines} lines");
+        // And the survivors still replay.
+        drop(cache);
+        let reopened = RunCache::open(&path, 4).unwrap();
+        assert_eq!(reopened.stats().entries, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_with_smaller_capacity_drops_oldest_entries() {
+        let path = tmp("shrink");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = RunCache::open(&path, 8).unwrap();
+            for tag in ["a", "b", "c"] {
+                if let Lookup::Miss(lease) = cache.lookup(&key(tag)) {
+                    lease.fulfill(&sample(tag));
+                }
+            }
+        }
+        let small = RunCache::open(&path, 1).unwrap();
+        assert_eq!(small.stats().entries, 1);
+        assert!(matches!(small.lookup(&key("c")), Lookup::Hit(_)), "newest entry survives");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_store_lines_degrade_to_warnings_and_misses() {
+        use std::io::Write;
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = RunCache::open(&path, 8).unwrap();
+            if let Lookup::Miss(lease) = cache.lookup(&key("a")) {
+                lease.fulfill(&sample("a"));
+            };
+        }
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"\xff\xfegarbage\n").unwrap();
+        drop(f);
+        let cache = RunCache::open(&path, 8).unwrap();
+        assert_eq!(cache.warnings().len(), 1, "{:?}", cache.warnings());
+        assert!(matches!(cache.lookup(&key("a")), Lookup::Hit(_)), "intact line still replays");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Tentpole acceptance (coalescing): N threads looking up the same
+    /// absent key produce exactly one lease; the others block and wake
+    /// to the executor's record. A barrier proves they overlap.
+    #[test]
+    fn inflight_duplicates_execute_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let cache = fresh("coalesce", 8);
+        let k = key("shared");
+        let executions = AtomicUsize::new(0);
+        let start = Barrier::new(4);
+        let results: Vec<RunRecord> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        start.wait();
+                        match cache.lookup(&k) {
+                            Lookup::Hit(record) => *record,
+                            Lookup::Miss(lease) => {
+                                executions.fetch_add(1, Ordering::SeqCst);
+                                // Hold the lease long enough that the
+                                // other threads demonstrably block.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                let record = sample("shared");
+                                lease.fulfill(&record);
+                                record
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "exactly one executor");
+        assert!(results.iter().all(|r| r == &sample("shared")));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced, 3, "the three duplicates coalesced");
+        assert_eq!(stats.insertions, 1);
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    /// An executor that dies (drops its lease without fulfilling) must
+    /// not wedge the waiters: one of them inherits the lease.
+    #[test]
+    fn abandoned_lease_hands_over_to_a_waiter() {
+        use std::sync::Barrier;
+        let cache = fresh("abandon", 8);
+        let k = key("fragile");
+        let start = Barrier::new(2);
+        let outcome: Vec<bool> = std::thread::scope(|s| {
+            let abandoner = s.spawn(|| {
+                let lookup = cache.lookup(&k);
+                start.wait();
+                match lookup {
+                    // Simulated executor death: drop without fulfilling.
+                    Lookup::Miss(lease) => {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        drop(lease);
+                        false
+                    }
+                    Lookup::Hit(_) => true,
+                }
+            });
+            let waiter = s.spawn(|| {
+                start.wait();
+                match cache.lookup(&k) {
+                    Lookup::Hit(_) => true,
+                    Lookup::Miss(lease) => {
+                        lease.fulfill(&sample("fragile"));
+                        false
+                    }
+                }
+            });
+            vec![abandoner.join().unwrap(), waiter.join().unwrap()]
+        });
+        assert_eq!(outcome, vec![false, false], "waiter inherited the lease after abandonment");
+        assert!(matches!(cache.lookup(&k), Lookup::Hit(_)), "the inherited lease was fulfilled");
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn probe_reads_without_leasing() {
+        let cache = fresh("probe", 8);
+        let k = key("a");
+        assert!(cache.probe(&k).is_none());
+        assert_eq!(cache.stats().misses, 0, "probe never counts a miss");
+        if let Lookup::Miss(lease) = cache.lookup(&k) {
+            lease.fulfill(&sample("a"));
+        }
+        assert_eq!(*cache.probe(&k).unwrap(), sample("a"));
+        let _ = std::fs::remove_file(cache.path());
+    }
+}

@@ -2,11 +2,12 @@
 //!
 //! A killed or OOM'd sweep process used to lose every completed cell.
 //! The journal closes that gap: each finished cell's [`RunRecord`] is
-//! appended (and fsynced) as **one canonical JSON line** keyed by a
-//! content hash of the canonicalized (engine slug, workload spec, seed)
-//! tuple, so [`Sweep::resume`](crate::harness::Sweep::resume) can replay
-//! the file, skip completed cells, and produce final CSV/JSON output
-//! byte-identical to an uninterrupted run.
+//! appended (and fsynced) as **one canonical JSON line** keyed by its
+//! [`CellKey`] — digest plus the full canonical cell identity — so
+//! [`Sweep::resume`](crate::harness::Sweep::resume) can replay the
+//! file, skip completed cells, and produce final CSV/JSON output
+//! byte-identical to an uninterrupted run. The same line format and
+//! writer back the persistent [`RunCache`](crate::harness::RunCache).
 //!
 //! # Crash model
 //!
@@ -25,21 +26,33 @@
 //!
 //! # Key canonicalization
 //!
-//! The key is a hand-rolled FNV-1a 64-bit digest (no external hash
-//! crates, and deliberately *not* `std::collections`' `RandomState`,
-//! which the D1 determinism lints ban) over a canonical string naming
-//! the schema version, engine slug, workload name, GEMM shape, operand
-//! density *bit patterns* (exact, not formatted), and the materialized
-//! seed. Two cells collide only if they would produce the same record.
+//! Cells are addressed by [`CellKey`] (see
+//! [`cache`](crate::harness::cache)): a canonical string over the full
+//! cell identity — key layout revision, record schema, engine slug and
+//! fingerprint, fault plan, workload name + shape + operand density
+//! *bit patterns* (exact, not formatted), and the materialized seed —
+//! digested to 128 bits by two independently-salted hand-rolled FNV-1a
+//! 64 halves (no external hash crates, and deliberately *not*
+//! `std::collections`' `RandomState`, which the D1 determinism lints
+//! ban). Every line stores the canonical string alongside the digest
+//! and lookups compare the *string*, so a digest collision degrades to
+//! a rerun, never a silently aliased record.
 
+use crate::harness::cache::CellKey;
 use crate::harness::record::{RunRecord, RunStatus};
-use crate::harness::sweep::WorkloadSpec;
+use crate::util::json_string;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Version stamped into every journal line; replay skips other versions.
-pub const JOURNAL_SCHEMA: u32 = 1;
+///
+/// v2 (the cache PR) widened the key to 128 bits and added the stored
+/// `"cell"` canonical identity; v1 lines replay as stale-schema warnings
+/// and their cells rerun — the v1 key omitted the record schema and
+/// engine fingerprint, so replaying them as hits would be exactly the
+/// staleness bug the widened key exists to prevent.
+pub const JOURNAL_SCHEMA: u32 = 2;
 
 /// FNV-1a 64-bit over `bytes` — deterministic across platforms and runs.
 #[must_use]
@@ -52,24 +65,15 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Content key of one (engine, workload, seed) sweep cell.
-///
-/// Canonical form hashed: schema version, engine slug, workload name,
-/// `m x n x k`, the exact IEEE-754 bit patterns of both densities, and
-/// the seed the operands were materialized from.
-#[must_use]
-pub fn cell_key(engine_slug: &str, workload: &WorkloadSpec, seed: u64) -> u64 {
-    let p = &workload.problem;
-    let canonical = format!(
-        "v{JOURNAL_SCHEMA}|{engine_slug}|{}|{}x{}x{}|da={:016x}|db={:016x}|seed={seed:016x}",
-        workload.name,
-        p.shape.m,
-        p.shape.n,
-        p.shape.k,
-        p.density_a.to_bits(),
-        p.density_b.to_bits(),
-    );
-    fnv1a_64(canonical.as_bytes())
+/// Renders one journal/cache line: schema, digest, canonical identity,
+/// record.
+fn render_line(key: &CellKey, record: &RunRecord) -> String {
+    format!(
+        "{{\"schema\": {JOURNAL_SCHEMA}, \"key\": \"{}\", \"cell\": {}, \"record\": {}}}\n",
+        key.hex(),
+        json_string(key.canonical()),
+        record.to_json()
+    )
 }
 
 /// Append-side handle on a journal file.
@@ -99,11 +103,8 @@ impl JournalWriter {
     /// # Errors
     ///
     /// Propagates the I/O error when the write or sync fails.
-    pub fn append(&mut self, key: u64, record: &RunRecord) -> std::io::Result<()> {
-        let line = format!(
-            "{{\"schema\": {JOURNAL_SCHEMA}, \"key\": \"{key:016x}\", \"record\": {}}}\n",
-            record.to_json()
-        );
+    pub fn append(&mut self, key: &CellKey, record: &RunRecord) -> std::io::Result<()> {
+        let line = render_line(key, record);
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()?;
         self.appends += 1;
@@ -130,16 +131,12 @@ impl JournalWriter {
     /// # Errors
     ///
     /// Propagates the I/O error when the temp write or rename fails.
-    pub fn compact(&mut self, entries: &[(u64, &RunRecord)]) -> std::io::Result<()> {
+    pub fn compact(&mut self, entries: &[(&CellKey, &RunRecord)]) -> std::io::Result<()> {
         let tmp = self.path.with_extension("journal.tmp");
         {
             let mut tmp_file = File::create(&tmp)?;
             for (key, record) in entries {
-                let line = format!(
-                    "{{\"schema\": {JOURNAL_SCHEMA}, \"key\": \"{key:016x}\", \"record\": {}}}\n",
-                    record.to_json()
-                );
-                tmp_file.write_all(line.as_bytes())?;
+                tmp_file.write_all(render_line(key, record).as_bytes())?;
             }
             tmp_file.sync_data()?;
         }
@@ -162,16 +159,18 @@ impl JournalWriter {
 pub struct JournalReplay {
     /// `(key, record)` pairs in journal order, first occurrence of each
     /// key winning.
-    pub entries: Vec<(u64, RunRecord)>,
+    pub entries: Vec<(CellKey, RunRecord)>,
     /// One human-readable warning per skipped line.
     pub warnings: Vec<String>,
 }
 
 impl JournalReplay {
-    /// The replayed record for `key`, if the journal holds one.
+    /// The replayed record for `key`, if the journal holds one. The
+    /// match compares *canonical identity strings*, so a digest
+    /// collision on disk can never alias a different cell.
     #[must_use]
-    pub fn get(&self, key: u64) -> Option<&RunRecord> {
-        self.entries.iter().find(|(k, _)| *k == key).map(|(_, r)| r)
+    pub fn get(&self, key: &CellKey) -> Option<&RunRecord> {
+        self.entries.iter().find(|(k, _)| k.canonical() == key.canonical()).map(|(_, r)| r)
     }
 }
 
@@ -211,10 +210,11 @@ pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
                 ));
             }
             Ok(Parsed::Entry(key, record)) => {
-                if out.entries.iter().any(|(k, _)| *k == key) {
+                if out.entries.iter().any(|(k, _)| k.canonical() == key.canonical()) {
                     out.warnings.push(format!(
-                        "journal line {}: duplicate key {key:016x}; keeping the first occurrence",
-                        i + 1
+                        "journal line {}: duplicate key {}; keeping the first occurrence",
+                        i + 1,
+                        key.hex()
                     ));
                     continue;
                 }
@@ -238,13 +238,15 @@ pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
 /// Outcome of parsing one syntactically valid journal line.
 enum Parsed {
     /// A current-schema entry.
-    Entry(u64, Box<RunRecord>),
+    Entry(CellKey, Box<RunRecord>),
     /// A line from a different schema version — its record layout may
     /// not match ours, so it is reported without attempting to parse it.
     StaleSchema(u32),
 }
 
-/// Parses one journal line.
+/// Parses one journal line. The key digest is recomputed from the
+/// stored canonical identity and checked against the stored hex — a
+/// mismatch (bit rot, a hand-edited line) is corruption, not an entry.
 fn parse_line(line: &str) -> Result<Parsed, String> {
     let value = parse_json(line)?;
     let obj = value.as_object().ok_or("top level is not an object")?;
@@ -255,10 +257,14 @@ fn parse_line(line: &str) -> Result<Parsed, String> {
     if schema != JOURNAL_SCHEMA {
         return Ok(Parsed::StaleSchema(schema));
     }
-    let key = field(obj, "key")?
-        .as_str()
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or("key is not a hex string")?;
+    let stored_hex = field(obj, "key")?.as_str().ok_or("key is not a string")?;
+    let canonical = field(obj, "cell")?.as_str().ok_or("cell is not a string")?;
+    let key = CellKey::from_canonical(canonical.to_string());
+    if key.hex() != stored_hex {
+        return Err(format!(
+            "key {stored_hex} does not match the digest of the stored cell identity"
+        ));
+    }
     let record_obj = field(obj, "record")?.as_object().ok_or("record is not an object")?;
     let record = record_from_obj(record_obj)?;
     Ok(Parsed::Entry(key, Box::new(record)))
@@ -526,12 +532,17 @@ fn record_from_obj(obj: &[(String, Json)]) -> Result<RunRecord, String> {
 mod tests {
     use super::*;
     use crate::harness::record::CellProfile;
+    use crate::harness::sweep::WorkloadSpec;
     use sigma_core::model::GemmProblem;
     use sigma_core::{CycleStats, EngineRun};
     use sigma_matrix::{GemmShape, Matrix};
 
     fn workload() -> WorkloadSpec {
         WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.25))
+    }
+
+    fn k(tag: &str) -> CellKey {
+        CellKey::new(tag, "fp", &workload(), 7)
     }
 
     fn sample(slug: &str) -> RunRecord {
@@ -569,30 +580,6 @@ mod tests {
     }
 
     #[test]
-    fn cell_keys_separate_engines_workloads_and_seeds() {
-        let w = workload();
-        let mut keys = vec![
-            cell_key("sigma", &w, 7),
-            cell_key("eie", &w, 7),
-            cell_key("sigma", &w, 8),
-            cell_key(
-                "sigma",
-                &WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 7), 0.5, 0.25)),
-                7,
-            ),
-            cell_key(
-                "sigma",
-                &WorkloadSpec::new("wl", GemmProblem::sparse(GemmShape::new(4, 5, 6), 0.5, 0.26)),
-                7,
-            ),
-        ];
-        keys.sort_unstable();
-        keys.dedup();
-        assert_eq!(keys.len(), 5, "every dimension must perturb the key");
-        assert_eq!(cell_key("sigma", &w, 7), cell_key("sigma", &w, 7));
-    }
-
-    #[test]
     fn append_then_replay_round_trips_records_exactly() {
         let path = tmp("round_trip");
         let _ = std::fs::remove_file(&path);
@@ -600,21 +587,43 @@ mod tests {
         let mut degraded = sample("slow");
         degraded.status = RunStatus::Degraded;
         degraded.error = Some("budget exhausted twice; degraded".to_string());
-        let records = [sample("a"), sample("b"), degraded];
-        for (i, r) in records.iter().enumerate() {
-            w.append(i as u64, r).unwrap();
+        let records = [("a", sample("a")), ("b", sample("b")), ("slow", degraded)];
+        for (tag, r) in &records {
+            w.append(&k(tag), r).unwrap();
         }
         assert_eq!(w.appends(), 3);
         let replay = replay(&path).unwrap();
         assert!(replay.warnings.is_empty(), "{:?}", replay.warnings);
         assert_eq!(replay.entries.len(), 3);
-        for (i, r) in records.iter().enumerate() {
-            assert_eq!(replay.get(i as u64).unwrap(), r);
+        for (tag, r) in &records {
+            assert_eq!(replay.get(&k(tag)).unwrap(), r);
             // Byte-identity is the real contract: re-rendered JSON and
             // CSV rows must match the original exactly.
-            assert_eq!(replay.get(i as u64).unwrap().to_json(), r.to_json());
-            assert_eq!(replay.get(i as u64).unwrap().row(), r.row());
+            assert_eq!(replay.get(&k(tag)).unwrap().to_json(), r.to_json());
+            assert_eq!(replay.get(&k(tag)).unwrap().row(), r.row());
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite 1 regression: a canonical identity whose stored digest
+    /// no longer matches (the on-disk shape of a stale or tampered key)
+    /// is corruption — it must warn and rerun, never replay as a hit.
+    #[test]
+    fn mismatched_key_digest_is_rejected_as_corruption() {
+        let path = tmp("digest_mismatch");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&k("a"), &sample("a")).unwrap();
+        // Flip one digest nibble on disk; the canonical stays intact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let good = k("a").hex();
+        let flipped = if good.as_bytes()[0] == b'0' { '1' } else { '0' };
+        let bad = format!("{flipped}{}", &good[1..]);
+        std::fs::write(&path, text.replacen(&good, &bad, 1)).unwrap();
+        let replay = replay(&path).unwrap();
+        assert!(replay.entries.is_empty(), "tampered line must not replay");
+        assert_eq!(replay.warnings.len(), 1);
+        assert!(replay.warnings[0].contains("does not match"), "{}", replay.warnings[0]);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -635,10 +644,10 @@ mod tests {
             CellProfile::default(),
         );
         let mut w = JournalWriter::open(&path).unwrap();
-        w.append(42, &rec).unwrap();
+        w.append(&k("fail"), &rec).unwrap();
         let got = replay(&path).unwrap();
-        assert_eq!(got.get(42).unwrap(), &rec);
-        assert_eq!(got.get(42).unwrap().row(), rec.row());
+        assert_eq!(got.get(&k("fail")).unwrap(), &rec);
+        assert_eq!(got.get(&k("fail")).unwrap().row(), rec.row());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -647,15 +656,15 @@ mod tests {
         let path = tmp("torn_tail");
         let _ = std::fs::remove_file(&path);
         let mut w = JournalWriter::open(&path).unwrap();
-        w.append(1, &sample("a")).unwrap();
-        w.append(2, &sample("b")).unwrap();
+        w.append(&k("a"), &sample("a")).unwrap();
+        w.append(&k("b"), &sample("b")).unwrap();
         // Simulate a SIGKILL mid-append: chop the file mid-way through
         // the final line.
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() - 25]).unwrap();
         let replay = replay(&path).unwrap();
         assert_eq!(replay.entries.len(), 1);
-        assert!(replay.get(1).is_some());
+        assert!(replay.get(&k("a")).is_some());
         assert_eq!(replay.warnings.len(), 1);
         assert!(replay.warnings[0].contains("truncated final line"), "{}", replay.warnings[0]);
         let _ = std::fs::remove_file(&path);
@@ -666,7 +675,7 @@ mod tests {
         let path = tmp("corruption");
         let _ = std::fs::remove_file(&path);
         let mut w = JournalWriter::open(&path).unwrap();
-        w.append(1, &sample("a")).unwrap();
+        w.append(&k("a"), &sample("a")).unwrap();
         // Garbage bytes (including invalid UTF-8) in the middle.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -674,13 +683,14 @@ mod tests {
             f.write_all(b"{\"schema\": 99, \"key\": \"00000000000000aa\", \"record\": {}}\n")
                 .unwrap();
         }
-        // Duplicate of key 1 with different content, then a fresh key.
-        w.append(1, &sample("dup")).unwrap();
-        w.append(2, &sample("b")).unwrap();
+        // Duplicate of the first key with different content, then a
+        // fresh key.
+        w.append(&k("a"), &sample("dup")).unwrap();
+        w.append(&k("b"), &sample("b")).unwrap();
         let replay = replay(&path).unwrap();
         assert_eq!(replay.entries.len(), 2);
-        assert_eq!(replay.get(1).unwrap().engine_slug, "a", "first occurrence wins");
-        assert!(replay.get(2).is_some());
+        assert_eq!(replay.get(&k("a")).unwrap().engine_slug, "a", "first occurrence wins");
+        assert!(replay.get(&k("b")).is_some());
         assert_eq!(replay.warnings.len(), 3, "{:?}", replay.warnings);
         assert!(replay.warnings.iter().any(|w| w.contains("stale schema")));
         assert!(replay.warnings.iter().any(|w| w.contains("duplicate key")));
@@ -701,16 +711,17 @@ mod tests {
         let path = tmp("compaction");
         let _ = std::fs::remove_file(&path);
         let mut w = JournalWriter::open(&path).unwrap();
-        w.append(1, &sample("a")).unwrap();
-        w.append(1, &sample("dup")).unwrap();
-        w.append(2, &sample("b")).unwrap();
+        w.append(&k("a"), &sample("a")).unwrap();
+        w.append(&k("a"), &sample("dup")).unwrap();
+        w.append(&k("b"), &sample("b")).unwrap();
         let (ra, rb) = (sample("a"), sample("b"));
-        w.compact(&[(1, &ra), (2, &rb)]).unwrap();
+        let (ka, kb) = (k("a"), k("b"));
+        w.compact(&[(&ka, &ra), (&kb, &rb)]).unwrap();
         let after = replay(&path).unwrap();
         assert_eq!(after.entries.len(), 2);
         assert!(after.warnings.is_empty());
         // The writer keeps working after rotation.
-        w.append(3, &sample("c")).unwrap();
+        w.append(&k("c"), &sample("c")).unwrap();
         let appended = replay(&path).unwrap();
         assert_eq!(appended.entries.len(), 3);
         assert!(!path.with_extension("journal.tmp").exists(), "temp file cleaned up");

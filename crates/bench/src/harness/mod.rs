@@ -15,6 +15,10 @@
 //! * [`journal`] — the write-ahead run journal: crash-safe memoization
 //!   of completed cells keyed by a content hash, with tolerant replay
 //!   and atomic compaction, behind `Sweep::resume`;
+//! * [`cache`] — the persistent content-addressed [`RunCache`] shared
+//!   across sweeps and CLI invocations: verified 128-bit [`CellKey`]s,
+//!   in-flight duplicate coalescing, LRU eviction, and the journal's
+//!   crash model, behind `Sweep::with_cache` / `sigma_cli --cache`;
 //! * [`chaos`] — deliberately misbehaving engines (panic / wedge /
 //!   flake) used to prove the sweep's degradation contract;
 //! * [`profile`] — the sweep-level telemetry aggregate (wall time, retry
@@ -31,6 +35,7 @@
 //! [`GemmAccelerator`]: sigma_baselines::GemmAccelerator
 
 pub mod analytic;
+pub mod cache;
 pub mod chaos;
 pub mod emit;
 pub mod journal;
@@ -40,9 +45,10 @@ pub mod registry;
 pub mod sweep;
 
 pub use analytic::{speedup_over, SigmaAnalytic};
+pub use cache::{CacheStats, CellKey, CellLease, Lookup, RunCache, CELL_KEY_REVISION};
 pub use chaos::{FlakyEngine, PanickingEngine, SpinningEngine, WedgingEngine};
 pub use emit::{emit_tables, emit_tables_with};
-pub use journal::{cell_key, replay, JournalReplay, JournalWriter, JOURNAL_SCHEMA};
+pub use journal::{fnv1a_64, replay, JournalReplay, JournalWriter, JOURNAL_SCHEMA};
 pub use profile::{EngineProfile, SweepProfile};
 pub use record::{records_table, records_to_json, CellProfile, RunRecord, RunStatus};
 pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};

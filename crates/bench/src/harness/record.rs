@@ -5,6 +5,12 @@ use crate::util::{json_string, Table};
 use sigma_core::model::GemmProblem;
 use sigma_core::EngineRun;
 
+/// Revision of the [`RunRecord`] layout itself (fields, column order,
+/// rendering). Content keys fold it in, so bumping it when a field is
+/// added or re-rendered invalidates every persisted cell instead of
+/// replaying records whose layout no longer matches this code.
+pub const RECORD_SCHEMA: u32 = 1;
+
 /// How an (engine, workload) cell terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunStatus {

@@ -32,7 +32,8 @@
 //! [`WedgingEngine`]: crate::harness::chaos::WedgingEngine
 
 use crate::harness::analytic::SigmaAnalytic;
-use crate::harness::journal::{cell_key, replay, JournalWriter};
+use crate::harness::cache::{CacheStats, CellKey, Lookup, RunCache};
+use crate::harness::journal::{replay, JournalWriter};
 use crate::harness::record::{CellProfile, RunRecord, RunStatus};
 use crate::harness::registry::EngineEntry;
 use sigma_baselines::AnalyticEngine;
@@ -44,7 +45,7 @@ use sigma_workloads::materialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, Once};
+use std::sync::{mpsc, Arc, Mutex, Once, OnceLock};
 use std::time::Duration;
 
 /// One named workload of a sweep.
@@ -274,6 +275,7 @@ pub struct Sweep {
     telemetry: bool,
     registry: Telemetry,
     live: Arc<AtomicUsize>,
+    cache: Option<Arc<RunCache>>,
 }
 
 impl Sweep {
@@ -295,6 +297,7 @@ impl Sweep {
             telemetry: false,
             registry: Telemetry::off(),
             live: Arc::new(AtomicUsize::new(0)),
+            cache: None,
         }
     }
 
@@ -374,6 +377,37 @@ impl Sweep {
         self
     }
 
+    /// Attaches a shared content-addressed [`RunCache`]: every cell
+    /// probes it before executing (a verified hit replaces the
+    /// simulation with one map lookup), executed cells are inserted,
+    /// and identical in-flight cells — here or in any concurrent sweep
+    /// sharing the cache — coalesce onto one executor. Records are
+    /// byte-identical to an uncached run by key construction: the
+    /// [`CellKey`] covers every result-affecting knob, so a hit can
+    /// only serve the bytes the engine would have produced. (Wall-time
+    /// telemetry columns are the one exception — a hit replays the
+    /// *original* cell's wall time — so cache parity is stated for the
+    /// default telemetry-off records, which render those columns as
+    /// constants.)
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<RunCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches any attached run cache (cells always execute).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The attached run cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<RunCache>> {
+        self.cache.as_ref()
+    }
+
     /// Turns harness telemetry on or off (default: off). With telemetry
     /// on, each record carries the cell's wall-clock time and a live
     /// one-line progress counter is written to stderr; with it off, the
@@ -440,17 +474,48 @@ impl Sweep {
         let replayed = replay(journal_path)?;
         let prepared = self.prepare();
         let jobs = self.jobs(engines);
+        let keys: Vec<CellKey> = jobs
+            .iter()
+            .map(|&(ei, wi)| {
+                CellKey::for_engine(
+                    &engines[ei].slug,
+                    engines[ei].engine.as_ref(),
+                    &self.workloads[wi],
+                    prepared[wi].seed,
+                )
+            })
+            .collect();
         let writer = Mutex::new(JournalWriter::open(journal_path)?);
         let append_warnings = Mutex::new(Vec::new());
-        let results: Vec<(RunRecord, bool)> = par_map(&jobs, self.threads, |_, &(ei, wi)| {
+        let cache_before = self.cache.as_ref().map(|c| c.stats());
+        let results: Vec<(RunRecord, bool)> = par_map(&jobs, self.threads, |ji, &(ei, wi)| {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
-            let input = &prepared[wi];
-            let key = cell_key(&entry.slug, w, input.seed);
+            let key = &keys[ji];
             if let Some(done) = replayed.get(key) {
                 return (done.clone(), true);
             }
-            let record = self.run_cell(entry, ei, wi, w, input);
+            // The journal (this sweep's own prior progress) misses; try
+            // the shared cross-sweep cache before simulating. A cache
+            // hit is not journaled here — the final compaction persists
+            // the full grid anyway — so `journal_appends` keeps meaning
+            // "cells executed by this invocation".
+            let mut lease = None;
+            if let Some(cache) = &self.cache {
+                match cache.lookup(key) {
+                    Lookup::Hit(record) => return (*record, false),
+                    Lookup::Miss(granted) => lease = Some(granted),
+                }
+            }
+            let record = self.run_cell(entry, ei, wi, w, prepared[wi].force(w));
+            if let Some(granted) = lease {
+                // Only deterministic successes are worth memoizing: a
+                // panic/timeout/error record pins a transient failure.
+                // Dropping the lease hands execution to any waiter.
+                if record.status == RunStatus::Ok {
+                    granted.fulfill(&record);
+                }
+            }
             // Append (and fsync) before reporting the cell complete:
             // once a record is visible to the caller it must survive a
             // SIGKILL. An append failure downgrades to a warning — the
@@ -459,18 +524,19 @@ impl Sweep {
                 Ok(mut wtr) => {
                     if let Err(e) = wtr.append(key, &record) {
                         if let Ok(mut warns) = append_warnings.lock() {
-                            warns.push(format!("journal append failed for {key:016x}: {e}"));
+                            warns.push(format!("journal append failed for {}: {e}", key.hex()));
                         }
                     }
                 }
                 Err(_) => {
                     if let Ok(mut warns) = append_warnings.lock() {
-                        warns.push(format!("journal writer poisoned before {key:016x}"));
+                        warns.push(format!("journal writer poisoned before {}", key.hex()));
                     }
                 }
             }
             (record, false)
         });
+        self.record_cache_deltas(cache_before);
         let resume_hits = results.iter().filter(|(_, hit)| *hit).count() as u64;
         let records: Vec<RunRecord> = results.into_iter().map(|(r, _)| r).collect();
         let degraded_cells =
@@ -482,13 +548,7 @@ impl Sweep {
         let journal_appends = writer.appends();
         // Rotate the journal to exactly the final grid, in job order:
         // duplicates, skipped garbage, and torn tails are dropped.
-        let entries: Vec<(u64, &RunRecord)> = jobs
-            .iter()
-            .zip(&records)
-            .map(|(&(ei, wi), r)| {
-                (cell_key(&engines[ei].slug, &self.workloads[wi], prepared[wi].seed), r)
-            })
-            .collect();
+        let entries: Vec<(&CellKey, &RunRecord)> = keys.iter().zip(&records).collect();
         writer.compact(&entries)?;
         let mut warnings = replayed.warnings;
         warnings.extend(match append_warnings.into_inner() {
@@ -501,20 +561,15 @@ impl Sweep {
         Ok(ResumeOutcome { records, journal_appends, resume_hits, degraded_cells, warnings })
     }
 
-    /// Materializes every workload's operands, reference product, and
-    /// tolerance, independent of engine order and thread count.
-    fn prepare(&self) -> Vec<Prepared> {
-        self.workloads
-            .iter()
-            .enumerate()
-            .map(|(wi, w)| {
-                let seed = derive_seed(self.seed, wi as u64);
-                let (a, b) = materialize(&w.problem, seed);
-                let reference = a.to_dense().matmul(&b.to_dense());
-                // Accumulation-order slack grows with the contraction
-                // length, like the agreement tests elsewhere.
-                let tol = 1e-3 * w.problem.shape.k.max(1) as f32;
-                Prepared { seed, a: Arc::new(a), b: Arc::new(b), reference, tol }
+    /// One lazily-materialized slot per workload. Seeds are derived
+    /// eagerly (they feed cell keys and journal replay), but operands and
+    /// the dense reference product wait for the first cell that actually
+    /// executes — a fully-warm cached sweep never pays for either.
+    fn prepare(&self) -> Vec<LazyPrepared> {
+        (0..self.workloads.len())
+            .map(|wi| LazyPrepared {
+                seed: derive_seed(self.seed, wi as u64),
+                cell: OnceLock::new(),
             })
             .collect()
     }
@@ -657,10 +712,11 @@ impl Sweep {
         let jobs = self.jobs(engines);
         let total = jobs.len();
         let completed = AtomicUsize::new(0);
-        par_map(&jobs, threads, |_, &(ei, wi)| {
+        let cache_before = self.cache.as_ref().map(|c| c.stats());
+        let records = par_map(&jobs, threads, |_, &(ei, wi)| {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
-            let record = self.run_cell(entry, ei, wi, w, &prepared[wi]);
+            let record = self.run_cell_cached(entry, ei, wi, w, &prepared[wi]);
             if self.telemetry {
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 eprint!("\r[sweep] {done}/{total} cells ({}: {})", entry.slug, w.name);
@@ -669,7 +725,58 @@ impl Sweep {
                 }
             }
             record
-        })
+        });
+        self.record_cache_deltas(cache_before);
+        records
+    }
+
+    /// Runs one cell through the attached [`RunCache`], if any: probe
+    /// first (coalescing with any identical in-flight cell), execute on
+    /// a miss, and memoize the result. Only `ok` records are inserted —
+    /// a panic/timeout/error record would pin a transient failure, so
+    /// those cells re-execute every time (the abandoned lease hands
+    /// execution to any coalesced waiter). A hit returns before the
+    /// workload's operands are ever materialized.
+    fn run_cell_cached(
+        &self,
+        entry: &EngineEntry,
+        ei: usize,
+        wi: usize,
+        w: &WorkloadSpec,
+        lazy: &LazyPrepared,
+    ) -> RunRecord {
+        let Some(cache) = &self.cache else {
+            return self.run_cell(entry, ei, wi, w, lazy.force(w));
+        };
+        let key = CellKey::for_engine(&entry.slug, entry.engine.as_ref(), w, lazy.seed);
+        match cache.lookup(&key) {
+            Lookup::Hit(record) => *record,
+            Lookup::Miss(lease) => {
+                let record = self.run_cell(entry, ei, wi, w, lazy.force(w));
+                if record.status == RunStatus::Ok {
+                    lease.fulfill(&record);
+                }
+                record
+            }
+        }
+    }
+
+    /// Folds the cache activity attributable to this sweep into the
+    /// telemetry registry as before/after stat deltas. When several
+    /// sweeps share one cache concurrently the attribution is
+    /// approximate (deltas include the neighbours' traffic); the
+    /// counters are observational and never feed into records.
+    fn record_cache_deltas(&self, before: Option<CacheStats>) {
+        let (Some(cache), Some(before)) = (&self.cache, before) else {
+            return;
+        };
+        let after = cache.stats();
+        self.registry.add(Counter::CacheHits, after.hits.saturating_sub(before.hits));
+        self.registry.add(Counter::CacheMisses, after.misses.saturating_sub(before.misses));
+        self.registry
+            .add(Counter::InflightCoalesced, after.coalesced.saturating_sub(before.coalesced));
+        self.registry
+            .add(Counter::CacheEvictions, after.evictions.saturating_sub(before.evictions));
     }
 }
 
@@ -681,6 +788,29 @@ struct Prepared {
     b: Arc<SparseMatrix>,
     reference: Matrix,
     tol: f32,
+}
+
+/// A [`Prepared`] slot that materializes on first use (thread-safe; racing
+/// cells block on the one materializer). The seed is available without
+/// forcing, so cache/journal keys never trigger materialization.
+struct LazyPrepared {
+    seed: u64,
+    cell: OnceLock<Prepared>,
+}
+
+impl LazyPrepared {
+    /// The materialized inputs, computing them on the first call. Pure in
+    /// `(workload, seed)`, so laziness cannot perturb records.
+    fn force(&self, w: &WorkloadSpec) -> &Prepared {
+        self.cell.get_or_init(|| {
+            let (a, b) = materialize(&w.problem, self.seed);
+            let reference = a.to_dense().matmul(&b.to_dense());
+            // Accumulation-order slack grows with the contraction
+            // length, like the agreement tests elsewhere.
+            let tol = 1e-3 * w.problem.shape.k.max(1) as f32;
+            Prepared { seed: self.seed, a: Arc::new(a), b: Arc::new(b), reference, tol }
+        })
+    }
 }
 
 /// What [`Sweep::resume`] produced, beyond the records themselves.
@@ -1065,5 +1195,193 @@ mod tests {
         assert!(records.iter().all(|r| r.verified), "all demo runs verify");
         // Same workload -> same operands -> same seed for every engine.
         assert_eq!(records[0].seed, records[2].seed);
+    }
+
+    #[test]
+    fn par_map_propagates_a_mid_pool_panic() {
+        // One job out of many panics while the pool is saturated; the
+        // original payload must surface from par_map, not a join error.
+        let items: Vec<usize> = (0..32).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 4, |_, &x| {
+                assert_ne!(x, 17, "deliberate mid-pool panic");
+                x
+            })
+        }));
+        let payload = caught.expect_err("the panic must propagate");
+        assert!(panic_message(payload.as_ref()).contains("deliberate mid-pool panic"));
+    }
+
+    #[test]
+    fn par_map_clamps_threads_to_the_item_count() {
+        // More workers than items: the clamp means no worker spins on an
+        // empty index range, and order/results are unaffected.
+        let items = [10usize, 20, 30];
+        assert_eq!(par_map(&items, 64, |_, &x| x + 1), vec![11, 21, 31]);
+        assert_eq!(par_map(&[42usize], 8, |i, &x| (i, x)), vec![(0, 42)]);
+        // Zero requested threads degrades to serial, not a panic.
+        assert_eq!(par_map(&items, 0, |_, &x| x), items.to_vec());
+    }
+
+    #[test]
+    fn par_map_jobs_observe_cancellation_at_cell_boundaries() {
+        // Sweep cells poll a CancelToken at fold boundaries; model that
+        // contract directly: job 3 trips a shared token, and every job
+        // scheduled after the trip skips its work. par_map itself must
+        // still return a full, input-ordered result vector.
+        let token = CancelToken::new();
+        let items: Vec<usize> = (0..24).collect();
+        let results = par_map(&items, 2, |_, &x| {
+            if x == 3 {
+                token.cancel();
+            }
+            if token.is_cancelled() {
+                None
+            } else {
+                Some(x)
+            }
+        });
+        assert_eq!(results.len(), items.len(), "cancellation skips work, never drops slots");
+        assert_eq!(results[3], None, "the cancelling job observes its own trip");
+        let after_trip = &results[4..];
+        assert!(
+            after_trip.iter().filter(|r| r.is_none()).count() >= after_trip.len() - 1,
+            "jobs claimed after the trip see the cancelled token (at most one was in flight)"
+        );
+    }
+
+    fn cache_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sigma_sweep_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.cache", std::process::id()))
+    }
+
+    /// Tentpole acceptance: cold-cached, warm-cached, and uncached runs
+    /// of the same sweep produce byte-identical records — and rendered
+    /// CSV/JSON artifacts — while the warm run executes nothing.
+    #[test]
+    fn cached_sweep_is_byte_identical_to_uncached() {
+        use sigma_telemetry::{Counter, Telemetry};
+        let engines: Vec<_> = default_registry()
+            .into_iter()
+            .filter(|e| e.slug == "eie" || e.slug == "scnn")
+            .collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let cells = (engines.len() * suite.len()) as u64;
+        let uncached = Sweep::new(suite.clone()).with_seed(13).with_threads(2).run(&engines);
+
+        let path = cache_path("parity");
+        let _ = std::fs::remove_file(&path);
+        let cache = Arc::new(RunCache::open(&path, 64).unwrap());
+        let registry = Telemetry::enabled();
+        let sweep = Sweep::new(suite)
+            .with_seed(13)
+            .with_threads(2)
+            .with_telemetry_registry(registry.clone())
+            .with_cache(Arc::clone(&cache));
+
+        let cold = sweep.run(&engines);
+        assert_eq!(cold, uncached, "a cold cache must not perturb records");
+        assert_eq!(registry.counter(Counter::CacheMisses), cells);
+        assert_eq!(registry.counter(Counter::CacheHits), 0);
+
+        let warm = sweep.run(&engines);
+        assert_eq!(warm, uncached, "a warm cache must replay bit-exactly");
+        assert_eq!(registry.counter(Counter::CacheHits), cells, "warm run is all hits");
+        assert_eq!(registry.counter(Counter::CacheMisses), cells, "no new misses when warm");
+        assert_eq!(
+            crate::harness::record::records_to_json(&warm),
+            crate::harness::record::records_to_json(&uncached)
+        );
+        assert_eq!(
+            crate::harness::record::records_table("sweep", &warm).to_csv(),
+            crate::harness::record::records_table("sweep", &uncached).to_csv()
+        );
+
+        // And the persisted store replays across a reopen, too.
+        drop(sweep);
+        drop(cache);
+        let reopened = Arc::new(RunCache::open(&path, 64).unwrap());
+        let rewarmed = Sweep::new(demo_suite().into_iter().take(2).collect())
+            .with_seed(13)
+            .with_threads(2)
+            .with_cache(Arc::clone(&reopened))
+            .run(&engines);
+        assert_eq!(rewarmed, uncached);
+        assert_eq!(reopened.stats().hits, cells, "reopened store served every cell");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Tentpole acceptance: identical cells scheduled concurrently in
+    /// one grid execute exactly once — duplicates resolve as hits or
+    /// in-flight coalesces, never as recomputation.
+    #[test]
+    fn duplicate_cells_in_one_sweep_execute_exactly_once() {
+        let mut fleet: Vec<_> =
+            default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let twin = Arc::clone(&fleet[0].engine);
+        // Same slug + same engine => identical CellKey for every workload.
+        fleet.push(EngineEntry { slug: "eie".into(), engine: Arc::clone(&twin) });
+        fleet.push(EngineEntry { slug: "eie".into(), engine: twin });
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let unique = suite.len() as u64;
+        let total = (fleet.len() * suite.len()) as u64;
+
+        let path = cache_path("dedup");
+        let _ = std::fs::remove_file(&path);
+        let cache = Arc::new(RunCache::open(&path, 64).unwrap());
+        let records = Sweep::new(suite)
+            .with_seed(29)
+            .with_threads(4)
+            .with_cache(Arc::clone(&cache))
+            .run(&fleet);
+        assert_eq!(records.len(), total as usize);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, unique, "each unique cell executes exactly once");
+        assert_eq!(stats.insertions, unique);
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            total - unique,
+            "every duplicate was served from the cache or an in-flight lease"
+        );
+        // Triplicate rows are bit-identical — they are the same record.
+        assert_eq!(records[0], records[2]);
+        assert_eq!(records[0], records[4]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Resume consults the shared cache after its own journal: a warm
+    /// cache means a fresh journal resumes without executing anything,
+    /// and the final compaction still persists the full grid.
+    #[test]
+    fn resume_consults_the_cache_before_executing() {
+        let engines: Vec<_> = default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let baseline = Sweep::new(suite.clone()).with_seed(17).with_threads(1).run(&engines);
+
+        let store = cache_path("resume_warm");
+        let _ = std::fs::remove_file(&store);
+        let cache = Arc::new(RunCache::open(&store, 64).unwrap());
+        let sweep = Sweep::new(suite).with_seed(17).with_threads(1).with_cache(Arc::clone(&cache));
+        let _ = sweep.run(&engines); // warm the cache
+        let warm_hwm = cache.stats();
+
+        let path = journal_path("resume_cached");
+        let _ = std::fs::remove_file(&path);
+        let outcome = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(outcome.records, baseline);
+        assert_eq!(outcome.resume_hits, 0, "the journal was fresh");
+        assert_eq!(outcome.journal_appends, 0, "cache hits are not re-executed or appended");
+        assert_eq!(
+            cache.stats().hits,
+            warm_hwm.hits + baseline.len() as u64,
+            "every cell resolved as a cache hit"
+        );
+        // Compaction persisted the grid: the next resume is all journal hits.
+        let replayed = sweep.resume(&engines, &path).unwrap();
+        assert_eq!(replayed.resume_hits, baseline.len() as u64);
+        assert_eq!(replayed.records, baseline);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&store);
     }
 }

@@ -364,6 +364,44 @@ impl SigmaConfig {
         self.input_bandwidth = bw;
         Ok(self)
     }
+
+    /// Canonical string naming every knob that can influence a simulated
+    /// result — geometry, bandwidths, dataflow, buffering, packing, and
+    /// the route-cache/lockstep switches. Two configurations with equal
+    /// keys produce bitwise-identical [`EngineRun`]s on identical
+    /// operands, so result caches key cells by this string (plus workload
+    /// and seed) instead of by the lossy display name.
+    ///
+    /// The route-cache and lockstep switches are included even though
+    /// both paths are proven bitwise-equal: the cache contract is "equal
+    /// key ⇒ equal bytes by construction", not "equal bytes by theorem".
+    /// Telemetry is excluded — it is observational only and shares that
+    /// guarantee with neither switch. The leading `c1` is this key's own
+    /// layout revision; bump it when a knob is added or renamed.
+    ///
+    /// [`EngineRun`]: crate::engine_api::EngineRun
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let packing = match self.packing {
+            PackingOrder::GroupMajor => "group",
+            PackingOrder::ContractionMajor => "contraction",
+        };
+        let dataflow = match self.dataflow {
+            Dataflow::WeightStationary => "ws",
+            Dataflow::InputStationary => "is",
+            Dataflow::NoLocalReuse => "nlr",
+        };
+        format!(
+            "c1;dpes={};dpe={};ibw={};sbw={};df={dataflow};dbuf={};pack={packing};rc={};ls={}",
+            self.num_dpes,
+            self.dpe_size,
+            self.input_bandwidth,
+            self.stream_bandwidth,
+            u8::from(self.double_buffered),
+            u8::from(self.route_cache),
+            u8::from(self.lockstep),
+        )
+    }
 }
 
 impl Default for SigmaConfig {
@@ -444,5 +482,34 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SigmaError::DimensionMismatch { k_a: 3, k_b: 4 }.to_string().contains("K=3"));
+    }
+
+    #[test]
+    fn canonical_key_covers_every_result_affecting_knob() {
+        let base = SigmaConfig::new(2, 8, 16, Dataflow::WeightStationary).unwrap();
+        assert_eq!(
+            base.canonical_key(),
+            "c1;dpes=2;dpe=8;ibw=16;sbw=16;df=ws;dbuf=0;pack=group;rc=1;ls=0"
+        );
+        let key = base.canonical_key();
+        // Every knob that changes simulated results must change the key.
+        let variants = [
+            SigmaConfig::new(4, 8, 16, Dataflow::WeightStationary).unwrap(),
+            SigmaConfig::new(2, 16, 16, Dataflow::WeightStationary).unwrap(),
+            base.with_bandwidth(32).unwrap(),
+            base.with_stream_bandwidth_clamped(8),
+            base.with_dataflow(Dataflow::InputStationary),
+            base.with_dataflow(Dataflow::NoLocalReuse),
+            base.with_double_buffering(true),
+            base.with_packing_order(PackingOrder::ContractionMajor),
+            base.with_route_cache(false),
+            base.with_lockstep(true),
+        ];
+        let mut keys: Vec<String> = variants.iter().map(SigmaConfig::canonical_key).collect();
+        keys.push(key.clone());
+        let distinct: std::collections::BTreeSet<&String> = keys.iter().collect();
+        assert_eq!(distinct.len(), keys.len(), "all knob variants key distinctly");
+        // Telemetry is observational and must NOT perturb the key.
+        assert_eq!(base.with_telemetry(true).canonical_key(), key);
     }
 }

@@ -169,6 +169,20 @@ pub trait Engine: Send + Sync {
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         None
     }
+
+    /// Canonical revision string for this engine's *result-affecting*
+    /// configuration: two engines with equal fingerprints must produce
+    /// bitwise-identical [`EngineRun`]s on identical operands. Result
+    /// caches fold this into the content key, so a configuration knob
+    /// (or model revision) that changes outputs without changing the
+    /// display name still invalidates cached cells.
+    ///
+    /// The default covers engines whose only knob is their PE count;
+    /// engines with richer configuration (e.g. [`SigmaSim`]) override it
+    /// with a full canonical key.
+    fn fingerprint(&self) -> String {
+        format!("{}#pes={}", self.name(), self.pes())
+    }
 }
 
 impl<E: Engine + ?Sized> Engine for &E {
@@ -192,6 +206,9 @@ impl<E: Engine + ?Sized> Engine for &E {
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         (**self).telemetry()
     }
+    fn fingerprint(&self) -> String {
+        (**self).fingerprint()
+    }
 }
 
 impl<E: Engine + ?Sized> Engine for Box<E> {
@@ -214,6 +231,9 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
     }
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         (**self).telemetry()
+    }
+    fn fingerprint(&self) -> String {
+        (**self).fingerprint()
     }
 }
 
@@ -249,6 +269,10 @@ impl Engine for SigmaSim {
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         let handle = self.telemetry_handle();
         handle.is_enabled().then(|| handle.snapshot())
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("sigma-sim/{}", self.config().canonical_key())
     }
 }
 
@@ -318,5 +342,47 @@ mod tests {
         assert_eq!(by_ref.pes(), (&by_ref).pes());
         let boxed: Box<dyn Engine> = Box::new(sim());
         assert_eq!(boxed.name(), by_ref.name());
+    }
+
+    #[test]
+    fn sigma_fingerprint_tracks_result_affecting_knobs() {
+        let cfg = SigmaConfig::new(2, 8, 16, Dataflow::WeightStationary).unwrap();
+        let base = SigmaSim::new(cfg).unwrap().fingerprint();
+        assert!(base.starts_with("sigma-sim/c1;"), "versioned prefix: {base}");
+        // Knobs that change results must change the fingerprint...
+        let rerouted = SigmaSim::new(cfg.with_route_cache(false)).unwrap();
+        assert_ne!(base, rerouted.fingerprint());
+        let ticked = SigmaSim::new(cfg.with_lockstep(true)).unwrap();
+        assert_ne!(base, ticked.fingerprint());
+        // ...while observational telemetry must not.
+        let observed = SigmaSim::new(cfg.with_telemetry(true)).unwrap();
+        assert_eq!(base, observed.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_forwards_through_refs_and_boxes() {
+        let s = sim();
+        let direct = s.fingerprint();
+        let by_ref: &dyn Engine = &s;
+        assert_eq!(by_ref.fingerprint(), direct);
+        let boxed: Box<dyn Engine> = Box::new(sim());
+        assert_eq!(boxed.fingerprint(), direct);
+    }
+
+    #[test]
+    fn default_fingerprint_names_the_engine_and_pe_count() {
+        struct Toy;
+        impl Engine for Toy {
+            fn name(&self) -> String {
+                "Toy".into()
+            }
+            fn pes(&self) -> usize {
+                64
+            }
+            fn run(&self, _: &SparseMatrix, _: &SparseMatrix) -> Result<EngineRun, EngineError> {
+                Err(EngineError::Config("toy".into()))
+            }
+        }
+        assert_eq!(Toy.fingerprint(), "Toy#pes=64");
     }
 }

@@ -163,6 +163,40 @@ impl FaultPlan {
     pub fn len(&self) -> usize {
         self.events.len()
     }
+
+    /// Canonical string naming every planned fault, in plan order. An
+    /// empty plan renders as `f1;` — byte-identical runs demand
+    /// byte-identical plans, so result caches fold this into the cell
+    /// key. The leading `f1` is the key's own layout revision.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::from("f1;");
+        for event in &self.events {
+            let _ = write!(key, "{}:", event.site);
+            match event.kind {
+                FaultKind::TransientFlip { bit } => {
+                    let _ = write!(key, "flip[{bit}]");
+                }
+                FaultKind::StuckBit { bit, level } => {
+                    let level = match level {
+                        StuckLevel::Zero => 0,
+                        StuckLevel::One => 1,
+                    };
+                    let _ = write!(key, "stuck[{bit}={level}]");
+                }
+                FaultKind::DroppedPort => key.push_str("dropped"),
+                FaultKind::MisroutedPort { from } => {
+                    let _ = write!(key, "misrouted[{from}]");
+                }
+                FaultKind::CorruptWord { mask } => {
+                    let _ = write!(key, "corrupt[{mask:016x}]");
+                }
+            }
+            key.push(';');
+        }
+        key
+    }
 }
 
 /// A fault that actually fired during a run, stamped with where and when.
@@ -490,5 +524,41 @@ mod tests {
         let p = p.with_event(FaultSite::BitmapWord { word: 0 }, FaultKind::CorruptWord { mask: 1 });
         assert_eq!(p.len(), 1);
         assert_eq!(p.events()[0].site, FaultSite::BitmapWord { word: 0 });
+    }
+
+    #[test]
+    fn plan_canonical_key_renders_every_kind() {
+        assert_eq!(FaultPlan::none().canonical_key(), "f1;");
+        let plan = FaultPlan::single(
+            FaultSite::MultiplierOutput { dpe: 1, slot: 2 },
+            FaultKind::TransientFlip { bit: 30 },
+        )
+        .with_event(
+            FaultSite::FanAdder { dpe: 0, adder: 3 },
+            FaultKind::StuckBit { bit: 22, level: StuckLevel::One },
+        )
+        .with_event(FaultSite::BenesPort { dpe: 2, port: 5 }, FaultKind::DroppedPort)
+        .with_event(FaultSite::BenesPort { dpe: 2, port: 6 }, FaultKind::MisroutedPort { from: 1 })
+        .with_event(FaultSite::BitmapWord { word: 4 }, FaultKind::CorruptWord { mask: 0xff });
+        assert_eq!(
+            plan.canonical_key(),
+            "f1;mult[1.2]:flip[30];fan-adder[0.3]:stuck[22=1];benes-port[2.5]:dropped;\
+             benes-port[2.6]:misrouted[1];bitmap-word[4]:corrupt[00000000000000ff];"
+        );
+        // Order matters: the same events in a different order are a
+        // different plan (faults interact), so keys must differ too.
+        let swapped = FaultPlan::single(
+            FaultSite::FanAdder { dpe: 0, adder: 3 },
+            FaultKind::StuckBit { bit: 22, level: StuckLevel::One },
+        )
+        .with_event(
+            FaultSite::MultiplierOutput { dpe: 1, slot: 2 },
+            FaultKind::TransientFlip { bit: 30 },
+        );
+        assert_ne!(
+            plan.canonical_key()[..40],
+            swapped.canonical_key()[..40],
+            "event order is part of the key"
+        );
     }
 }

@@ -701,6 +701,22 @@ mod tests {
         assert_eq!(got[0].token, "File::create");
     }
 
+    /// The run-cache persistence module rides the same harness prefix as
+    /// the journal: a bare write into `cache.rs` must trip the
+    /// non-atomic-write ban without any rule change.
+    #[test]
+    fn d6_covers_the_run_cache_persistence_module() {
+        let cache_policy =
+            FilePolicy { path: "crates/bench/src/harness/cache.rs".into(), ..harness_policy() };
+        let got = check_file(&cache_policy, "fn f() { std::fs::write(&store, line)?; }");
+        assert_eq!(got.iter().map(|f| f.lint).collect::<Vec<_>>(), vec![Lint::D6]);
+        let got = check_file(&cache_policy, "fn f() { let f = File::create(&store)?; }");
+        assert_eq!(got.iter().map(|f| f.lint).collect::<Vec<_>>(), vec![Lint::D6]);
+        // The sanctioned temp+rename half stays clean.
+        let src = "fn f() { let mut tmp = File::create(&tmp_path)?; }";
+        assert_eq!(check_file(&cache_policy, src), vec![]);
+    }
+
     #[test]
     fn d6_exempts_temp_siblings_tests_and_other_files() {
         // The temp half of write-then-rename is the sanctioned pattern.

@@ -50,11 +50,20 @@ pub enum Counter {
     /// Sweep cells that exhausted their watchdog budget repeatedly and
     /// were rerun on the analytic fallback (`status=degraded`).
     DegradedCells,
+    /// Sweep cells answered by the content-addressed run cache.
+    CacheHits,
+    /// Sweep cells absent from the run cache (executed and inserted).
+    CacheMisses,
+    /// Sweep cells that blocked on an identical in-flight cell and
+    /// reused its result instead of recomputing.
+    InflightCoalesced,
+    /// Run-cache entries evicted to stay within capacity.
+    CacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in emission order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::RouteCacheHits,
         Counter::RouteCacheMisses,
         Counter::SramStationaryReads,
@@ -71,6 +80,10 @@ impl Counter {
         Counter::JournalAppends,
         Counter::ResumeHits,
         Counter::DegradedCells,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::InflightCoalesced,
+        Counter::CacheEvictions,
     ];
 
     /// Stable snake_case name (CSV/JSON key).
@@ -93,6 +106,10 @@ impl Counter {
             Counter::JournalAppends => "journal_appends",
             Counter::ResumeHits => "resume_hits",
             Counter::DegradedCells => "degraded_cells",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::InflightCoalesced => "inflight_coalesced",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 }
