@@ -66,3 +66,22 @@ rm -f /tmp/sigma_ci_cache.store
 # exactly-once execution for in-flight duplicate cells (the gate
 # self-skips the speedup ratio in debug builds, like --check).
 cargo run -q --release -p sigma-bench --bin perf_bench -- --dse-warm --smoke --quiet
+# Flight-recorder smoke leg: a recorded sweep must drop an event log
+# whose rendered Perfetto trace passes validate_chrome_trace with
+# non-zero per-stage totals (the report only prints `stage X: count=`
+# lines for stages that recorded spans), and the same sweep with the
+# recorder off must stay byte-identical to the plain run above.
+cargo run -q --release -p sigma-bench --bin sigma_cli -- --sweep \
+    --workload 16:16:16:0.5:0.5 --flight-recorder /tmp/sigma_ci_flight.jsonl \
+    --output csv > /tmp/sigma_ci_flight_on.csv
+cargo run -q --release -p sigma-bench --bin sigma_cli -- report \
+    --from /tmp/sigma_ci_flight.jsonl \
+    --out /tmp/sigma_ci_flight.trace.json > /tmp/sigma_ci_flight_report.txt
+grep -q '"traceEvents"' /tmp/sigma_ci_flight.trace.json
+grep -q 'stage engine_run: count=' /tmp/sigma_ci_flight_report.txt
+grep -q 'stage queue_wait: count=' /tmp/sigma_ci_flight_report.txt
+cmp /tmp/sigma_ci_flight_on.csv /tmp/sigma_ci_cache_off.csv
+# Recorder overhead gate: no recorder, a disabled handle, and an enabled
+# recorder must render byte-identical sweep records/CSV/JSON, and the
+# enabled leg's engine-run spans must reconcile with the grid's attempts.
+cargo run -q --release -p sigma-bench --bin perf_bench -- --recorder-check --smoke --quiet

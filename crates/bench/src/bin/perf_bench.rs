@@ -27,6 +27,10 @@
 //!   cache), then warm (same store), demand byte-identical CSV/JSON against
 //!   an uncached run, a ≥ 50x warm-over-cold cells/sec speedup, and
 //!   exactly-once execution for in-flight duplicates;
+//! * `--recorder-check` — the flight-recorder zero-overhead gate: the same
+//!   sweep with no recorder, a disabled recorder handle, and an enabled
+//!   recorder must render byte-identical records/CSV/JSON, and the enabled
+//!   leg's engine-run span count must reconcile with the grid's attempts;
 //! * `--json` — machine-readable results on stdout (per-case cycles/sec
 //!   plus the tolerance verdict against the baseline) instead of the
 //!   table; report-only, so the committed baseline is never rewritten
@@ -67,6 +71,7 @@ struct Args {
     telemetry: bool,
     lockstep_check: bool,
     dse_warm: bool,
+    recorder_check: bool,
     json: bool,
     baseline: PathBuf,
 }
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         telemetry: false,
         lockstep_check: false,
         dse_warm: false,
+        recorder_check: false,
         json: false,
         baseline: default_baseline_path(),
     };
@@ -91,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry" => args.telemetry = true,
             "--lockstep-check" => args.lockstep_check = true,
             "--dse-warm" => args.dse_warm = true,
+            "--recorder-check" => args.recorder_check = true,
             "--json" => args.json = true,
             "--out" | "--baseline" => {
                 let path = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
@@ -99,7 +106,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: perf_bench [--check] [--smoke] [--telemetry] [--lockstep-check] \
-                     [--dse-warm] [--json] [--quiet] [--out PATH] [--baseline PATH]"
+                     [--dse-warm] [--recorder-check] [--json] [--quiet] [--out PATH] \
+                     [--baseline PATH]"
                 );
                 std::process::exit(0);
             }
@@ -347,6 +355,60 @@ fn run_dse_warm(smoke: bool, quiet: bool, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--recorder-check`: the flight-recorder zero-overhead gate. Sweeps
+/// the same grid three ways — no recorder attached, an explicitly
+/// disabled recorder handle, and an enabled recorder on a real
+/// monotonic clock — and demands:
+///
+/// 1. records plus rendered CSV/JSON byte-identical across all three
+///    (wall-clock observation may never perturb results);
+/// 2. the enabled leg really recorded: its engine-run span count equals
+///    the grid's total attempts.
+fn run_recorder_check(smoke: bool, quiet: bool) -> ExitCode {
+    use sigma_telemetry::FlightRecorder;
+    let workloads: Vec<_> =
+        if smoke { demo_suite().into_iter().take(2).collect() } else { demo_suite() };
+    let engines = default_registry();
+    let sweep = Sweep::new(workloads).with_seed(41).with_threads(4);
+    let base = sweep.run(&engines);
+    let off = sweep.clone().with_flight_recorder(FlightRecorder::off()).run(&engines);
+    let epoch = std::time::Instant::now();
+    let recorder = FlightRecorder::with_clock(65_536, move || {
+        u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    });
+    let on = sweep.with_flight_recorder(recorder.clone()).run(&engines);
+    for (leg, records) in [("recorder-off", &off), ("recorder-on", &on)] {
+        if *records != base
+            || records_to_json(records) != records_to_json(&base)
+            || records_table("rec", records).to_csv() != records_table("rec", &base).to_csv()
+        {
+            eprintln!(
+                "perf_bench: RECORDER PARITY FAILURE: {leg} run differs from the \
+                 no-recorder run"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let snap = recorder.snapshot();
+    let attempts: u64 = on.iter().map(|r| u64::from(r.attempts)).sum();
+    let engine_runs = snap.stage("engine_run").map_or(0, |h| h.count);
+    if engine_runs != attempts {
+        eprintln!(
+            "perf_bench: RECORDER RECONCILE FAILURE: {engine_runs} engine-run spans vs \
+             {attempts} grid attempts"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        eprintln!(
+            "perf_bench: recorder-check passed ({} cells byte-identical across three legs, \
+             {engine_runs} engine runs recorded)",
+            base.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// `--json`: the measurement set plus per-case baseline verdicts, as one
 /// machine-readable document on stdout.
 fn render_json(
@@ -452,6 +514,9 @@ fn main() -> ExitCode {
     }
     if args.dse_warm {
         return run_dse_warm(args.smoke, args.quiet, args.json);
+    }
+    if args.recorder_check {
+        return run_recorder_check(args.smoke, args.quiet);
     }
 
     let baseline_text = std::fs::read_to_string(&args.baseline).unwrap_or_default();

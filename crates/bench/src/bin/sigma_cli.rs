@@ -32,20 +32,38 @@
 //! cells seen by *any* previous sweep or invocation sharing the store are
 //! served from it instead of re-simulated, with byte-identical output
 //! (`--cache-cap N` bounds resident entries, default 4096; `--cache-stats`
-//! prints hit/miss/coalesce/eviction counts to stderr afterwards).
+//! prints hit-rate/miss/coalesce/eviction counts to stderr afterwards).
+//!
+//! `--flight-recorder LOG` on a sweep turns on the harness flight
+//! recorder: every watchdogged attempt, retry backoff, watchdog
+//! cancellation, operand materialization, queue wait, journal append +
+//! fsync, and cache probe/insert is timed on a monotonic process clock
+//! and persisted — atomically — as a JSONL event log, alongside
+//! per-stage latency histograms and periodic gauge snapshots. The
+//! recorder lives entirely at this harness edge (the clock is injected),
+//! so library crates stay deterministic, and with the flag absent the
+//! sweep's output is byte-identical to a recorder-free build.
+//!
+//! `report --from LOG` converts an event log into a Perfetto-loadable
+//! Chrome trace (one track per worker thread; journal/cache/watchdog on
+//! named tracks; gauges as counter series), self-validated before it is
+//! written, plus an aggregate per-stage latency table on stdout.
+//! `--metrics json|prom` instead re-exports the log's counters, gauges,
+//! and histograms as a `MetricsReport` JSON or Prometheus-text document.
 
 use std::sync::Arc;
 
 use sigma_baselines::{GemmAccelerator, SystolicArray};
 use sigma_bench::harness::{
-    default_registry, demo_suite, engine_by_name, records_table, records_to_json, RunCache, Sweep,
-    SweepProfile, WorkloadSpec,
+    build_report, default_registry, demo_suite, engine_by_name, read_event_log, records_table,
+    records_to_json, write_event_log, RunCache, Sweep, SweepProfile, WorkloadSpec,
 };
 use sigma_core::model::{estimate, estimate_best, GemmProblem};
 use sigma_core::{validate_chrome_trace, Dataflow, SigmaConfig, SigmaSim};
 use sigma_energy::EnergyBreakdown;
 use sigma_matrix::gen::{sparse_uniform, Density};
 use sigma_matrix::GemmShape;
+use sigma_telemetry::{FlightRecorder, Stage, Telemetry};
 use sigma_workloads::materialize;
 
 #[derive(Debug)]
@@ -69,6 +87,10 @@ struct Args {
     cache: Option<String>,
     cache_cap: usize,
     cache_stats: bool,
+    flight_recorder: Option<String>,
+    report: bool,
+    from: Option<String>,
+    metrics: Option<MetricsOut>,
     out: Option<String>,
     threads: Option<usize>,
     seed: u64,
@@ -81,6 +103,13 @@ enum Output {
     Text,
     Csv,
     Json,
+}
+
+/// `report --metrics` export format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsOut {
+    Json,
+    Prometheus,
 }
 
 impl Args {
@@ -103,6 +132,10 @@ impl Args {
             cache: None,
             cache_cap: 4096,
             cache_stats: false,
+            flight_recorder: None,
+            report: false,
+            from: None,
+            metrics: None,
             trace: false,
             telemetry: false,
             out: None,
@@ -193,6 +226,22 @@ impl Args {
                     Ok(())
                 })?,
                 "--cache-stats" => args.cache_stats = true,
+                "--flight-recorder" => take(&mut |v| {
+                    args.flight_recorder = Some(v.to_string());
+                    Ok(())
+                })?,
+                "--from" => take(&mut |v| {
+                    args.from = Some(v.to_string());
+                    Ok(())
+                })?,
+                "--metrics" => take(&mut |v| {
+                    args.metrics = match v {
+                        "json" => Some(MetricsOut::Json),
+                        "prom" | "prometheus" => Some(MetricsOut::Prometheus),
+                        other => return Err(format!("--metrics: unknown format {other}")),
+                    };
+                    Ok(())
+                })?,
                 "--out" => take(&mut |v| {
                     args.out = Some(v.to_string());
                     Ok(())
@@ -203,6 +252,7 @@ impl Args {
                 "--sweep" => args.sweep = true,
                 "--telemetry" => args.telemetry = true,
                 "trace" => args.trace = true,
+                "report" => args.report = true,
                 "--help" | "-h" => {
                     return Err("usage: sigma_cli [--m M] [--n N] [--k K] \
                         [--input-sparsity S] [--weight-sparsity S] \
@@ -213,7 +263,10 @@ impl Args {
                         [--output text|csv|json] [--telemetry] [--out SUMMARY.json] \
                         [--resume JOURNAL] \
                         [--cache STORE] [--cache-cap N] [--cache-stats] \
+                        [--flight-recorder LOG.jsonl] \
                         | trace [--out TRACE.json] [--telemetry] [--seed S] \
+                        | report --from LOG.jsonl [--out TRACE.json] \
+                        [--metrics json|prom] \
                         | --list-engines"
                         .to_string())
                 }
@@ -368,6 +421,70 @@ fn run_trace(args: &Args) -> i32 {
     0
 }
 
+/// `report --from LOG`: converts a flight-recorder event log into a
+/// validated Perfetto trace (written with `--out`) plus an aggregate
+/// per-stage latency table; `--metrics json|prom` re-exports the log's
+/// counters, gauges, and histograms instead. Exits non-zero if the log
+/// is unreadable or the built trace fails its own validator.
+fn run_report(args: &Args) -> i32 {
+    let Some(path) = &args.from else {
+        eprintln!("report needs --from LOG.jsonl (an event log from --sweep --flight-recorder)");
+        return 2;
+    };
+    let log = match read_event_log(std::path::Path::new(path)) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("report: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    for w in &log.warnings {
+        eprintln!("[report] {w}");
+    }
+    let report = match build_report(&log) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: built trace failed validation: {e}");
+            return 1;
+        }
+    };
+    match args.metrics {
+        Some(MetricsOut::Json) => print!("{}", log.metrics_report().to_json()),
+        Some(MetricsOut::Prometheus) => print!("{}", log.metrics_report().to_prometheus()),
+        None => {
+            println!("{}", report.table.render());
+            for stage in Stage::ALL {
+                if let Some(h) = log.stage(stage) {
+                    if h.count > 0 {
+                        println!(
+                            "[report] stage {}: count={} sum_us={} mean_us={:.1} max_us={}",
+                            stage.name(),
+                            h.count,
+                            h.sum,
+                            h.mean(),
+                            h.max
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &report.trace_json) {
+            eprintln!("report: cannot write {out}: {e}");
+            return 1;
+        }
+        eprintln!(
+            "wrote {out}: {} spans, {} counter samples across {} tracks \
+             — open at ui.perfetto.dev",
+            report.summary.span_count,
+            report.summary.counter_count,
+            report.summary.track_durations.len()
+        );
+    }
+    0
+}
+
 /// `--sweep`: the whole registry over the demo suite (or `--workload`s).
 fn run_sweep(args: &Args) -> i32 {
     let workloads = if args.workloads.is_empty() {
@@ -381,7 +498,22 @@ fn run_sweep(args: &Args) -> i32 {
             }
         }
     };
-    let mut sweep = Sweep::new(workloads).with_seed(args.seed).with_telemetry(args.telemetry);
+    // The flight recorder's wall clock is injected here, at the harness
+    // edge: a monotonic microsecond counter since process start. With
+    // the flag absent the recorder is a `None` handle and every
+    // recording call below is an inlined early return.
+    let epoch = std::time::Instant::now();
+    let (recorder, flight_registry) = if args.flight_recorder.is_some() {
+        let clock = move || u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        (FlightRecorder::with_clock(65_536, clock), Telemetry::enabled())
+    } else {
+        (FlightRecorder::off(), Telemetry::off())
+    };
+    let mut sweep = Sweep::new(workloads)
+        .with_seed(args.seed)
+        .with_telemetry(args.telemetry)
+        .with_flight_recorder(recorder.clone())
+        .with_telemetry_registry(flight_registry.clone());
     if let Some(t) = args.threads {
         sweep = sweep.with_threads(t);
     }
@@ -389,7 +521,7 @@ fn run_sweep(args: &Args) -> i32 {
     let cache = match &args.cache {
         Some(path) => match RunCache::open(std::path::Path::new(path), args.cache_cap) {
             Ok(cache) => {
-                let cache = Arc::new(cache);
+                let cache = Arc::new(cache.with_flight_recorder(recorder.clone()));
                 for warning in cache.warnings() {
                     eprintln!("[cache] {warning}");
                     warned += 1;
@@ -434,9 +566,11 @@ fn run_sweep(args: &Args) -> i32 {
         }
         if args.cache_stats {
             let s = cache.stats();
+            let probes = s.hits + s.misses;
+            let hit_rate = if probes == 0 { 0.0 } else { 100.0 * s.hits as f64 / probes as f64 };
             eprintln!(
-                "[cache] {} entries in {} (cap {}): {} hits, {} misses, \
-                 {} coalesced in flight, {} evictions",
+                "[cache] {} entries in {} (cap {}): {} hits, {} misses \
+                 ({hit_rate:.1}% hit rate), {} coalesced in flight, {} evictions",
                 s.entries,
                 cache.path().display(),
                 cache.capacity(),
@@ -446,6 +580,22 @@ fn run_sweep(args: &Args) -> i32 {
                 s.evictions
             );
         }
+    }
+    if let Some(path) = &args.flight_recorder {
+        let flight = recorder.snapshot();
+        let telem = flight_registry.snapshot();
+        let process = format!("sigma sweep seed {}", args.seed);
+        if let Err(e) = write_event_log(std::path::Path::new(path), &process, &flight, &telem) {
+            eprintln!("cannot write flight log {path}: {e}");
+            return 1;
+        }
+        eprintln!(
+            "[flight] wrote {path}: {} spans retained ({} dropped), {} gauge snapshots \
+             — render with `sigma_cli report --from {path}`",
+            flight.spans.len(),
+            flight.dropped_spans,
+            flight.snaps.len()
+        );
     }
     match args.output {
         Output::Text => println!("{}", records_table("Engine sweep", &records)),
@@ -484,6 +634,9 @@ fn main() {
     }
     if args.trace {
         std::process::exit(run_trace(&args));
+    }
+    if args.report {
+        std::process::exit(run_report(&args));
     }
     if args.sweep {
         std::process::exit(run_sweep(&args));

@@ -45,6 +45,7 @@ use crate::harness::journal::{fnv1a_64, replay, JournalWriter};
 use crate::harness::record::{RunRecord, RECORD_SCHEMA};
 use crate::harness::sweep::WorkloadSpec;
 use sigma_core::{Engine, FaultPlan};
+use sigma_telemetry::{FlightRecorder, Stage};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -199,6 +200,7 @@ pub struct RunCache {
     capacity: usize,
     path: PathBuf,
     load_warnings: Vec<String>,
+    recorder: FlightRecorder,
 }
 
 /// What [`RunCache::lookup`] resolved to.
@@ -305,7 +307,19 @@ impl RunCache {
             capacity,
             path: path.to_path_buf(),
             load_warnings: warnings,
+            recorder: FlightRecorder::off(),
         })
+    }
+
+    /// Attaches a flight recorder (builder-style, before sharing the
+    /// cache via `Arc`): every [`RunCache::lookup`] lands a
+    /// [`Stage::CacheProbe`] span (labelled hit / miss / coalesced, and
+    /// covering any in-flight coalescing wait) and every insert a
+    /// [`Stage::CacheInsert`] span.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The store path.
@@ -341,6 +355,7 @@ impl RunCache {
     /// executor finishes. See [`Lookup`].
     #[must_use]
     pub fn lookup(&self, key: &CellKey) -> Lookup<'_> {
+        let t0 = self.recorder.now_us();
         let digest = key.digest();
         let mut state = self.lock();
         let mut waited = false;
@@ -359,6 +374,8 @@ impl RunCache {
                     } else {
                         state.stats.hits += 1;
                     }
+                    let label = if waited { "coalesced" } else { "hit" };
+                    self.recorder.span_since(Stage::CacheProbe, label, t0);
                     return Lookup::Hit(record);
                 }
             }
@@ -372,6 +389,7 @@ impl RunCache {
             }
             state.pending.insert(digest, ());
             state.stats.misses += 1;
+            self.recorder.span_since(Stage::CacheProbe, "miss", t0);
             return Lookup::Miss(CellLease { cache: self, key: key.clone(), fulfilled: false });
         }
     }
@@ -394,6 +412,7 @@ impl RunCache {
     /// Inserts a fulfilled cell, evicts beyond capacity, appends to the
     /// store, compacts amortized, and wakes waiters.
     fn insert(&self, key: &CellKey, record: &RunRecord) {
+        let t0 = self.recorder.now_us();
         let mut state = self.lock();
         state.pending.remove(&key.digest());
         state.generation += 1;
@@ -438,6 +457,7 @@ impl RunCache {
             }
         }
         drop(state);
+        self.recorder.span_since(Stage::CacheInsert, &record.workload, t0);
         self.cond.notify_all();
     }
 
@@ -799,6 +819,30 @@ mod tests {
         });
         assert_eq!(outcome, vec![false, false], "waiter inherited the lease after abandonment");
         assert!(matches!(cache.lookup(&k), Lookup::Hit(_)), "the inherited lease was fulfilled");
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn recorder_times_probes_and_inserts_with_reconciling_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let ticks = Arc::new(AtomicU64::new(0));
+        let rec = FlightRecorder::with_clock(64, move || ticks.fetch_add(3, Ordering::Relaxed));
+        let cache = fresh("recorder", 8).with_flight_recorder(rec.clone());
+        if let Lookup::Miss(lease) = cache.lookup(&key("a")) {
+            lease.fulfill(&sample("a"));
+        }
+        assert!(matches!(cache.lookup(&key("a")), Lookup::Hit(_)));
+        let snap = rec.snapshot();
+        let stats = cache.stats();
+        // Probe spans reconcile with the traffic counters exactly.
+        assert_eq!(
+            snap.stage("cache_probe").unwrap().count,
+            stats.hits + stats.misses + stats.coalesced
+        );
+        assert_eq!(snap.stage("cache_insert").unwrap().count, stats.insertions);
+        assert!(snap.spans.iter().any(|s| s.label == "hit"));
+        assert!(snap.spans.iter().any(|s| s.label == "miss"));
         let _ = std::fs::remove_file(cache.path());
     }
 

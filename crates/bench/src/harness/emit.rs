@@ -7,6 +7,7 @@
 //! * `--json <dir>` — also write each table as `<slug>.json`;
 //! * `--quiet` — suppress the text rendering (files only).
 
+use crate::harness::journal::write_atomic;
 use crate::util::Table;
 use std::path::Path;
 
@@ -58,14 +59,16 @@ pub fn emit_tables_with(
         if !opts.quiet {
             writeln!(out, "{table}").map_err(|e| e.to_string())?;
         }
+        // Atomic (temp + sync + rename) like every other harness
+        // artifact: a consumer never observes a half-written export.
         if let Some(dir) = &opts.csv_dir {
             let path = Path::new(dir).join(format!("{}.csv", table.slug()));
-            std::fs::write(&path, table.to_csv())
+            write_atomic(&path, table.to_csv().as_bytes())
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
         }
         if let Some(dir) = &opts.json_dir {
             let path = Path::new(dir).join(format!("{}.json", table.slug()));
-            std::fs::write(&path, table.to_json())
+            write_atomic(&path, table.to_json().as_bytes())
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
         }
     }
@@ -122,6 +125,12 @@ mod tests {
             std::fs::read_to_string(dir.join(format!("{slug}.json"))).unwrap(),
             sample().to_json()
         );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "atomic writes leave no temp files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -41,6 +41,7 @@
 use crate::harness::cache::CellKey;
 use crate::harness::record::{RunRecord, RunStatus};
 use crate::util::json_string;
+use sigma_telemetry::{FlightRecorder, Stage};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -65,6 +66,36 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Atomically replaces the file at `path` with `bytes`: write a
+/// `.tmp`-suffixed sibling, fsync it, rename it over `path`, then
+/// best-effort fsync the parent directory so the rename itself is
+/// durable. A crash at any point leaves either the old file or the new
+/// one, never a torn mix — this is the one non-append write primitive
+/// the sigma-lint D6 rule holds harness persistence code to, shared by
+/// journal compaction, figure CSV/JSON emission, and the flight
+/// recorder's event log.
+///
+/// # Errors
+///
+/// Propagates the I/O error when the temp write or rename fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut tmp_file = File::create(&tmp)?;
+        tmp_file.write_all(bytes)?;
+        tmp_file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Renders one journal/cache line: schema, digest, canonical identity,
 /// record.
 fn render_line(key: &CellKey, record: &RunRecord) -> String {
@@ -85,6 +116,7 @@ pub struct JournalWriter {
     path: PathBuf,
     file: File,
     appends: u64,
+    recorder: FlightRecorder,
 }
 
 impl JournalWriter {
@@ -95,7 +127,13 @@ impl JournalWriter {
     /// Propagates the I/O error when the file cannot be opened.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Self { path: path.to_path_buf(), file, appends: 0 })
+        Ok(Self { path: path.to_path_buf(), file, appends: 0, recorder: FlightRecorder::off() })
+    }
+
+    /// Attaches a flight recorder; appends and fsyncs get timed as
+    /// [`Stage::JournalAppend`] / [`Stage::JournalFsync`] spans.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
     }
 
     /// Appends one completed cell as a canonical JSON line and fsyncs.
@@ -105,8 +143,12 @@ impl JournalWriter {
     /// Propagates the I/O error when the write or sync fails.
     pub fn append(&mut self, key: &CellKey, record: &RunRecord) -> std::io::Result<()> {
         let line = render_line(key, record);
+        let t0 = self.recorder.now_us();
         self.file.write_all(line.as_bytes())?;
+        self.recorder.span_since(Stage::JournalAppend, &record.workload, t0);
+        let t1 = self.recorder.now_us();
         self.file.sync_data()?;
+        self.recorder.span_since(Stage::JournalFsync, &record.workload, t1);
         self.appends += 1;
         Ok(())
     }
@@ -132,24 +174,13 @@ impl JournalWriter {
     ///
     /// Propagates the I/O error when the temp write or rename fails.
     pub fn compact(&mut self, entries: &[(&CellKey, &RunRecord)]) -> std::io::Result<()> {
-        let tmp = self.path.with_extension("journal.tmp");
-        {
-            let mut tmp_file = File::create(&tmp)?;
-            for (key, record) in entries {
-                tmp_file.write_all(render_line(key, record).as_bytes())?;
-            }
-            tmp_file.sync_data()?;
+        let mut content = String::new();
+        for (key, record) in entries {
+            content.push_str(&render_line(key, record));
         }
-        std::fs::rename(&tmp, &self.path)?;
-        // Re-open so later appends land after the rotated content, and
-        // best-effort fsync the parent directory so the rename itself is
-        // durable.
+        write_atomic(&self.path, content.as_bytes())?;
+        // Re-open so later appends land after the rotated content.
         self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
-        if let Some(parent) = self.path.parent() {
-            if let Ok(dir) = File::open(parent) {
-                let _ = dir.sync_all();
-            }
-        }
         Ok(())
     }
 }
@@ -270,10 +301,11 @@ fn parse_line(line: &str) -> Result<Parsed, String> {
     Ok(Parsed::Entry(key, Box::new(record)))
 }
 
-/// Minimal JSON value for journal replay. Numbers stay raw strings so
-/// the caller parses them at full precision into the right width.
+/// Minimal JSON value for journal and flight-event-log replay. Numbers
+/// stay raw strings so the caller parses them at full precision into
+/// the right width.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     /// A string literal, unescaped.
     Str(String),
     /// A number, kept as its raw source text.
@@ -284,22 +316,24 @@ enum Json {
     Null,
     /// An object, in source order.
     Obj(Vec<(String, Json)>),
+    /// An array, in source order.
+    Arr(Vec<Json>),
 }
 
 impl Json {
-    fn as_object(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(kv) => Some(kv),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
-    fn as_raw(&self) -> Option<&str> {
+    pub(crate) fn as_raw(&self) -> Option<&str> {
         match self {
             Json::Raw(s) => Some(s),
             _ => None,
@@ -311,16 +345,23 @@ impl Json {
             _ => None,
         }
     }
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
-fn field<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, String> {
+pub(crate) fn field<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, String> {
     obj.iter().find(|(k, _)| k == name).map(|(_, v)| v).ok_or(format!("missing field {name:?}"))
 }
 
-/// Hand-rolled parser for the flat-ish JSON the journal emits (objects,
-/// strings, numbers, booleans, null; arrays are not needed). Errors are
-/// short human-readable strings — replay turns them into warnings.
-fn parse_json(src: &str) -> Result<Json, String> {
+/// Hand-rolled parser for the flat-ish JSON the journal and the flight
+/// recorder's event log emit (objects, arrays, strings, numbers,
+/// booleans, null). Errors are short human-readable strings — replay
+/// turns them into warnings.
+pub(crate) fn parse_json(src: &str) -> Result<Json, String> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
@@ -341,6 +382,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
@@ -422,6 +464,29 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 out.push(c);
                 *pos += c.len_utf8();
             }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    // Caller guarantees bytes[*pos] == b'['.
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
         }
     }
 }
@@ -704,6 +769,53 @@ mod tests {
         let replay = replay(&path).unwrap();
         assert!(replay.entries.is_empty());
         assert!(replay.warnings.is_empty());
+    }
+
+    #[test]
+    fn parser_handles_arrays() {
+        let v = parse_json("{\"a\": [1, 2, [\"x\"], {\"b\": true}], \"e\": []}").unwrap();
+        let obj = v.as_object().unwrap();
+        let a = field(obj, "a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].as_raw(), Some("1"));
+        assert_eq!(a[2].as_array().unwrap()[0].as_str(), Some("x"));
+        assert_eq!(field(a[3].as_object().unwrap(), "b").unwrap().as_bool(), Some(true));
+        assert!(field(obj, "e").unwrap().as_array().unwrap().is_empty());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("[1 2]").is_err());
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_cleans_temp() {
+        let path = tmp("write_atomic");
+        let _ = std::fs::remove_file(&path);
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!PathBuf::from(tmp_name).exists(), "temp sibling cleaned up");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recorder_times_appends_and_fsyncs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let path = tmp("recorder");
+        let _ = std::fs::remove_file(&path);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let rec = FlightRecorder::with_clock(64, move || ticks.fetch_add(5, Ordering::Relaxed));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.set_recorder(rec.clone());
+        w.append(&k("a"), &sample("a")).unwrap();
+        w.append(&k("b"), &sample("b")).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.stage("journal_append").unwrap().count, 2);
+        assert_eq!(snap.stage("journal_fsync").unwrap().count, 2);
+        assert_eq!(snap.spans.len(), 4);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

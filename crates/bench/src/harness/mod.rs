@@ -19,6 +19,10 @@
 //!   across sweeps and CLI invocations: verified 128-bit [`CellKey`]s,
 //!   in-flight duplicate coalescing, LRU eviction, and the journal's
 //!   crash model, behind `Sweep::with_cache` / `sigma_cli --cache`;
+//! * [`flight`] — the flight-recorder event log (JSONL persistence for
+//!   a sweep's wall-clock spans, stage latency histograms, and gauges)
+//!   and the `sigma_cli report` builder that turns a log into a
+//!   validated Perfetto trace plus a per-stage latency table;
 //! * [`chaos`] — deliberately misbehaving engines (panic / wedge /
 //!   flake) used to prove the sweep's degradation contract;
 //! * [`profile`] — the sweep-level telemetry aggregate (wall time, retry
@@ -38,6 +42,7 @@ pub mod analytic;
 pub mod cache;
 pub mod chaos;
 pub mod emit;
+pub mod flight;
 pub mod journal;
 pub mod profile;
 pub mod record;
@@ -48,7 +53,11 @@ pub use analytic::{speedup_over, SigmaAnalytic};
 pub use cache::{CacheStats, CellKey, CellLease, Lookup, RunCache, CELL_KEY_REVISION};
 pub use chaos::{FlakyEngine, PanickingEngine, SpinningEngine, WedgingEngine};
 pub use emit::{emit_tables, emit_tables_with};
-pub use journal::{fnv1a_64, replay, JournalReplay, JournalWriter, JOURNAL_SCHEMA};
+pub use flight::{
+    build_report, parse_event_log, read_event_log, render_event_log, stage_table, write_event_log,
+    EventLog, FlightReport, SnapSample, FLIGHT_SCHEMA,
+};
+pub use journal::{fnv1a_64, replay, write_atomic, JournalReplay, JournalWriter, JOURNAL_SCHEMA};
 pub use profile::{EngineProfile, SweepProfile};
 pub use record::{records_table, records_to_json, CellProfile, RunRecord, RunStatus};
 pub use registry::{default_registry, engine_by_name, engine_names, EngineEntry};

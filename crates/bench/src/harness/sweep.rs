@@ -40,7 +40,7 @@ use sigma_baselines::AnalyticEngine;
 use sigma_core::model::GemmProblem;
 use sigma_core::{CancelToken, Engine, EngineError, EngineRun};
 use sigma_matrix::{GemmShape, Matrix, SparseMatrix};
-use sigma_telemetry::{Counter, Telemetry};
+use sigma_telemetry::{Counter, FlightRecorder, Gauge, Stage, Telemetry};
 use sigma_workloads::materialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -218,7 +218,9 @@ fn attempt_cell(
     budget: Option<Duration>,
     grace: Duration,
     live: &Arc<AtomicUsize>,
+    flight: (&FlightRecorder, &str),
 ) -> CellOutcome {
+    let (recorder, label) = flight;
     install_quiet_panic_hook();
     let engine = Arc::clone(engine);
     let (a, b) = (Arc::clone(a), Arc::clone(b));
@@ -241,9 +243,13 @@ fn attempt_cell(
             Err(_) => {
                 // Budget exceeded: ask the engine to stop at its next
                 // fold boundary, then wait a grace period so cooperative
-                // engines' threads are reaped rather than leaked.
+                // engines' threads are reaped rather than leaked. The
+                // flight-recorder span covers cancel-to-reap (or grace
+                // expiry), i.e. how long the watchdog actually waited.
+                let t0 = recorder.now_us();
                 cancel.cancel();
                 let _ = rx.recv_timeout(grace);
+                recorder.span_since(Stage::WatchdogCancel, label, t0);
                 let budget_ms = u64::try_from(budget.as_millis()).unwrap_or(u64::MAX);
                 let msg = EngineError::Timeout { budget_ms }.to_string();
                 return CellOutcome::Failed(RunStatus::Timeout, msg);
@@ -274,6 +280,7 @@ pub struct Sweep {
     cancel_grace: Duration,
     telemetry: bool,
     registry: Telemetry,
+    recorder: FlightRecorder,
     live: Arc<AtomicUsize>,
     cache: Option<Arc<RunCache>>,
 }
@@ -296,6 +303,7 @@ impl Sweep {
             cancel_grace: Duration::from_millis(250),
             telemetry: false,
             registry: Telemetry::off(),
+            recorder: FlightRecorder::off(),
             live: Arc::new(AtomicUsize::new(0)),
             cache: None,
         }
@@ -375,6 +383,32 @@ impl Sweep {
     pub fn with_telemetry_registry(mut self, registry: Telemetry) -> Self {
         self.registry = registry;
         self
+    }
+
+    /// Attaches a [`FlightRecorder`]: watchdogged attempts, retry
+    /// backoffs, watchdog cancellations, operand materializations, and
+    /// queue waits are recorded as thread-tagged wall-clock spans and
+    /// per-stage latency histograms, and the sweep maintains the
+    /// `cells_total` / `cells_completed` / `live_cell_threads` gauges
+    /// (plus `cache_entries` when a cache is attached) with periodic
+    /// snapshots. Detached (the default) every recording call is an
+    /// inlined early return, so records — and their rendered CSV/JSON —
+    /// stay byte-identical to a recorder-free sweep.
+    ///
+    /// The recorder's clock is injected by the caller (the `sigma_cli`
+    /// harness passes a monotonic epoch), keeping wall-clock reads out
+    /// of determinism-critical library crates.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`Sweep::with_flight_recorder`] was called).
+    #[must_use]
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Attaches a shared content-addressed [`RunCache`]: every cell
@@ -485,7 +519,11 @@ impl Sweep {
                 )
             })
             .collect();
-        let writer = Mutex::new(JournalWriter::open(journal_path)?);
+        let writer = {
+            let mut w = JournalWriter::open(journal_path)?;
+            w.set_recorder(self.recorder.clone());
+            Mutex::new(w)
+        };
         let append_warnings = Mutex::new(Vec::new());
         let cache_before = self.cache.as_ref().map(|c| c.stats());
         let results: Vec<(RunRecord, bool)> = par_map(&jobs, self.threads, |ji, &(ei, wi)| {
@@ -507,7 +545,7 @@ impl Sweep {
                     Lookup::Miss(granted) => lease = Some(granted),
                 }
             }
-            let record = self.run_cell(entry, ei, wi, w, prepared[wi].force(w));
+            let record = self.run_cell(entry, ei, wi, w, self.force_timed(&prepared[wi], w));
             if let Some(granted) = lease {
                 // Only deterministic successes are worth memoizing: a
                 // panic/timeout/error record pins a transient failure.
@@ -537,6 +575,11 @@ impl Sweep {
             (record, false)
         });
         self.record_cache_deltas(cache_before);
+        // Resume has no live progress line; still leave one final gauge
+        // sample so a recorded resume renders counter tracks.
+        self.recorder.gauge_set(Gauge::CellsTotal, jobs.len() as u64);
+        self.recorder.gauge_set(Gauge::CellsCompleted, jobs.len() as u64);
+        self.recorder.snap();
         let resume_hits = results.iter().filter(|(_, hit)| *hit).count() as u64;
         let records: Vec<RunRecord> = results.into_iter().map(|(r, _)| r).collect();
         let degraded_cells =
@@ -610,6 +653,11 @@ impl Sweep {
         input: &Prepared,
     ) -> RunRecord {
         let started = self.telemetry.then(std::time::Instant::now);
+        // The span label is only built when the recorder is on, so a
+        // recorder-free cell allocates nothing extra.
+        let owned_label = self.recorder.is_enabled().then(|| format!("{}: {}", entry.slug, w.name));
+        let label = owned_label.as_deref().unwrap_or("");
+        let mut t0 = self.recorder.now_us();
         let mut outcome = attempt_cell(
             &entry.engine,
             &input.a,
@@ -617,12 +665,17 @@ impl Sweep {
             self.budget,
             self.cancel_grace,
             &self.live,
+            (&self.recorder, label),
         );
+        self.recorder.span_since(Stage::EngineRun, label, t0);
         let mut attempts: u32 = 1;
         let mut timeouts = u32::from(matches!(outcome, CellOutcome::Failed(RunStatus::Timeout, _)));
         while attempts <= self.retries && matches!(outcome, CellOutcome::Failed(..)) {
             attempts += 1;
+            t0 = self.recorder.now_us();
             std::thread::sleep(self.backoff_delay(ei, wi, attempts));
+            self.recorder.span_since(Stage::RetryBackoff, label, t0);
+            t0 = self.recorder.now_us();
             outcome = attempt_cell(
                 &entry.engine,
                 &input.a,
@@ -630,7 +683,9 @@ impl Sweep {
                 self.budget,
                 self.cancel_grace,
                 &self.live,
+                (&self.recorder, label),
             );
+            self.recorder.span_since(Stage::EngineRun, label, t0);
             timeouts += u32::from(matches!(outcome, CellOutcome::Failed(RunStatus::Timeout, _)));
         }
         // Graceful degradation: a cell that exhausted its budget twice
@@ -643,6 +698,7 @@ impl Sweep {
             if let CellOutcome::Failed(RunStatus::Timeout, msg) = &outcome {
                 let fallback: Arc<dyn Engine> =
                     Arc::new(AnalyticEngine::new(SigmaAnalytic::paper()));
+                let tf = self.recorder.now_us();
                 let fb = attempt_cell(
                     &fallback,
                     &input.a,
@@ -650,7 +706,9 @@ impl Sweep {
                     self.budget,
                     self.cancel_grace,
                     &self.live,
+                    (&self.recorder, label),
                 );
+                self.recorder.span_since(Stage::EngineRun, label, tf);
                 if let CellOutcome::Done(run) = fb {
                     degraded_from =
                         Some((format!("{msg}; degraded to analytic fallback"), fallback));
@@ -713,13 +771,47 @@ impl Sweep {
         let total = jobs.len();
         let completed = AtomicUsize::new(0);
         let cache_before = self.cache.as_ref().map(|c| c.stats());
+        let progress = self.telemetry || self.recorder.is_enabled();
+        let started = progress.then(std::time::Instant::now);
+        // Queue wait is measured from one shared stamp at dispatch: a
+        // cell's wait is how long after the sweep started a worker first
+        // picked it up.
+        let dispatched_us = self.recorder.now_us();
+        self.recorder.gauge_set(Gauge::CellsTotal, total as u64);
+        self.recorder.gauge_set(Gauge::CellsCompleted, 0);
+        self.recorder.snap();
+        let snap_every = (total / 16).max(1);
         let records = par_map(&jobs, threads, |_, &(ei, wi)| {
             let entry = &engines[ei];
             let w = &self.workloads[wi];
+            if self.recorder.is_enabled() {
+                let label = format!("{}: {}", entry.slug, w.name);
+                self.recorder.span_since(Stage::QueueWait, &label, dispatched_us);
+            }
             let record = self.run_cell_cached(entry, ei, wi, w, &prepared[wi]);
-            if self.telemetry {
+            if progress {
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                eprint!("\r[sweep] {done}/{total} cells ({}: {})", entry.slug, w.name);
+                self.recorder.gauge_set(Gauge::CellsCompleted, done as u64);
+                self.recorder
+                    .gauge_set(Gauge::LiveCellThreads, self.live.load(Ordering::SeqCst) as u64);
+                if let Some(cache) = &self.cache {
+                    if self.recorder.is_enabled() {
+                        self.recorder.gauge_set(Gauge::CacheEntries, cache.stats().entries);
+                    }
+                }
+                if done.is_multiple_of(snap_every) || done == total {
+                    self.recorder.snap();
+                }
+                let elapsed = started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+                let eta = if done > 0 && done < total {
+                    elapsed / done as f64 * (total - done) as f64
+                } else {
+                    0.0
+                };
+                eprint!(
+                    "\r[sweep] {done}/{total} cells | {elapsed:.1}s elapsed, eta {eta:.1}s ({}: {})",
+                    entry.slug, w.name
+                );
                 if done == total {
                     eprintln!();
                 }
@@ -746,19 +838,36 @@ impl Sweep {
         lazy: &LazyPrepared,
     ) -> RunRecord {
         let Some(cache) = &self.cache else {
-            return self.run_cell(entry, ei, wi, w, lazy.force(w));
+            return self.run_cell(entry, ei, wi, w, self.force_timed(lazy, w));
         };
         let key = CellKey::for_engine(&entry.slug, entry.engine.as_ref(), w, lazy.seed);
         match cache.lookup(&key) {
             Lookup::Hit(record) => *record,
             Lookup::Miss(lease) => {
-                let record = self.run_cell(entry, ei, wi, w, lazy.force(w));
+                let record = self.run_cell(entry, ei, wi, w, self.force_timed(lazy, w));
                 if record.status == RunStatus::Ok {
                     lease.fulfill(&record);
                 }
                 record
             }
         }
+    }
+
+    /// [`LazyPrepared::force`] with a [`Stage::Materialize`] span around
+    /// the first (materializing) call. Already-materialized slots — and
+    /// every call with the recorder off — go straight through, so the
+    /// `materialize` histogram counts workloads materialized, not cells
+    /// run. (Two racing first callers may both record; the loser's span
+    /// measures its block on the winner, which is still time spent
+    /// waiting on materialization.)
+    fn force_timed<'a>(&self, lazy: &'a LazyPrepared, w: &WorkloadSpec) -> &'a Prepared {
+        if !self.recorder.is_enabled() || lazy.cell.get().is_some() {
+            return lazy.force(w);
+        }
+        let t0 = self.recorder.now_us();
+        let prepared = lazy.force(w);
+        self.recorder.span_since(Stage::Materialize, &w.name, t0);
+        prepared
     }
 
     /// Folds the cache activity attributable to this sweep into the
@@ -1348,6 +1457,77 @@ mod tests {
         assert_eq!(records[0], records[2]);
         assert_eq!(records[0], records[4]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Flight-recorder acceptance: span/histogram counts reconcile with
+    /// the grid (queue waits == cells, engine runs == total attempts,
+    /// materializations == workloads), gauges land on their final
+    /// values, and an *enabled* recorder does not perturb records.
+    #[test]
+    fn flight_recorder_spans_reconcile_with_the_grid() {
+        use std::sync::atomic::AtomicU64;
+        let engines: Vec<_> = default_registry()
+            .into_iter()
+            .filter(|e| e.slug == "eie" || e.slug == "scnn")
+            .collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let cells = (engines.len() * suite.len()) as u64;
+        let tick = Arc::new(AtomicU64::new(0));
+        let clock = {
+            let tick = Arc::clone(&tick);
+            move || tick.fetch_add(7, Ordering::Relaxed)
+        };
+        let recorder = FlightRecorder::with_clock(4096, clock);
+        let plain = Sweep::new(suite.clone()).with_seed(13).with_threads(2).run(&engines);
+        let recorded = Sweep::new(suite)
+            .with_seed(13)
+            .with_threads(2)
+            .with_flight_recorder(recorder.clone())
+            .run(&engines);
+        assert_eq!(recorded, plain, "an enabled recorder must not perturb records");
+        let snap = recorder.snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.dropped_spans, 0);
+        assert_eq!(snap.stage("queue_wait").map_or(0, |h| h.count), cells);
+        let attempts: u64 = recorded.iter().map(|r| u64::from(r.attempts)).sum();
+        assert_eq!(snap.stage("engine_run").map_or(0, |h| h.count), attempts);
+        // One span per workload, plus at most one extra per racing
+        // first-caller (the loser times its block on the winner).
+        let materialized = snap.stage("materialize").map_or(0, |h| h.count);
+        assert!(
+            (2..=cells).contains(&materialized),
+            "materializations {materialized} outside [2, {cells}]"
+        );
+        assert_eq!(snap.stage("retry_backoff").map_or(0, |h| h.count), 0, "no retries happened");
+        assert_eq!(recorder.gauge(Gauge::CellsTotal), cells);
+        assert_eq!(recorder.gauge(Gauge::CellsCompleted), cells);
+        assert!(!snap.snaps.is_empty(), "periodic snapshots were taken");
+        // Every queue wait and engine run left a span in the buffer.
+        assert!(snap.spans.len() as u64 >= cells + attempts);
+    }
+
+    /// A *disabled* recorder is the default: `with_flight_recorder(off)`
+    /// is indistinguishable — records and rendered artifacts
+    /// byte-identical — from never attaching one.
+    #[test]
+    fn disabled_recorder_is_byte_identical_to_no_recorder() {
+        let engines: Vec<_> = default_registry().into_iter().filter(|e| e.slug == "eie").collect();
+        let suite = demo_suite().into_iter().take(2).collect::<Vec<_>>();
+        let plain = Sweep::new(suite.clone()).with_seed(23).with_threads(2).run(&engines);
+        let off = Sweep::new(suite)
+            .with_seed(23)
+            .with_threads(2)
+            .with_flight_recorder(FlightRecorder::off())
+            .run(&engines);
+        assert_eq!(off, plain);
+        assert_eq!(
+            crate::harness::record::records_to_json(&off),
+            crate::harness::record::records_to_json(&plain)
+        );
+        assert_eq!(
+            crate::harness::record::records_table("sweep", &off).to_csv(),
+            crate::harness::record::records_table("sweep", &plain).to_csv()
+        );
     }
 
     /// Resume consults the shared cache after its own journal: a warm

@@ -1,6 +1,10 @@
 //! Lightweight observability for the SIGMA simulator: a metrics registry
-//! (monotonic counters + cycle-bucketed histograms) and a Chrome
-//! trace-event (Perfetto-loadable) JSON exporter.
+//! (monotonic counters + cycle-bucketed histograms), a Chrome
+//! trace-event (Perfetto-loadable) JSON exporter, and a wall-clock
+//! [`flight`] recorder (thread-tagged spans, per-stage latency
+//! histograms, gauges, and a JSON/Prometheus [`MetricsReport`]) whose
+//! clock is injected by the harness so library code stays
+//! deterministic.
 //!
 //! The registry follows the fault injector's zero-overhead-when-disabled
 //! design: a [`Telemetry`] handle is an `Option<Arc<..>>` — a disabled
@@ -30,8 +34,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod perfetto;
 pub mod registry;
 
+pub use flight::{
+    FlightRecorder, FlightSnapshot, Gauge, MetricsReport, ReportHist, SnapRecord, SpanRecord, Stage,
+};
 pub use perfetto::{validate_chrome_trace, ChromeTrace, TraceSummary};
 pub use registry::{Counter, Hist, HistSummary, Telemetry, TelemetrySnapshot};

@@ -157,11 +157,11 @@ impl Hist {
 
 /// Power-of-two histogram buckets: index 0 holds zeros, index `i >= 1`
 /// holds values in `(2^(i-2), 2^(i-1)]`, with the last bucket open-ended.
-const HIST_BUCKETS: usize = 18;
+pub(crate) const HIST_BUCKETS: usize = 18;
 
 /// Bucket index for a value (see [`HIST_BUCKETS`]).
 #[inline]
-fn bucket_of(value: u64) -> usize {
+pub(crate) fn bucket_of(value: u64) -> usize {
     if value == 0 {
         0
     } else {
@@ -171,7 +171,7 @@ fn bucket_of(value: u64) -> usize {
 }
 
 /// Inclusive lower bound of a bucket, for display.
-fn bucket_floor(index: usize) -> u64 {
+pub(crate) fn bucket_floor(index: usize) -> u64 {
     match index {
         0 => 0,
         1 => 1,
@@ -179,16 +179,28 @@ fn bucket_floor(index: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of a bucket, `None` for the open-ended last
+/// bucket (rendered as `+Inf` in Prometheus exposition).
+pub(crate) fn bucket_ceil(index: usize) -> Option<u64> {
+    if index + 1 >= HIST_BUCKETS {
+        return None;
+    }
+    Some(match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    })
+}
+
 #[derive(Debug)]
-struct HistCells {
-    buckets: [AtomicU64; HIST_BUCKETS],
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
+pub(crate) struct HistCells {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) max: AtomicU64,
 }
 
 impl HistCells {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
@@ -198,7 +210,7 @@ impl HistCells {
     }
 
     #[inline]
-    fn observe(&self, value: u64) {
+    pub(crate) fn observe(&self, value: u64) {
         self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -211,6 +223,17 @@ impl HistCells {
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Flattens the cells into a [`HistSummary`] under `name`.
+    pub(crate) fn summary(&self, name: &'static str) -> HistSummary {
+        HistSummary {
+            name,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
     }
 }
 
@@ -508,6 +531,16 @@ mod tests {
         assert_eq!(bucket_floor(1), 1);
         assert_eq!(bucket_floor(3), 3);
         assert_eq!(bucket_floor(4), 5);
+        assert_eq!(bucket_ceil(0), Some(0));
+        assert_eq!(bucket_ceil(1), Some(1));
+        assert_eq!(bucket_ceil(3), Some(4));
+        assert_eq!(bucket_ceil(HIST_BUCKETS - 2), Some(1 << (HIST_BUCKETS - 3)));
+        assert_eq!(bucket_ceil(HIST_BUCKETS - 1), None);
+        // Floors and ceils tile the u64 line with no gaps: each bucket's
+        // ceil is the next bucket's floor minus one.
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_ceil(i).unwrap(), bucket_floor(i + 1) - 1);
+        }
     }
 
     #[test]
