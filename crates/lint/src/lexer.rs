@@ -307,10 +307,21 @@ impl Lexer<'_> {
     fn number(&mut self) {
         // Digits, underscores, hex/oct/bin prefixes, float dots and
         // exponents, and type suffixes all continue the literal.
+        let has_base_prefix = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
         self.bump();
         while let Some(b) = self.peek(0) {
             match b {
-                b'e' | b'E' => {
+                // A float exponent — but only in a decimal literal and
+                // only when exponent digits actually follow: `0x1e+3`
+                // is addition on a hex literal (the `e` is a hex digit)
+                // and `1e-x` must leave the `-` as an operator.
+                b'e' | b'E'
+                    if !has_base_prefix
+                        && (matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                            || (matches!(self.peek(1), Some(b'+' | b'-'))
+                                && matches!(self.peek(2), Some(d) if d.is_ascii_digit()))) =>
+                {
                     self.bump();
                     if matches!(self.peek(0), Some(b'+' | b'-')) {
                         self.bump();
@@ -458,6 +469,49 @@ mod tests {
             kinds("1..4"),
             vec![TokenKind::Number, TokenKind::Punct, TokenKind::Punct, TokenKind::Number]
         );
+    }
+
+    #[test]
+    fn hex_exponent_lookalikes_do_not_swallow_operators() {
+        // `0x1e+3` is addition on a hex literal, not a float exponent.
+        assert_eq!(kinds("0x1e+3"), vec![TokenKind::Number, TokenKind::Punct, TokenKind::Number]);
+        // A sign with no exponent digits stays an operator.
+        assert_eq!(kinds("1e-x"), vec![TokenKind::Number, TokenKind::Punct, TokenKind::Ident]);
+        // Real exponents still lex as one literal.
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number]);
+        assert_eq!(kinds("2.5E+10f64"), vec![TokenKind::Number]);
+        assert_eq!(kinds("0x1E"), vec![TokenKind::Number]);
+        assert_eq!(kinds("0b1010"), vec![TokenKind::Number]);
+        roundtrip("0x1e+3 1e-x 1e-3 2.5E+10f64 0o17e+2");
+    }
+
+    #[test]
+    fn rule_tokens_inside_raw_strings_stay_literals() {
+        // A `"#` lookalike inside a deeper raw string must not close it
+        // early and leak `unwrap`/`lock` idents into the rule matcher.
+        let src = "let s = r##\"says \"# unwrap() .lock() \"##; tail";
+        let toks = lex(src);
+        let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::RawStrLit).collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].text(src).contains("unwrap"));
+        let idents: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src)).collect();
+        assert_eq!(idents, vec!["let", "s", "tail"]);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_comments_containing_string_openers_stay_comments() {
+        // String openers inside a nested block comment must not start a
+        // literal that swallows the comment close.
+        let src = "/* r#\" not a string /* \" */ still */ after";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text(src).ends_with("still */"));
+        let idents: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src)).collect();
+        assert_eq!(idents, vec!["after"]);
+        roundtrip(src);
     }
 
     #[test]
