@@ -1,0 +1,263 @@
+//! The cross-file lock-acquisition graph behind lint D7.
+//!
+//! Every function's [`Acquisition`](crate::scopes::Acquisition) list
+//! yields directed edges: holding lock `A` while acquiring lock `B`
+//! adds `A -> B`, remembered with both acquisition sites so a finding
+//! can print the full chains. Two sites anywhere in the workspace that
+//! order the same pair of locks in opposite directions — or any longer
+//! cycle — can deadlock under the right interleaving, so either fails
+//! the build. Re-acquiring a lock that is already held is reported
+//! directly (self-deadlock with `std::sync::Mutex`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{Finding, Lint};
+use crate::scopes::WorkspaceScopes;
+
+/// One `held -> acquired` observation with enough context to print the
+/// chain: "`fn` takes `to` at `path:line` while holding `from` (taken
+/// at line `from_line`)".
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// The lock already held.
+    pub from: String,
+    /// The lock acquired under it.
+    pub to: String,
+    /// Repo-relative path of the inner acquisition.
+    pub path: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+    /// Line the outer lock was taken on.
+    pub from_line: u32,
+    /// Qualified name of the function containing both sites.
+    pub func: String,
+    /// Display names for the pair.
+    pub from_display: String,
+    /// Display name of the inner lock.
+    pub to_display: String,
+}
+
+/// Collects nesting edges and immediate self-deadlocks.
+#[must_use]
+pub fn check(scopes: &WorkspaceScopes<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // First observation wins per ordered identity pair (files arrive in
+    // sorted workspace order, so this is deterministic).
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+
+    for file in &scopes.files {
+        for f in &file.functions {
+            for (ai, a) in f.acquisitions.iter().enumerate() {
+                for b in &f.acquisitions[ai + 1..] {
+                    if !a.covers(b.site) {
+                        continue;
+                    }
+                    if a.lock.identity == b.lock.identity {
+                        findings.push(Finding {
+                            lint: Lint::D7,
+                            path: file.path.to_string(),
+                            line: b.line,
+                            token: format!("{} -> {}", a.lock.display, b.lock.display),
+                            hint: format!(
+                                "`{}` re-acquires `{}` (taken at line {}) while its guard is \
+                                 still live — std::sync locks self-deadlock; drop the first \
+                                 guard or restructure",
+                                f.qualified(),
+                                a.lock.display,
+                                a.line
+                            ),
+                        });
+                        continue;
+                    }
+                    let key = (a.lock.identity.clone(), b.lock.identity.clone());
+                    edges.entry(key).or_insert_with(|| Edge {
+                        from: a.lock.identity.clone(),
+                        to: b.lock.identity.clone(),
+                        path: file.path.to_string(),
+                        line: b.line,
+                        from_line: a.line,
+                        func: f.qualified(),
+                        from_display: a.lock.display.clone(),
+                        to_display: b.lock.display.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    findings.extend(opposite_pairs(&edges));
+    findings.extend(long_cycles(&edges));
+    findings
+}
+
+/// A chain rendered for a hint: "Fn holds A (line x) then takes B at
+/// path:line".
+fn chain(e: &Edge) -> String {
+    format!(
+        "`{}` holds `{}` (line {}) then takes `{}` at {}:{}",
+        e.func, e.from_display, e.from_line, e.to_display, e.path, e.line
+    )
+}
+
+/// Two-lock inversions: `A -> B` somewhere and `B -> A` somewhere else.
+fn opposite_pairs(edges: &BTreeMap<(String, String), Edge>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for ((from, to), e) in edges {
+        if from >= to {
+            continue; // visit each unordered pair once
+        }
+        let Some(rev) = edges.get(&(to.clone(), from.clone())) else { continue };
+        // Report at the lexicographically later site so the finding is
+        // stable no matter which direction was discovered first.
+        let (site, other) =
+            if (&e.path, e.line) >= (&rev.path, rev.line) { (e, rev) } else { (rev, e) };
+        findings.push(Finding {
+            lint: Lint::D7,
+            path: site.path.clone(),
+            line: site.line,
+            token: format!("{} <-> {}", site.from_display, site.to_display),
+            hint: format!(
+                "lock-order inversion can deadlock: {} ; but {} — pick one global order",
+                chain(site),
+                chain(other)
+            ),
+        });
+    }
+    findings
+}
+
+/// Cycles of length >= 3 (pairs are reported by [`opposite_pairs`]).
+fn long_cycles(edges: &BTreeMap<(String, String), Edge>) -> Vec<Finding> {
+    let adj: BTreeMap<&String, Vec<&Edge>> = {
+        let mut m: BTreeMap<&String, Vec<&Edge>> = BTreeMap::new();
+        for e in edges.values() {
+            m.entry(&e.from).or_default().push(e);
+        }
+        m
+    };
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: BTreeSet<&String> = edges.values().flat_map(|e| [&e.from, &e.to]).collect();
+    for start in nodes {
+        let mut path: Vec<&Edge> = Vec::new();
+        dfs(start, start, &adj, &mut path, &mut BTreeSet::new(), &mut |cycle| {
+            if cycle.len() < 3 {
+                return;
+            }
+            // Canonicalize by rotating the smallest identity first.
+            let ids: Vec<String> = cycle.iter().map(|e| e.from.clone()).collect();
+            let min = ids.iter().enumerate().min_by_key(|(_, s)| *s).map_or(0, |(i, _)| i);
+            let canon: Vec<String> = ids[min..].iter().chain(ids[..min].iter()).cloned().collect();
+            if !reported.insert(canon) {
+                return;
+            }
+            let last = cycle[cycle.len() - 1];
+            findings.push(Finding {
+                lint: Lint::D7,
+                path: last.path.clone(),
+                line: last.line,
+                token: cycle
+                    .iter()
+                    .map(|e| e.from_display.clone())
+                    .collect::<Vec<_>>()
+                    .join(" -> "),
+                hint: format!(
+                    "lock-order cycle across {} locks can deadlock: {}",
+                    cycle.len(),
+                    cycle.iter().map(|e| chain(e)).collect::<Vec<_>>().join(" ; ")
+                ),
+            });
+        });
+    }
+    findings
+}
+
+fn dfs<'a>(
+    start: &String,
+    at: &'a String,
+    adj: &BTreeMap<&String, Vec<&'a Edge>>,
+    path: &mut Vec<&'a Edge>,
+    visited: &mut BTreeSet<&'a String>,
+    report: &mut dyn FnMut(&[&Edge]),
+) {
+    let Some(outs) = adj.get(at) else { return };
+    for e in outs {
+        if e.to == *start {
+            path.push(e);
+            report(path);
+            path.pop();
+            continue;
+        }
+        if visited.contains(&e.to) || path.iter().any(|p| p.from == e.to) {
+            continue;
+        }
+        path.push(e);
+        dfs(start, &e.to, adj, path, visited, report);
+        path.pop();
+    }
+    visited.insert(at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scopes::analyze;
+
+    fn findings_of(files: &[(&str, &str)]) -> Vec<Finding> {
+        check(&analyze(files))
+    }
+
+    const LOCKS: &str = "pub struct S { a: Mutex<u32>, b: Mutex<u32>, c: Mutex<u32> }";
+
+    #[test]
+    fn opposite_nesting_across_files_is_one_finding_with_both_chains() {
+        let one = "
+            impl S { fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); } }
+        ";
+        let two = "
+            impl S { fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); } }
+        ";
+        let got = findings_of(&[("s.rs", LOCKS), ("one.rs", one), ("two.rs", two)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, Lint::D7);
+        assert!(got[0].hint.contains("S::ab"), "{}", got[0].hint);
+        assert!(got[0].hint.contains("S::ba"), "{}", got[0].hint);
+        assert!(got[0].hint.contains("one.rs:"), "{}", got[0].hint);
+        assert!(got[0].hint.contains("two.rs:"), "{}", got[0].hint);
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_drop_breaks_nesting() {
+        let src = "
+            impl S {
+                fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+                fn also_ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+                fn sequential(&self) { let g = self.b.lock(); drop(g); let h = self.a.lock(); }
+            }
+        ";
+        assert_eq!(findings_of(&[("s.rs", LOCKS), ("f.rs", src)]), vec![]);
+    }
+
+    #[test]
+    fn self_reacquire_is_reported() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); let h = self.a.lock(); } }";
+        let got = findings_of(&[("s.rs", LOCKS), ("f.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].hint.contains("re-acquires"), "{}", got[0].hint);
+    }
+
+    #[test]
+    fn three_lock_cycle_is_reported_once() {
+        let src = "
+            impl S {
+                fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+                fn bc(&self) { let g = self.b.lock(); let h = self.c.lock(); }
+                fn ca(&self) { let g = self.c.lock(); let h = self.a.lock(); }
+            }
+        ";
+        let got = findings_of(&[("s.rs", LOCKS), ("f.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].token.contains("->"), "{}", got[0].token);
+        assert!(got[0].hint.contains("cycle across 3 locks"), "{}", got[0].hint);
+    }
+}

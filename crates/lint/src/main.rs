@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p sigma-lint                 # human-readable report, exit 1 on findings
 //! cargo run -p sigma-lint -- --json      # machine-readable report on stdout
-//! cargo run -p sigma-lint -- --check-waivers   # also fail on stale waivers
+//! cargo run -p sigma-lint -- --sarif    # SARIF 2.1.0 log (GitHub PR annotations)
+//! cargo run -p sigma-lint -- --check-waivers   # also fail on stale/over-budget waivers
 //! cargo run -p sigma-lint -- --root PATH # scan a different workspace root
 //! ```
 
@@ -12,12 +13,14 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif = false;
     let mut check_waivers = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--check-waivers" => check_waivers = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -28,18 +31,25 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "sigma-lint: workspace determinism & numeric-safety analyzer\n\
+                    "sigma-lint: workspace determinism, numeric-safety & concurrency analyzer\n\
                      \n\
-                     USAGE: sigma-lint [--json] [--check-waivers] [--root PATH]\n\
+                     USAGE: sigma-lint [--json] [--sarif] [--check-waivers] [--root PATH]\n\
                      \n\
-                     Lints: D1 nondeterminism sources in determinism-critical crates;\n\
-                     D2 unwrap/expect/panic! in non-test library code; D3 truncating\n\
-                     casts on cycle/energy/MAC counters; D4 unsafe outside the\n\
-                     allowlist; D5 Engine impls without validate_finite.\n\
+                     Lints:"
+                );
+                for lint in sigma_lint::Lint::ALL {
+                    println!("  {}  {}", lint.name(), lint.description());
+                }
+                println!(
+                    "\n\
+                     D1-D6 are per-file token rules; D7-D9 run a workspace-wide\n\
+                     scope/lock-graph phase.\n\
                      Waivers: lint.toml at the workspace root ([[waiver]] with\n\
-                     path/lint/reason; empty reasons are rejected).\n\
-                     Exit codes: 0 clean, 1 unwaived findings (or stale waivers with\n\
-                     --check-waivers), 2 usage or I/O error."
+                     path/lint/reason; empty reasons are rejected; --check-waivers\n\
+                     enforces a budget of {} waivers).\n\
+                     Exit codes: 0 clean, 1 unwaived findings (or stale/over-budget\n\
+                     waivers with --check-waivers), 2 usage or I/O error.",
+                    sigma_lint::WAIVER_BUDGET
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,7 +69,9 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
+    if sarif {
+        print!("{}", sigma_lint::report_to_sarif(&report));
+    } else if json {
         print!("{}", sigma_lint::report_to_json(&report));
     } else {
         for f in &report.findings {
@@ -71,6 +83,14 @@ fn main() -> ExitCode {
                 "lint.toml: {fate}: stale waiver ({} {}) matched no findings — remove it",
                 w.path,
                 w.lint.name()
+            );
+        }
+        if check_waivers && report.waivers.len() > sigma_lint::WAIVER_BUDGET {
+            println!(
+                "lint.toml: error: {} waivers exceed the budget of {} — fix findings \
+                 instead of stacking exemptions",
+                report.waivers.len(),
+                sigma_lint::WAIVER_BUDGET
             );
         }
         println!(

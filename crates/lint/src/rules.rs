@@ -1,9 +1,11 @@
-//! The six domain lints (D1–D6) over a lexed token stream.
+//! The nine domain lints (D1–D9) over a lexed token stream.
 //!
 //! Every rule works on [`lex`](crate::lexer::lex) output, so comments,
 //! doc comments, and string/raw-string literals can never trigger a
 //! finding, and `#[cfg(test)]` items are recognized and exempted where
-//! the policy allows test-only code more latitude.
+//! the policy allows test-only code more latitude. D1–D6 are
+//! token-local; D7–D9 run as a second, workspace-wide phase on top of
+//! the [`scopes`](crate::scopes) pass (see [`check_concurrency`]).
 //!
 //! | lint | invariant                                                        |
 //! |------|------------------------------------------------------------------|
@@ -13,8 +15,13 @@
 //! | D4   | `unsafe` only in the explicit allowlist                          |
 //! | D5   | every `impl Engine` file validates operand finiteness            |
 //! | D6   | harness persistence code writes files atomically (temp+rename)   |
+//! | D7   | one global lock order: no inversions, no cycles, no re-entry     |
+//! | D8   | no blocking calls (fsync/sleep/join/recv/..) while a guard lives |
+//! | D9   | flight-recorder spans balance; counters bump inside their span   |
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::lockgraph;
+use crate::scopes::{self, Acquisition, FileScopes};
 
 /// Which rule produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -35,6 +42,18 @@ pub enum Lint {
     /// the target path) in harness persistence code, where a crash
     /// mid-write must never corrupt a journal or result artifact.
     D6,
+    /// A lock-order hazard: two sites acquiring the same pair of locks
+    /// in opposite nesting order anywhere in the workspace, a longer
+    /// acquisition cycle, or re-acquiring a lock whose guard is live.
+    D7,
+    /// A blocking operation (`fsync`/`sync_all`/`write_all`/`sleep`/
+    /// `join`/`recv`, or a `Condvar::wait` on a *different* lock) while
+    /// a lock guard is live, outside the documented allowlist.
+    D8,
+    /// An unbalanced flight-recorder span (a `now_us` begin with no
+    /// matching `span_since` on an early-return/`?` path), or a
+    /// `Stage`-tagged counter bumped outside its stage's span.
+    D9,
 }
 
 impl Lint {
@@ -48,10 +67,13 @@ impl Lint {
             Lint::D4 => "D4",
             Lint::D5 => "D5",
             Lint::D6 => "D6",
+            Lint::D7 => "D7",
+            Lint::D8 => "D8",
+            Lint::D9 => "D9",
         }
     }
 
-    /// Parses `"D1"`..`"D6"` (case-insensitive).
+    /// Parses `"D1"`..`"D9"` (case-insensitive).
     #[must_use]
     pub fn parse(s: &str) -> Option<Lint> {
         match s.to_ascii_uppercase().as_str() {
@@ -61,7 +83,33 @@ impl Lint {
             "D4" => Some(Lint::D4),
             "D5" => Some(Lint::D5),
             "D6" => Some(Lint::D6),
+            "D7" => Some(Lint::D7),
+            "D8" => Some(Lint::D8),
+            "D9" => Some(Lint::D9),
             _ => None,
+        }
+    }
+
+    /// All lints, in order (drives rule metadata emission, e.g. SARIF).
+    pub const ALL: [Lint; 9] =
+        [Lint::D1, Lint::D2, Lint::D3, Lint::D4, Lint::D5, Lint::D6, Lint::D7, Lint::D8, Lint::D9];
+
+    /// One-line rule description (SARIF rule metadata, `--help`).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::D1 => "no nondeterminism sources in determinism-critical crates",
+            Lint::D2 => "no unwrap/expect/panic!/todo! in non-test library code",
+            Lint::D3 => "no truncating casts on cycle/energy/MAC counters",
+            Lint::D4 => "unsafe only in the explicit allowlist",
+            Lint::D5 => "every impl Engine file validates operand finiteness",
+            Lint::D6 => "harness persistence writes files atomically (temp+rename)",
+            Lint::D7 => "one global lock order: no inversions, cycles, or re-entry",
+            Lint::D8 => "no blocking operations while a lock guard is live",
+            Lint::D9 => {
+                "flight-recorder spans balance on all paths; stage counters \
+                         bump only inside their stage's span"
+            }
         }
     }
 }
@@ -343,7 +391,7 @@ fn qualified_tail(sig: &[&Token], src: &str, i: usize) -> String {
 
 /// Marks, for each significant token, whether it sits inside a
 /// `#[cfg(test)]`-gated item (attribute included).
-fn test_regions(sig: &[&Token], src: &str) -> Vec<bool> {
+pub(crate) fn test_regions(sig: &[&Token], src: &str) -> Vec<bool> {
     let mut flags = vec![false; sig.len()];
     let mut i = 0usize;
     while i < sig.len() {
@@ -576,6 +624,473 @@ fn check_engine_impls(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Phase two: workspace-wide concurrency discipline (D7–D9).
+// ---------------------------------------------------------------------
+
+/// Method calls that block the current thread. `join` only counts with
+/// an empty argument list (`handle.join()`, not `strings.join(", ")`).
+const D8_PRIMITIVES: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "write_all",
+    "sleep",
+    "join",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+];
+
+/// Names never treated as calls into workspace blocking functions when
+/// propagating blockingness to call sites: these collide with ubiquitous
+/// std collection/guard methods (`BTreeMap::insert` is not
+/// `RunCache::insert`). Direct primitives are always checked; the
+/// denylist only gates *name-based* propagation.
+const D8_CALL_DENYLIST: &[&str] = &[
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "set",
+    "clear",
+    "extend",
+    "drain",
+    "entry",
+    "contains",
+    "contains_key",
+    "clone",
+    "iter",
+    "next",
+    "write",
+    "read",
+    "lock",
+    "send",
+    "flush",
+    "take",
+    "len",
+    "is_empty",
+    "new",
+    "default",
+    "min",
+    "max",
+    "map",
+    "filter",
+    "collect",
+    "push_back",
+    "pop_front",
+    "append_value",
+    "notify_all",
+    "notify_one",
+];
+
+/// `(path, lock display, reason)` triples exempt from D8: locks whose
+/// *documented job* is serializing durable I/O. Mirrors the D4 unsafe
+/// allowlist — in-code so the exemption carries its justification.
+pub const D8_IO_LOCK_ALLOWLIST: &[(&str, &str, &str)] = &[
+    (
+        "crates/bench/src/harness/cache.rs",
+        "RunCache.store",
+        "the store mutex is the designated I/O-serialization lock: append+compact must be \
+         atomic w.r.t. each other, and the index lock is never taken while holding it",
+    ),
+    (
+        "crates/bench/src/harness/sweep.rs",
+        "resume::writer",
+        "the resume journal writer mutex exists to serialize durable appends across sweep \
+         workers; no other lock is ever taken under it except the warning sink",
+    ),
+];
+
+/// `Stage`-tagged counters and the stage span they must bump inside.
+const D9_STAGE_COUNTERS: &[(&str, &str)] = &[
+    ("hits", "CacheProbe"),
+    ("misses", "CacheProbe"),
+    ("coalesced", "CacheProbe"),
+    ("insertions", "CacheInsert"),
+    ("evictions", "CacheInsert"),
+];
+
+/// Runs the cross-file concurrency rules over the whole workspace:
+/// D7 on the lock graph, D8 on guard extents, D9 on flight-recorder
+/// span balance in harness code.
+#[must_use]
+pub fn check_concurrency(files: &[(FilePolicy, String)]) -> Vec<Finding> {
+    let inputs: Vec<(&str, &str)> =
+        files.iter().map(|(p, s)| (p.path.as_str(), s.as_str())).collect();
+    let scopes = scopes::analyze(&inputs);
+    let lib: std::collections::BTreeMap<&str, bool> =
+        files.iter().map(|(p, _)| (p.path.as_str(), p.role == FileRole::Lib)).collect();
+
+    let mut findings = lockgraph::check(&scopes);
+    findings.extend(check_blocking(&scopes, &lib));
+    for file in &scopes.files {
+        if lib.get(file.path).copied().unwrap_or(false)
+            && file.path.starts_with(D6_ATOMIC_WRITE_PREFIX)
+        {
+            findings.extend(check_span_balance(file));
+        }
+    }
+    findings
+}
+
+/// D8: blocking operations while a guard is live. Blockingness
+/// propagates by name through workspace functions (fixpoint), filtered
+/// by [`D8_CALL_DENYLIST`].
+fn check_blocking(
+    scopes: &scopes::WorkspaceScopes<'_>,
+    lib: &std::collections::BTreeMap<&str, bool>,
+) -> Vec<Finding> {
+    use std::collections::BTreeSet;
+
+    // Fixpoint: function names whose bodies (directly or transitively)
+    // hit a blocking primitive.
+    let mut blocking: BTreeSet<&str> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for file in &scopes.files {
+            for f in &file.functions {
+                if blocking.contains(f.name.as_str()) {
+                    continue;
+                }
+                let blocks = (f.body.0 + 1..f.body.1).any(|m| {
+                    !file.in_test[m]
+                        && (primitive_site(file, m) || propagated_call_site(file, m, &blocking))
+                });
+                if blocks {
+                    blocking.insert(f.name.as_str());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for file in &scopes.files {
+        if !lib.get(file.path).copied().unwrap_or(false) {
+            continue;
+        }
+        for f in &file.functions {
+            for m in f.body.0 + 1..f.body.1 {
+                if file.in_test[m] {
+                    continue;
+                }
+                let primitive = primitive_site(file, m);
+                let propagated = propagated_call_site(file, m, &blocking);
+                if !primitive && !propagated {
+                    continue;
+                }
+                let live: Vec<&Acquisition> =
+                    f.acquisitions.iter().filter(|a| a.covers(m)).collect();
+                if live.is_empty() {
+                    continue;
+                }
+                // The cache's documented lease-wait: `cond.wait(guard)`
+                // hands the *only* live guard to the condvar, which is
+                // exactly how in-flight dedup is supposed to park.
+                if matches!(file.text(m), "wait" | "wait_timeout")
+                    && live.len() == 1
+                    && first_arg_ident(file, m) == live[0].guard
+                {
+                    continue;
+                }
+                let mut reported = false;
+                for a in &live {
+                    if D8_IO_LOCK_ALLOWLIST
+                        .iter()
+                        .any(|(p, l, _)| *p == file.path && *l == a.lock.display)
+                    {
+                        continue;
+                    }
+                    if reported {
+                        break; // one finding per site even under nested guards
+                    }
+                    reported = true;
+                    let what = if primitive { "blocks" } else { "transitively blocks" };
+                    findings.push(Finding {
+                        lint: Lint::D8,
+                        path: file.path.to_string(),
+                        line: file.sig[m].line,
+                        token: format!(".{}()", file.text(m)),
+                        hint: format!(
+                            "`{}` {what} while holding `{}` (taken at line {}): move the \
+                             operation outside the guard, or register the lock as a \
+                             designated I/O lock in D8_IO_LOCK_ALLOWLIST",
+                            f.qualified(),
+                            a.lock.display,
+                            a.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Whether sig index `m` is a direct blocking primitive call.
+fn primitive_site(file: &FileScopes<'_>, m: usize) -> bool {
+    let t = file.text(m);
+    if !D8_PRIMITIVES.contains(&t)
+        || file.sig[m].kind != TokenKind::Ident
+        || file.sig.get(m + 1).map(|x| x.text(file.src)) != Some("(")
+    {
+        return false;
+    }
+    // Method (`.wait(`) or path (`thread::sleep(`) position only.
+    let called = m >= 1 && matches!(file.text(m - 1), "." | ":");
+    if !called {
+        return false;
+    }
+    // `.join(` only blocks with no arguments; `parts.join(", ")` is
+    // string concatenation.
+    if t == "join" {
+        return file.sig.get(m + 2).map(|x| x.text(file.src)) == Some(")");
+    }
+    true
+}
+
+/// Whether sig index `m` calls a workspace function marked blocking
+/// (by unqualified name, gated by the denylist).
+fn propagated_call_site(
+    file: &FileScopes<'_>,
+    m: usize,
+    blocking: &std::collections::BTreeSet<&str>,
+) -> bool {
+    let t = file.text(m);
+    file.sig[m].kind == TokenKind::Ident
+        && file.sig.get(m + 1).map(|x| x.text(file.src)) == Some("(")
+        && !D8_CALL_DENYLIST.contains(&t)
+        && !D8_PRIMITIVES.contains(&t)
+        && blocking.contains(t)
+}
+
+/// First identifier of the first argument of the call at `m`.
+fn first_arg_ident(file: &FileScopes<'_>, m: usize) -> Option<String> {
+    let mut j = m + 2; // past the `(`
+    while j < file.sig.len() {
+        match file.text(j) {
+            ")" | "," => return None,
+            "&" | "mut" | "*" => j += 1,
+            t if file.sig[j].kind == TokenKind::Ident => return Some(t.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// One recorder-span begin: `name = <recv>.now_us()`.
+struct SpanBegin {
+    name: String,
+    site: usize,
+    line: u32,
+}
+
+/// One recorder-span end: `span_since(Stage::X, label, start)` or
+/// `record_span(Stage::X, label, start, end)`.
+struct SpanEnd {
+    stage: Option<String>,
+    start_var: Option<String>,
+    site: usize,
+    line: u32,
+}
+
+/// D9 over one harness file: every span begin needs a matching end with
+/// no `?`/`return` escaping between them, ends need a visible begin (or
+/// a caller-supplied parameter), and stage counters may only be bumped
+/// inside a span of their stage.
+fn check_span_balance(file: &FileScopes<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &file.functions {
+        let mut begins: Vec<SpanBegin> = Vec::new();
+        let mut ends: Vec<SpanEnd> = Vec::new();
+        for m in f.body.0 + 1..f.body.1 {
+            if file.in_test[m] || file.sig[m].kind != TokenKind::Ident {
+                continue;
+            }
+            match file.text(m) {
+                "now_us" if file.sig.get(m + 1).map(|t| t.text(file.src)) == Some("(") => {
+                    if let Some(begin) = span_begin_at(file, m) {
+                        begins.push(begin);
+                    }
+                }
+                "span_since" | "record_span"
+                    if file.sig.get(m + 1).map(|t| t.text(file.src)) == Some("(") =>
+                {
+                    ends.push(span_end_at(file, m));
+                }
+                _ => {}
+            }
+        }
+
+        for b in &begins {
+            let matched: Vec<&SpanEnd> = ends
+                .iter()
+                .filter(|e| e.site > b.site && e.start_var.as_deref() == Some(b.name.as_str()))
+                .collect();
+            let Some(first) = matched.first() else {
+                findings.push(Finding {
+                    lint: Lint::D9,
+                    path: file.path.to_string(),
+                    line: b.line,
+                    token: format!("{} = ..now_us()", b.name),
+                    hint: format!(
+                        "`{}` begins a span at `{}` but never records it; every begin needs \
+                         a span_since/record_span on all paths",
+                        f.qualified(),
+                        b.name
+                    ),
+                });
+                continue;
+            };
+            for m in b.site + 1..first.site {
+                let is_escape = (file.text(m) == "?" && file.sig[m].kind == TokenKind::Punct)
+                    || (file.text(m) == "return" && file.sig[m].kind == TokenKind::Ident);
+                if is_escape && !file.in_test[m] {
+                    findings.push(Finding {
+                        lint: Lint::D9,
+                        path: file.path.to_string(),
+                        line: file.sig[m].line,
+                        token: file.text(m).to_string(),
+                        hint: format!(
+                            "`{}` can exit between the `{}` span begin (line {}) and its \
+                             record (line {}), losing the span; record the span before \
+                             propagating the error",
+                            f.qualified(),
+                            b.name,
+                            b.line,
+                            first.line
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        for e in &ends {
+            let Some(var) = &e.start_var else { continue };
+            let has_begin = begins.iter().any(|b| &b.name == var && b.site < e.site);
+            if !has_begin && !f.params.contains(var) {
+                findings.push(Finding {
+                    lint: Lint::D9,
+                    path: file.path.to_string(),
+                    line: e.line,
+                    token: format!("span start `{var}`"),
+                    hint: format!(
+                        "`{}` records a span from `{var}` with no visible `now_us` begin \
+                         and no parameter of that name",
+                        f.qualified()
+                    ),
+                });
+            }
+        }
+
+        for m in f.body.0 + 1..f.body.1 {
+            if file.in_test[m] || file.sig[m].kind != TokenKind::Ident {
+                continue;
+            }
+            let Some((_, stage)) = D9_STAGE_COUNTERS.iter().find(|(c, _)| *c == file.text(m))
+            else {
+                continue;
+            };
+            let bump = m >= 1
+                && file.text(m - 1) == "."
+                && file.sig.get(m + 1).map(|t| t.text(file.src)) == Some("+")
+                && file.sig.get(m + 2).map(|t| t.text(file.src)) == Some("=");
+            if !bump {
+                continue;
+            }
+            let covered = begins.iter().any(|b| {
+                b.site < m
+                    && ends.iter().any(|e| {
+                        e.site > m
+                            && e.start_var.as_deref() == Some(b.name.as_str())
+                            && e.stage.as_deref() == Some(*stage)
+                    })
+            });
+            if !covered {
+                findings.push(Finding {
+                    lint: Lint::D9,
+                    path: file.path.to_string(),
+                    line: file.sig[m].line,
+                    token: format!(".{} += 1", file.text(m)),
+                    hint: format!(
+                        "`{}` bumps the `{}` counter outside a live `{stage}` span; the \
+                         Perfetto timeline reconciles counters against their stage's \
+                         spans, so bump inside the span",
+                        f.qualified(),
+                        file.text(m)
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Parses a begin at the `now_us` token: walks back over the receiver
+/// chain to `name =` (with optional `let [mut]`).
+fn span_begin_at(file: &FileScopes<'_>, m: usize) -> Option<SpanBegin> {
+    let mut j = m;
+    while j >= 2
+        && file.text(j - 1) == "."
+        && file.sig[j - 2].kind == TokenKind::Ident
+        && (j < 3 || file.text(j - 3) != ":")
+    {
+        j -= 2;
+    }
+    if j < 2 || file.text(j - 1) != "=" || file.sig[j - 2].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = file.text(j - 2).to_string();
+    Some(SpanBegin { name, site: m, line: file.sig[m].line })
+}
+
+/// Parses an end at the `span_since`/`record_span` token: stage from
+/// the first argument's `Stage::X`, start variable from the third
+/// argument's first identifier.
+fn span_end_at(file: &FileScopes<'_>, m: usize) -> SpanEnd {
+    let mut stage = None;
+    let mut start_var = None;
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    let mut j = m + 1;
+    while j < file.sig.len() {
+        let t = file.text(j);
+        match t {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => arg += 1,
+            _ => {
+                if file.sig[j].kind == TokenKind::Ident {
+                    if arg == 0
+                        && t == "Stage"
+                        && file.sig.get(j + 2).map(|x| x.text(file.src)) == Some(":")
+                    {
+                        stage = file.sig.get(j + 3).map(|x| x.text(file.src).to_string());
+                    }
+                    if arg == 2 && start_var.is_none() {
+                        start_var = Some(t.to_string());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    SpanEnd { stage, start_var, site: m, line: file.sig[m].line }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,5 +1258,182 @@ mod tests {
         assert_eq!(got[0].line, 2);
         assert_eq!(got[0].token, ".unwrap()");
         assert!(got[0].to_string().contains("crates/demo/src/lib.rs:2"));
+    }
+
+    // --- D7–D9: workspace concurrency phase -------------------------
+
+    /// Runs [`check_concurrency`] over one lib-role file plus a struct
+    /// definition declaring three locks.
+    fn concurrency_lints(src: &str) -> Vec<(Lint, u32)> {
+        concurrency_lints_at("crates/demo/src/lib.rs", src)
+    }
+
+    fn concurrency_lints_at(path: &str, src: &str) -> Vec<(Lint, u32)> {
+        let locks = "pub struct S { a: Mutex<u32>, b: Mutex<u32>, cond: Condvar }";
+        let files = vec![
+            (FilePolicy { path: "crates/demo/src/s.rs".into(), ..lib_policy() }, locks.into()),
+            (FilePolicy { path: path.into(), ..lib_policy() }, src.to_string()),
+        ];
+        check_concurrency(&files).into_iter().map(|f| (f.lint, f.line)).collect()
+    }
+
+    #[test]
+    fn d8_flags_direct_blocking_primitives_under_a_guard() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); file.sync_all()?; } }";
+        assert_eq!(concurrency_lints(src), vec![(Lint::D8, 1)]);
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); drop(g); file.sync_all()?; } }";
+        assert_eq!(concurrency_lints(src), vec![]);
+    }
+
+    #[test]
+    fn d8_join_only_blocks_with_no_arguments() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); handle.join(); } }";
+        assert_eq!(concurrency_lints(src), vec![(Lint::D8, 1)]);
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); let s = parts.join(\", \"); } }";
+        assert_eq!(concurrency_lints(src), vec![]);
+    }
+
+    #[test]
+    fn d8_propagates_through_workspace_helpers_but_not_std_names() {
+        let src = "
+impl S {
+    fn flush_to_disk(&self) { self.file.sync_all(); }
+    fn f(&self) {
+        let g = self.a.lock();
+        self.flush_to_disk();
+    }
+    fn g(&self) {
+        let g = self.a.lock();
+        map.insert(k, v); // std-collection name: never propagated
+    }
+}";
+        assert_eq!(concurrency_lints(src), vec![(Lint::D8, 6)]);
+    }
+
+    #[test]
+    fn d8_exempts_condvar_wait_on_the_sole_held_guard() {
+        // The cache's lease-wait: the guard handed to wait() is the one
+        // live guard, so the lock is *released* while parked.
+        let src = "impl S { fn f(&self) {
+            let mut g = self.a.lock();
+            g = self.cond.wait(g);
+        } }";
+        assert_eq!(concurrency_lints(src), vec![]);
+        // Waiting while a *second* guard is live still blocks that one.
+        let src = "impl S { fn f(&self) {
+            let h = self.b.lock();
+            let mut g = self.a.lock();
+            g = self.cond.wait(g);
+        } }";
+        assert_eq!(concurrency_lints(src), vec![(Lint::D8, 4)]);
+    }
+
+    #[test]
+    fn d8_allowlist_suppresses_designated_io_locks() {
+        let (path, lock, _) = D8_IO_LOCK_ALLOWLIST[0];
+        assert_eq!(lock, "RunCache.store");
+        let src = "
+pub struct RunCache { store: Mutex<u32> }
+impl RunCache { fn f(&self) { let g = self.store.lock(); file.sync_all()?; } }";
+        assert_eq!(concurrency_lints_at(path, src), vec![]);
+        // The same code anywhere else is a finding.
+        assert_eq!(concurrency_lints_at("crates/demo/src/lib.rs", src), vec![(Lint::D8, 3)]);
+    }
+
+    #[test]
+    fn d8_only_fires_in_lib_role_files() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); file.sync_all()?; } }";
+        let files = vec![(
+            FilePolicy {
+                path: "crates/demo/src/main.rs".into(),
+                role: FileRole::Bin,
+                ..lib_policy()
+            },
+            src.to_string(),
+        )];
+        assert_eq!(check_concurrency(&files), vec![]);
+    }
+
+    fn span_lints(src: &str) -> Vec<(Lint, u32)> {
+        let files = vec![(
+            FilePolicy { path: "crates/bench/src/harness/demo.rs".into(), ..harness_policy() },
+            src.to_string(),
+        )];
+        check_concurrency(&files).into_iter().map(|f| (f.lint, f.line)).collect()
+    }
+
+    #[test]
+    fn d9_balanced_spans_are_clean() {
+        let src = "fn f(&self) {
+            let t0 = self.recorder.now_us();
+            work();
+            self.recorder.span_since(Stage::CacheProbe, label, t0);
+        }";
+        assert_eq!(span_lints(src), vec![]);
+    }
+
+    #[test]
+    fn d9_flags_begin_without_end_and_escape_before_end() {
+        let src = "fn f(&self) {\n    let t0 = rec.now_us();\n    work();\n}";
+        assert_eq!(span_lints(src), vec![(Lint::D9, 2)]);
+        let src = "fn f(&self) -> Result<(), E> {
+            let t0 = rec.now_us();
+            fallible()?;
+            rec.span_since(Stage::CacheProbe, label, t0);
+            Ok(())
+        }";
+        assert_eq!(span_lints(src), vec![(Lint::D9, 3)]);
+        // Recording the span before propagating the error is the fix.
+        let src = "fn f(&self) -> Result<(), E> {
+            let t0 = rec.now_us();
+            let r = fallible();
+            rec.span_since(Stage::CacheProbe, label, t0);
+            r?;
+            Ok(())
+        }";
+        assert_eq!(span_lints(src), vec![]);
+    }
+
+    #[test]
+    fn d9_flags_orphan_ends_unless_the_start_is_a_parameter() {
+        let src = "fn f(&self) { rec.span_since(Stage::CacheProbe, label, t0); }";
+        assert_eq!(span_lints(src), vec![(Lint::D9, 1)]);
+        // A caller-supplied start is the span-helper pattern.
+        let src = "fn f(&self, t0: u64) { rec.span_since(Stage::CacheProbe, label, t0); }";
+        assert_eq!(span_lints(src), vec![]);
+    }
+
+    #[test]
+    fn d9_stage_counters_must_bump_inside_their_stage_span() {
+        let src = "fn f(&self) {
+            let t0 = rec.now_us();
+            self.stats.hits += 1;
+            rec.span_since(Stage::CacheProbe, label, t0);
+        }";
+        assert_eq!(span_lints(src), vec![]);
+        // Outside any span at all.
+        let src = "fn f(&self) { self.stats.hits += 1; }";
+        assert_eq!(span_lints(src), vec![(Lint::D9, 1)]);
+        // Inside a span of the *wrong* stage.
+        let src = "fn f(&self) {
+            let t0 = rec.now_us();
+            self.stats.hits += 1;
+            rec.span_since(Stage::CacheInsert, label, t0);
+        }";
+        assert_eq!(span_lints(src), vec![(Lint::D9, 3)]);
+    }
+
+    #[test]
+    fn d9_is_scoped_to_harness_lib_code() {
+        let src = "fn f(&self) { let t0 = rec.now_us(); }";
+        // Same source outside the harness prefix: no D9.
+        let files = vec![(
+            FilePolicy { path: "crates/core/src/lib.rs".into(), ..lib_policy() },
+            src.to_string(),
+        )];
+        assert_eq!(check_concurrency(&files), vec![]);
+        // And inside harness test regions: exempt.
+        let src = "#[cfg(test)]\nmod tests { fn f() { let t0 = rec.now_us(); } }";
+        assert_eq!(span_lints(src), vec![]);
     }
 }

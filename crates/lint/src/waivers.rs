@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Every entry must carry all three keys, `lint` must be one of
-//! `D1`..`D6`, and `reason` must be non-empty — a waiver without a
+//! `D1`..`D9`, and `reason` must be non-empty — a waiver without a
 //! written justification is rejected at parse time.
 
 use crate::rules::{Finding, Lint};
@@ -103,7 +103,7 @@ pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, WaiverError> {
             "lint" => {
                 let lint = Lint::parse(&value).ok_or_else(|| WaiverError {
                     line: lineno,
-                    message: format!("unknown lint `{value}` (expected D1..D5)"),
+                    message: format!("unknown lint `{value}` (expected D1..D9)"),
                 })?;
                 entry.2 = Some(lint);
             }
@@ -207,7 +207,7 @@ reason = "Table::push convenience"
     fn rejects_missing_fields_and_unknown_lints() {
         let err = parse_waivers("[[waiver]]\npath = \"x.rs\"\nlint = \"D1\"\n").unwrap_err();
         assert!(err.message.contains("reason"), "{err}");
-        let err = parse_waivers("[[waiver]]\npath = \"x.rs\"\nlint = \"D9\"\nreason = \"r\"\n")
+        let err = parse_waivers("[[waiver]]\npath = \"x.rs\"\nlint = \"D12\"\nreason = \"r\"\n")
             .unwrap_err();
         assert!(err.message.contains("unknown lint"), "{err}");
     }

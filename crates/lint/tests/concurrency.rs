@@ -1,0 +1,143 @@
+//! D7–D9 corpus tests: each fixture under `tests/fixtures/concurrency/`
+//! is dropped into a scratch workspace and must produce its exact
+//! finding list — known-bad files down to `(lint, file, line)`,
+//! known-good files down to zero findings.
+
+use sigma_lint::{run_with_waivers, Lint};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch workspace under the temp dir, removed on drop so reruns
+/// start clean.
+struct FixtureWorkspace {
+    root: PathBuf,
+}
+
+impl FixtureWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir()
+            .join(format!("sigma-lint-concurrency-{}-{tag}", std::process::id()));
+        if root.exists() {
+            fs::remove_dir_all(&root).ok();
+        }
+        fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+}
+
+impl Drop for FixtureWorkspace {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+const LOCKS: &str = include_str!("fixtures/concurrency/locks.rs");
+
+/// Runs the analyzer over the lock declarations plus the named corpus
+/// files (placed under a plain lib crate), returning sorted
+/// `(lint, path, line)` triples.
+fn scan(tag: &str, corpus: &[(&str, &str)]) -> Vec<(Lint, String, u32)> {
+    let ws = FixtureWorkspace::new(tag);
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write("crates/depot/Cargo.toml", "[package]\n");
+    ws.write("crates/depot/src/locks.rs", LOCKS);
+    for (name, contents) in corpus {
+        ws.write(&format!("crates/depot/src/{name}"), contents);
+    }
+    let report = run_with_waivers(&ws.root, Vec::new()).unwrap();
+    report.findings.iter().map(|f| (f.lint, f.path.clone(), f.line)).collect()
+}
+
+fn depot(name: &str) -> String {
+    format!("crates/depot/src/{name}")
+}
+
+#[test]
+fn good_lock_order_scans_clean() {
+    let corpus = [("lock_order_good.rs", include_str!("fixtures/concurrency/lock_order_good.rs"))];
+    assert_eq!(scan("order-good", &corpus), vec![]);
+}
+
+#[test]
+fn opposite_lock_order_across_files_is_one_d7() {
+    let corpus = [
+        ("lock_order_bad_a.rs", include_str!("fixtures/concurrency/lock_order_bad_a.rs")),
+        ("lock_order_bad_b.rs", include_str!("fixtures/concurrency/lock_order_bad_b.rs")),
+    ];
+    assert_eq!(scan("order-bad", &corpus), vec![(Lint::D7, depot("lock_order_bad_b.rs"), 9)]);
+}
+
+#[test]
+fn self_reacquire_is_a_d7() {
+    let corpus = [("self_deadlock.rs", include_str!("fixtures/concurrency/self_deadlock.rs"))];
+    assert_eq!(scan("self-deadlock", &corpus), vec![(Lint::D7, depot("self_deadlock.rs"), 7)]);
+}
+
+#[test]
+fn blocking_under_guard_is_a_d8_per_site() {
+    let corpus = [("blocking_bad.rs", include_str!("fixtures/concurrency/blocking_bad.rs"))];
+    let path = depot("blocking_bad.rs");
+    assert_eq!(
+        scan("blocking-bad", &corpus),
+        vec![
+            (Lint::D8, path.clone(), 9),  // fsync under the index lock
+            (Lint::D8, path.clone(), 15), // sleep under the store lock
+            (Lint::D8, path, 25),         // transitive: helper that fsyncs
+        ]
+    );
+}
+
+#[test]
+fn lease_wait_on_the_sole_guard_is_clean() {
+    let corpus =
+        [("blocking_wait_ok.rs", include_str!("fixtures/concurrency/blocking_wait_ok.rs"))];
+    assert_eq!(scan("wait-ok", &corpus), vec![]);
+}
+
+#[test]
+fn waiting_while_a_second_guard_is_live_is_a_d8() {
+    let corpus =
+        [("blocking_wait_bad.rs", include_str!("fixtures/concurrency/blocking_wait_bad.rs"))];
+    assert_eq!(scan("wait-bad", &corpus), vec![(Lint::D8, depot("blocking_wait_bad.rs"), 9)]);
+}
+
+/// Runs the span fixtures under the harness path prefix D9 is scoped
+/// to.
+fn scan_spans(tag: &str, name: &str, contents: &str) -> Vec<(Lint, u32)> {
+    let ws = FixtureWorkspace::new(tag);
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write("crates/bench/Cargo.toml", "[package]\n");
+    ws.write(&format!("crates/bench/src/harness/{name}"), contents);
+    let report = run_with_waivers(&ws.root, Vec::new()).unwrap();
+    report.findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn balanced_spans_scan_clean() {
+    let got =
+        scan_spans("span-good", "span_good.rs", include_str!("fixtures/concurrency/span_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn unbalanced_spans_are_three_d9s() {
+    let got = scan_spans(
+        "span-bad",
+        "span_unbalanced.rs",
+        include_str!("fixtures/concurrency/span_unbalanced.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::D9, 9),  // `?` between begin and record
+            (Lint::D9, 15), // begin never recorded
+            (Lint::D9, 20), // counter bumped outside its stage span
+        ]
+    );
+}

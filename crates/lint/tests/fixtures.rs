@@ -197,6 +197,26 @@ fn harness_persistence_writes_must_be_atomic() {
 }
 
 #[test]
+fn a_sixth_waiver_breaks_the_budget_under_check_waivers() {
+    let ws = FixtureWorkspace::new("budget");
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write("crates/core/Cargo.toml", "[package]\n");
+    let mut waivers = Vec::new();
+    for i in 0..6 {
+        let rel = format!("crates/core/src/m{i}.rs");
+        ws.write(&rel, "pub fn f() { Some(1).unwrap(); }\n");
+        waivers.push(Waiver { path: rel, lint: Lint::D2, reason: "fixture".into() });
+    }
+    let report = run_with_waivers(&ws.root, waivers).unwrap();
+    // Every waiver is live and every finding covered — only the budget
+    // is violated.
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.stale_waivers.is_empty(), "{:?}", report.stale_waivers);
+    assert!(report.clean(false), "budget only applies under --check-waivers");
+    assert!(!report.clean(true), "a sixth waiver must fail --check-waivers");
+}
+
+#[test]
 fn the_shipping_workspace_scans_clean() {
     // crates/lint/ -> crates/ -> repo root.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();

@@ -1,0 +1,28 @@
+//! Blocking operations while a guard is live: an fsync under the
+//! index lock, a sleep under the store lock, and a transitive case
+//! where a helper that fsyncs is called under a guard. Three D8
+//! findings.
+
+impl Depot {
+    pub fn fsync_under_lock(&self, file: &std::fs::File) {
+        let idx = self.index.lock();
+        file.sync_all().ok();
+        let _ = idx;
+    }
+
+    pub fn sleep_under_lock(&self) {
+        let st = self.store.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _ = st;
+    }
+
+    fn flush_everything(&self, file: &std::fs::File) {
+        file.sync_data().ok();
+    }
+
+    pub fn transitive_block(&self, file: &std::fs::File) {
+        let idx = self.index.lock();
+        self.flush_everything(file);
+        let _ = idx;
+    }
+}

@@ -1,0 +1,12 @@
+//! Waiting on a condvar while a *second* guard is live: the waited
+//! lock is released, but `store` stays held for the whole park. One
+//! D8 finding at the wait site.
+
+impl Depot {
+    pub fn wait_holding_store(&self) {
+        let st = self.store.lock();
+        let mut idx = self.index.lock();
+        idx = self.cond.wait(idx);
+        let _ = (st, idx);
+    }
+}

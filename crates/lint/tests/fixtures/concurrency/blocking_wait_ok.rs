@@ -1,0 +1,11 @@
+//! The documented lease-wait pattern: `Condvar::wait` is handed the
+//! *only* live guard, so the lock is released while the thread parks.
+//! sigma-lint must report nothing here.
+
+impl Depot {
+    pub fn wait_for_lease(&self) {
+        let mut idx = self.index.lock();
+        idx = self.cond.wait(idx);
+        let _ = idx;
+    }
+}

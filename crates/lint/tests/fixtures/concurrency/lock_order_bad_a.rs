@@ -1,0 +1,11 @@
+//! One half of a cross-file lock-order inversion: `index` then
+//! `store`. Harmless alone; [`lock_order_bad_b.rs`] takes the same
+//! pair the other way around, so together they are a D7 finding.
+
+impl Depot {
+    pub fn index_then_store(&self) {
+        let idx = self.index.lock();
+        let st = self.store.lock();
+        let _ = (idx, st);
+    }
+}

@@ -1,0 +1,12 @@
+//! The other half of the inversion: `store` then `index`, opposite to
+//! [`lock_order_bad_a.rs`]. Running both threads concurrently can
+//! deadlock, so sigma-lint reports one D7 at this (later) site with
+//! both acquisition chains in the hint.
+
+impl Depot {
+    pub fn store_then_index(&self) {
+        let st = self.store.lock();
+        let idx = self.index.lock();
+        let _ = (st, idx);
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-good lock ordering: every function that nests guards takes
+//! `index` before `store`, and the sequential site drops its first
+//! guard before acquiring the next. sigma-lint must report nothing.
+
+impl Depot {
+    pub fn promote(&self) {
+        let idx = self.index.lock();
+        let st = self.store.lock();
+        let _ = (idx, st);
+    }
+
+    pub fn also_promotes(&self) {
+        let idx = self.index.lock();
+        let st = self.store.lock();
+        let _ = (idx, st);
+    }
+
+    pub fn sequential(&self) {
+        let st = self.store.lock();
+        drop(st);
+        let idx = self.index.lock();
+        let _ = idx;
+    }
+}

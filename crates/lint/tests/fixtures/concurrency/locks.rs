@@ -1,0 +1,11 @@
+//! Shared lock declarations for the D7–D9 fixture corpus: three mutex
+//! fields plus the condvar used by the lease-wait samples.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Depot {
+    pub index: Mutex<u32>,
+    pub store: Mutex<u32>,
+    pub audit: Mutex<u32>,
+    pub cond: Condvar,
+}

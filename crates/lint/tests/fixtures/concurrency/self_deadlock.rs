@@ -1,0 +1,10 @@
+//! Re-acquiring a lock whose guard is still live: instant deadlock
+//! with `std::sync::Mutex`. One D7 finding at the second acquisition.
+
+impl Depot {
+    pub fn double_lock(&self) {
+        let first = self.audit.lock();
+        let second = self.audit.lock();
+        let _ = (first, second);
+    }
+}

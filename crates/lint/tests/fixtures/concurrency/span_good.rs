@@ -1,0 +1,20 @@
+//! Balanced flight-recorder spans: the begin is recorded on every
+//! path (the fallible call's result is captured, the span recorded,
+//! then the error propagated), the stage counter bumps inside its
+//! stage's span, and the helper taking a caller-supplied start is
+//! fine. Zero D9 findings.
+
+impl Probe {
+    pub fn lookup(&self) -> Result<(), Error> {
+        let t0 = self.recorder.now_us();
+        let outcome = self.fallible_probe();
+        self.stats.hits += 1;
+        self.recorder.span_since(Stage::CacheProbe, "lookup", t0);
+        outcome?;
+        Ok(())
+    }
+
+    pub fn finish_span(&self, t0: u64) {
+        self.recorder.span_since(Stage::CacheProbe, "helper", t0);
+    }
+}

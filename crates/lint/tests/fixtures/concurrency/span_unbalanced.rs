@@ -1,0 +1,22 @@
+//! Unbalanced flight-recorder spans, three ways: a `?` that can exit
+//! between begin and record (losing the span), a begin that is never
+//! recorded at all, and a stage counter bumped outside any span of
+//! its stage. Three D9 findings.
+
+impl Probe {
+    pub fn leaky_exit(&self) -> Result<(), Error> {
+        let t0 = self.recorder.now_us();
+        self.fallible_probe()?;
+        self.recorder.span_since(Stage::CacheProbe, "leaky", t0);
+        Ok(())
+    }
+
+    pub fn never_recorded(&self) {
+        let t1 = self.recorder.now_us();
+        let _ = t1;
+    }
+
+    pub fn counter_outside_span(&self) {
+        self.stats.misses += 1;
+    }
+}
