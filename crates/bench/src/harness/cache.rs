@@ -184,10 +184,22 @@ struct CacheState {
     index: BTreeMap<(u64, u64), Slot>,
     /// Digests currently leased to an executor.
     pending: BTreeMap<(u64, u64), ()>,
-    writer: JournalWriter,
     generation: u64,
-    appends_since_compaction: u64,
     stats: CacheStats,
+}
+
+/// The durable half of the cache, behind its own mutex (the designated
+/// I/O lock, registered in sigma-lint's `D8_IO_LOCK_ALLOWLIST`): the
+/// fsynced append and the amortized compaction serialize here, so no
+/// disk wait ever happens under the index lock and coalesced waiters
+/// wake as soon as the in-memory insert lands.
+///
+/// Lock order: `store` may take `state` briefly (compaction snapshots
+/// the resident index); `state` never takes `store`.
+#[derive(Debug)]
+struct StoreState {
+    writer: JournalWriter,
+    appends_since_compaction: u64,
     io_warnings: Vec<String>,
 }
 
@@ -196,6 +208,7 @@ struct CacheState {
 #[derive(Debug)]
 pub struct RunCache {
     state: Mutex<CacheState>,
+    store: Mutex<StoreState>,
     cond: Condvar,
     capacity: usize,
     path: PathBuf,
@@ -297,10 +310,12 @@ impl RunCache {
             state: Mutex::new(CacheState {
                 index,
                 pending: BTreeMap::new(),
-                writer,
                 generation,
-                appends_since_compaction: 0,
                 stats: CacheStats { entries, ..CacheStats::default() },
+            }),
+            store: Mutex::new(StoreState {
+                writer,
+                appends_since_compaction: 0,
                 io_warnings: Vec::new(),
             }),
             cond: Condvar::new(),
@@ -338,9 +353,9 @@ impl RunCache {
     /// I/O failures since (each degrades durability, never correctness).
     #[must_use]
     pub fn warnings(&self) -> Vec<String> {
-        let state = self.lock();
+        let store = self.lock_store();
         let mut all = self.load_warnings.clone();
-        all.extend(state.io_warnings.iter().cloned());
+        all.extend(store.io_warnings.iter().cloned());
         all
     }
 
@@ -409,8 +424,13 @@ impl RunCache {
         })
     }
 
-    /// Inserts a fulfilled cell, evicts beyond capacity, appends to the
-    /// store, compacts amortized, and wakes waiters.
+    /// Inserts a fulfilled cell, evicts beyond capacity, wakes waiters,
+    /// then appends to the store and compacts amortized.
+    ///
+    /// The in-memory publish (index insert + lease release + notify)
+    /// completes entirely under the index lock, *before* any disk I/O:
+    /// coalesced waiters wake to a hit while the fsync is still in
+    /// flight, and a slow disk can never stall a lookup.
     fn insert(&self, key: &CellKey, record: &RunRecord) {
         let t0 = self.recorder.now_us();
         let mut state = self.lock();
@@ -433,38 +453,56 @@ impl RunCache {
         }
         state.stats.insertions += 1;
         state.stats.entries = state.index.len() as u64;
-        if let Err(e) = state.writer.append(key, record) {
+        drop(state);
+        self.cond.notify_all();
+
+        // Durable half, serialized by the designated I/O lock only.
+        let mut store = self.lock_store();
+        if let Err(e) = store.writer.append(key, record) {
             let hex = key.hex();
-            state.io_warnings.push(format!("cache append failed for {hex}: {e}"));
+            store.io_warnings.push(format!("cache append failed for {hex}: {e}"));
         } else {
-            state.appends_since_compaction += 1;
+            store.appends_since_compaction += 1;
         }
         // Amortized store compaction: evicted and superseded lines pile
         // up append-only; once a capacity's worth has landed, rewrite
-        // the file to exactly the resident index (atomically).
-        if state.appends_since_compaction >= self.capacity as u64 {
-            state.appends_since_compaction = 0;
-            let st = &mut *state;
-            let entries: Vec<(CellKey, &RunRecord)> = st
-                .index
-                .values()
-                .map(|slot| (CellKey::from_canonical(slot.canonical.clone()), &slot.record))
-                .collect();
+        // the file to exactly the resident index (atomically). The
+        // index is snapshotted under a brief `state` reacquisition —
+        // store -> state nesting only, never the reverse.
+        if store.appends_since_compaction >= self.capacity as u64 {
+            store.appends_since_compaction = 0;
+            let entries: Vec<(CellKey, RunRecord)> = {
+                let state = self.lock();
+                state
+                    .index
+                    .values()
+                    .map(|slot| {
+                        (CellKey::from_canonical(slot.canonical.clone()), slot.record.clone())
+                    })
+                    .collect()
+            };
             let borrowed: Vec<(&CellKey, &RunRecord)> =
-                entries.iter().map(|(k, r)| (k, *r)).collect();
-            if let Err(e) = st.writer.compact(&borrowed) {
-                st.io_warnings.push(format!("cache compaction failed: {e}"));
+                entries.iter().map(|(k, r)| (k, r)).collect();
+            if let Err(e) = store.writer.compact(&borrowed) {
+                store.io_warnings.push(format!("cache compaction failed: {e}"));
             }
         }
-        drop(state);
+        drop(store);
         self.recorder.span_since(Stage::CacheInsert, &record.workload, t0);
-        self.cond.notify_all();
     }
 
-    /// Locks the state, recovering from a poisoned mutex (a panicking
-    /// cache user must not wedge every other sweep thread).
+    /// Locks the index state, recovering from a poisoned mutex (a
+    /// panicking cache user must not wedge every other sweep thread).
     fn lock(&self) -> MutexGuard<'_, CacheState> {
         match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Locks the durable store half, with the same poison recovery.
+    fn lock_store(&self) -> MutexGuard<'_, StoreState> {
+        match self.store.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }

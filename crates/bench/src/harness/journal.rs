@@ -143,12 +143,17 @@ impl JournalWriter {
     /// Propagates the I/O error when the write or sync fails.
     pub fn append(&mut self, key: &CellKey, record: &RunRecord) -> std::io::Result<()> {
         let line = render_line(key, record);
+        // Spans are recorded before either error propagates (sigma-lint
+        // D9): a failed write still lands its timing, so the Perfetto
+        // timeline never loses the span that explains the failure.
         let t0 = self.recorder.now_us();
-        self.file.write_all(line.as_bytes())?;
+        let wrote = self.file.write_all(line.as_bytes());
         self.recorder.span_since(Stage::JournalAppend, &record.workload, t0);
+        wrote?;
         let t1 = self.recorder.now_us();
-        self.file.sync_data()?;
+        let synced = self.file.sync_data();
         self.recorder.span_since(Stage::JournalFsync, &record.workload, t1);
+        synced?;
         self.appends += 1;
         Ok(())
     }
