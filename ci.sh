@@ -9,10 +9,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 # event-scheduler module crates/core/src/sched.rs — the D-rules are what
 # keep the epoch queue deterministic) for nondeterminism sources,
 # panicking library code, truncating counter casts, unsafe outside the
-# allowlist, and unvalidated Engine impls. --check-waivers also fails on
-# stale lint.toml waivers; the JSON report is kept as a CI artifact.
+# allowlist, unvalidated Engine impls, and — via the workspace-wide
+# scope/lock-graph phase — lock-order inversions (D7), blocking I/O
+# under a live guard (D8), and unbalanced flight-recorder spans (D9).
+# --check-waivers also fails on stale lint.toml waivers and on a waiver
+# list past the budget of five; the JSON and SARIF reports are kept as
+# CI artifacts (the SARIF one feeds GitHub's inline PR annotations).
 cargo run -q -p sigma-lint -- --check-waivers
 cargo run -q -p sigma-lint -- --json > /tmp/sigma_lint_report.json
+cargo run -q -p sigma-lint -- --sarif > /tmp/sigma_lint.sarif
+# Lint-fixtures leg: the analyzer's own corpus (known-good and
+# known-bad lock orders, blocking-under-guard, unbalanced spans, the
+# waiver budget) must keep producing its exact finding lists.
+cargo test -q -p sigma-lint
 cargo build --workspace --release
 cargo test --workspace -q
 cargo run -q -p sigma-bench --bin fault_campaign -- --smoke --quiet
